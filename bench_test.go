@@ -1,0 +1,419 @@
+// Benchmarks regenerating each table and figure of the paper at a reduced
+// default scale, plus micro-benchmarks of the substrate and ablation
+// benches for the design choices DESIGN.md calls out. Key result numbers
+// are attached to each benchmark via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as a miniature reproduction run. cmd/surwbench produces the full
+// tables; see EXPERIMENTS.md for paper-vs-measured.
+package surw
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"surw/internal/core"
+	"surw/internal/experiments"
+	"surw/internal/ftp"
+	"surw/internal/profile"
+	"surw/internal/race"
+	"surw/internal/racebench"
+	"surw/internal/replay"
+	"surw/internal/runner"
+	"surw/internal/sched"
+	"surw/internal/sctbench"
+	"surw/internal/stats"
+)
+
+// benchScale is deliberately small: each table benchmark completes in
+// seconds while preserving the result ordering.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		Seed:           1,
+		Sessions:       2,
+		Limit:          400,
+		SafeStackLimit: 400,
+		RaceBenchLimit: 300,
+		FTPTrials:      2,
+		FTPLimit:       400,
+		Fig2Trials:     5040,
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2: uniformity of the final-x
+// distribution on the Figure 1 program, per algorithm. The reported
+// chi-square is against the uniform distribution over 252 classes (lower
+// is more uniform; URW should be ~250, the baselines thousands).
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := experiments.Figure2(benchScale().Fig2Trials, 1)
+		b.ReportMetric(f.ChiSquare["URW"], "chi2-URW")
+		b.ReportMetric(f.ChiSquare["RW"], "chi2-RW")
+		b.ReportMetric(f.ChiSquare["PCT-10"], "chi2-PCT10")
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1's summary (bugs found on
+// SCTBench+ConVul) at bench scale and reports the per-algorithm totals.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.SCTBench(benchScale(), nil)
+		for _, alg := range []string{"SURW", "POS", "RW"} {
+			found := 0
+			for _, tname := range r.Targets {
+				if r.Results[tname][alg].FoundEver() {
+					found++
+				}
+			}
+			b.ReportMetric(float64(found), "bugs-"+alg)
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates a slice of Table 4 (schedules-to-first-bug)
+// on the reorder family, the paper's flagship analysis, reporting SURW's
+// mean against PCT-3's.
+func BenchmarkTable4(b *testing.B) {
+	targets := []runner.Target{sctbench.Reorder(9, 1), sctbench.Twostage(10)}
+	for i := 0; i < b.N; i++ {
+		for _, tgt := range targets {
+			for _, alg := range []string{"SURW", "PCT-3"} {
+				res, err := runner.RunTarget(tgt, alg, runner.Config{
+					Sessions: 2, Limit: 4000, Seed: 5, StopAtFirstBug: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum, found := res.FirstBugSummary()
+				mean := float64(res.Limit)
+				if found > 0 {
+					mean = sum.Mean
+				}
+				b.ReportMetric(mean, tgt.Name[3:]+"-"+alg)
+			}
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (RaceBench distinct bugs) on a
+// three-base slice and reports per-algorithm totals; SURW and POS should
+// lead RW and PCT.
+func BenchmarkTable2(b *testing.B) {
+	suite := racebench.Suite()[:3]
+	for i := 0; i < b.N; i++ {
+		for _, alg := range []string{"SURW", "POS", "RW", "PCT-3"} {
+			total := 0
+			for _, base := range suite {
+				res, err := runner.RunTarget(base.Target(), alg, runner.Config{
+					Sessions: 1, Limit: benchScale().RaceBenchLimit, Seed: 7,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += len(res.DistinctBugs())
+			}
+			b.ReportMetric(float64(total), "bugs-"+alg)
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3 (LightFTP entropies) and reports the
+// interleaving entropy per algorithm; SURW should be the highest.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.LightFTP(benchScale(), nil)
+		t3 := r.Table3()
+		_ = t3
+		for _, alg := range experiments.FTPAlgorithms {
+			var ilv []float64
+			for _, res := range r.Trials[alg] {
+				ilv = append(ilv, res.Sessions[0].Cov.InterleavingEntropy())
+			}
+			b.ReportMetric(stats.Summarize(ilv).Mean, "ilvH-"+alg)
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5's final coverage points (distinct
+// interleavings and behaviours on LightFTP) for SURW vs RW.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.LightFTP(benchScale(), nil)
+		for _, alg := range []string{"SURW", "RW", "PCT-10"} {
+			nIlv, nBeh := 0, 0
+			for _, res := range r.Trials[alg] {
+				cov := res.Sessions[0].Cov
+				nIlv += len(cov.Interleavings)
+				nBeh += len(cov.Behaviors)
+			}
+			n := float64(len(r.Trials[alg]))
+			b.ReportMetric(float64(nIlv)/n, "ilv-"+alg)
+			b.ReportMetric(float64(nBeh)/n, "beh-"+alg)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Substrate micro-benchmarks
+// ---------------------------------------------------------------------------
+
+// BenchmarkDecision measures the per-scheduling-decision cost of each
+// stateless algorithm on the Figure 1 program (§6 compares SURW's ~20 ns
+// per decision against RFF's ~305 ns; our decisions include Go-side
+// bookkeeping but stay within the same order of magnitude).
+func BenchmarkDecision(b *testing.B) {
+	prog := experiments.Bitshift(16)
+	info := experiments.BitshiftInfo(16)
+	for _, name := range []string{"SURW", "URW", "POS", "PCT-3", "RW"} {
+		alg, err := core.New(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				r := sched.Run(prog, alg, sched.Options{Seed: int64(i), Info: info})
+				steps += r.Steps
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(steps), "ns/decision")
+		})
+	}
+}
+
+// BenchmarkSchedulerThroughput measures raw substrate speed: events per
+// second through the cooperative scheduler with the cheapest algorithm.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	prog := experiments.Bitshift(64)
+	alg := core.NewRandomWalk()
+	steps := 0
+	for i := 0; i < b.N; i++ {
+		r := sched.Run(prog, alg, sched.Options{Seed: int64(i)})
+		steps += r.Steps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkProfileCollect measures the profiling phase on a mid-size
+// benchmark target.
+func BenchmarkProfileCollect(b *testing.B) {
+	tgt, _ := sctbench.ByName("CS/twostage_20")
+	for i := 0; i < b.N; i++ {
+		if _, err := profile.Collect(tgt.Prog, profile.Options{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benches for DESIGN.md's called-out choices
+// ---------------------------------------------------------------------------
+
+// staggered spawns worker A, runs m main-thread events, then spawns worker
+// B — the §3.5 scenario: while B is unspawned, the only way to schedule
+// B-side events early is to weight the main thread by B's remaining count.
+func staggered(k, m int) (func(*sched.Thread), *sched.ProgramInfo) {
+	prog := func(t *sched.Thread) {
+		x := t.NewVar("x", 1)
+		ctl := t.NewVar("ctl", 0)
+		a := t.Go(func(w *sched.Thread) {
+			for i := 0; i < k; i++ {
+				x.Update(w, func(v int64) int64 { return v << 1 })
+			}
+		})
+		for i := 0; i < m; i++ {
+			ctl.Add(t, 1)
+		}
+		bb := t.Go(func(w *sched.Thread) {
+			for i := 0; i < k; i++ {
+				x.Update(w, func(v int64) int64 { return v<<1 + 1 })
+			}
+		})
+		t.Join(a)
+		t.Join(bb)
+		t.SetBehavior(fmt.Sprintf("%b", x.Peek()))
+	}
+	info := sched.NewProgramInfo()
+	root := info.AddThread("0", "")
+	la := info.AddThread("0.0", "0")
+	lb := info.AddThread("0.1", "0")
+	info.Events[root] = m + 2
+	info.Events[la] = k
+	info.Events[lb] = k
+	copy(info.InterestingEvents, info.Events)
+	info.TotalEvents = m + 2 + 2*k
+	return prog, info
+}
+
+// BenchmarkAblationSpawnWeights compares URW's skew with and without the
+// §3.5 thread-creation weight correction on the staggered-spawn program:
+// without the correction the main thread (and hence worker B's creation)
+// is starved, so B-early interleavings are under-sampled and the final-x
+// distribution skews far harder.
+func BenchmarkAblationSpawnWeights(b *testing.B) {
+	prog, info := staggered(4, 8)
+	run := func(alg sched.Algorithm) float64 {
+		counts := make(map[string]int)
+		for s := 0; s < 7000; s++ {
+			r := sched.Run(prog, alg, sched.Options{Seed: int64(s), Info: info})
+			counts[r.Behavior]++
+		}
+		xs := make([]int, 0, len(counts))
+		for _, c := range counts {
+			xs = append(xs, c)
+		}
+		return stats.ChiSquareUniform(xs, int(stats.Binomial(8, 4)))
+	}
+	for i := 0; i < b.N; i++ {
+		on := core.NewURW()
+		off := core.NewURW()
+		off.NoSpawnCorrection = true
+		b.ReportMetric(run(on), "chi2-corrected")
+		b.ReportMetric(run(off), "chi2-uncorrected")
+	}
+}
+
+// BenchmarkAblationPickFrom compares SURW's default pickFrom (fresh random
+// priority per event) against uniform per-step choice on the reorder
+// workload; both must keep the bug findable (Δ-uniformity does not depend
+// on pickFrom), with similar schedule counts.
+func BenchmarkAblationPickFrom(b *testing.B) {
+	tgt := sctbench.Reorder(9, 1)
+	for _, uniform := range []bool{false, true} {
+		name := "priority"
+		if uniform {
+			name = "uniform"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				found := 0.0
+				prof, _ := profile.Collect(tgt.Prog, profile.Options{Seed: 17})
+				rng := rand.New(rand.NewSource(3))
+				alg := core.NewSURW()
+				alg.PickUniform = uniform
+				for s := 0; s < 2000; s++ {
+					sel, ok := prof.SelectSingleVar(rng)
+					if !ok {
+						b.Fatal("no shared var")
+					}
+					r := sched.Run(tgt.Prog, alg, sched.Options{
+						Seed: int64(s), Info: prof.Instantiate(sel),
+					})
+					if r.Buggy() {
+						found = float64(s + 1)
+						break
+					}
+				}
+				b.ReportMetric(found, "schedules-to-bug")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCSEntrance compares SURW's Δ choices on a lock-heavy
+// target: critical-section entrances (§3.5's recommendation) versus the
+// protected variable itself.
+func BenchmarkAblationCSEntrance(b *testing.B) {
+	tgt, _ := sctbench.ByName("CS/wronglock_3")
+	selects := map[string]func(p *profile.Profile, rng *rand.Rand) (profile.Selection, bool){
+		"lock-entrances": func(p *profile.Profile, _ *rand.Rand) (profile.Selection, bool) {
+			return p.SelectLockEntrances()
+		},
+		"shared-var": func(p *profile.Profile, rng *rand.Rand) (profile.Selection, bool) {
+			return p.SelectSingleVar(rng)
+		},
+	}
+	for _, name := range []string{"lock-entrances", "shared-var"} {
+		sel := selects[name]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t := tgt
+				t.Select = sel
+				res, err := runner.RunTarget(t, "SURW", runner.Config{
+					Sessions: 3, Limit: 2000, Seed: 9, StopAtFirstBug: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum, found := res.FirstBugSummary()
+				mean := float64(res.Limit)
+				if found > 0 {
+					mean = sum.Mean
+				}
+				b.ReportMetric(mean, "schedules-to-bug")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCountNoise measures §7's sensitivity to count-estimate
+// error: URW's uniformity as the estimates are scaled away from truth.
+func BenchmarkAblationCountNoise(b *testing.B) {
+	const k = 4
+	for _, scale := range []float64{1.0, 2.0, 8.0} {
+		b.Run(fmt.Sprintf("scale-%g", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				info := experiments.BitshiftInfo(k)
+				// Skew only thread A's estimate: relative ratios are what
+				// matter (§7).
+				info.Events[info.LID("0.0")] = int(float64(k) * scale)
+				info.InterestingEvents[info.LID("0.0")] = info.Events[info.LID("0.0")]
+				prog := experiments.Bitshift(k)
+				counts := make(map[string]int)
+				alg := core.NewURW()
+				for s := 0; s < 7000; s++ {
+					r := sched.Run(prog, alg, sched.Options{Seed: int64(s), Info: info})
+					counts[r.Behavior]++
+				}
+				xs := make([]int, 0, len(counts))
+				for _, c := range counts {
+					xs = append(xs, c)
+				}
+				b.ReportMetric(stats.ChiSquareUniform(xs, int(stats.Binomial(2*k, k))), "chi2")
+			}
+		})
+	}
+}
+
+// BenchmarkFTPSchedule measures one LightFTP schedule end to end.
+func BenchmarkFTPSchedule(b *testing.B) {
+	tgt := ftp.DefaultConfig().Target(3)
+	alg := core.NewRandomWalk()
+	for i := 0; i < b.N; i++ {
+		sched.Run(tgt.Prog, alg, sched.Options{Seed: int64(i), ProgSeed: 3})
+	}
+}
+
+// BenchmarkRaceDetect measures the happens-before analysis on recorded
+// LightFTP traces.
+func BenchmarkRaceDetect(b *testing.B) {
+	tgt := ftp.DefaultConfig().Target(3)
+	res := sched.Run(tgt.Prog, core.NewRandomWalk(), sched.Options{Seed: 1, ProgSeed: 3, RecordTrace: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		race.Detect(res.Trace, res.ThreadPaths)
+	}
+	b.ReportMetric(float64(len(res.Trace)), "events/trace")
+}
+
+// BenchmarkMinimize measures schedule minimization on a recorded failure.
+func BenchmarkMinimize(b *testing.B) {
+	tgt := sctbench.Reorder(2, 1)
+	var rec replay.Recording
+	var bugID string
+	found := false
+	for seed := int64(0); seed < 2000 && !found; seed++ {
+		res, r := replay.Record(tgt.Prog, core.NewRandomWalk(), sched.Options{Seed: seed})
+		if res.Buggy() {
+			rec, bugID, found = r, res.Failure.BugID, true
+		}
+	}
+	if !found {
+		b.Fatal("no failure to minimize")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replay.Minimize(tgt.Prog, rec, bugID, sched.Options{}, 0)
+	}
+}

@@ -1,0 +1,161 @@
+// Command surwbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	surwbench [flags] [experiments]
+//
+// Experiments (comma-separated or repeated; default "all"):
+//
+//	fig2    Figure 2  - uniformity histograms on the Figure 1 program
+//	sct     Tables 1+4 - SCTBench+ConVul bug finding (all 7 algorithms)
+//	rb      Table 2   - RaceBench distinct bugs
+//	ftp     Table 3 + Figure 5 - LightFTP case-study coverage and entropy
+//	all     everything above
+//
+// The default budgets reproduce the paper's result shapes in minutes;
+// -scale paper switches to the paper's full budgets (days of compute).
+// With -out DIR, each table is also written as .txt and .csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"surw/internal/experiments"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "default", `budget preset: "default" or "paper"`)
+		sessions  = flag.Int("sessions", 0, "override sessions for Tables 1/4")
+		limit     = flag.Int("limit", 0, "override schedule limit for Tables 1/4")
+		ssLimit   = flag.Int("safestack-limit", 0, "override the SafeStack budget")
+		rbLimit   = flag.Int("rb-limit", 0, "override RaceBench iterations")
+		ftpTrials = flag.Int("ftp-trials", 0, "override LightFTP trials")
+		ftpLimit  = flag.Int("ftp-limit", 0, "override LightFTP schedules per trial")
+		seed      = flag.Int64("seed", 0, "override the master seed")
+		outDir    = flag.String("out", "", "directory for .txt/.csv artifacts")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+		full      = flag.Bool("full", false, "print full Figure 2 histograms")
+	)
+	flag.Parse()
+
+	sc := experiments.DefaultScale()
+	switch *scaleName {
+	case "default":
+	case "paper":
+		sc = experiments.PaperScale()
+	default:
+		fatalf("unknown -scale %q (want default or paper)", *scaleName)
+	}
+	override := func(dst *int, v int) {
+		if v > 0 {
+			*dst = v
+		}
+	}
+	override(&sc.Sessions, *sessions)
+	override(&sc.Limit, *limit)
+	override(&sc.SafeStackLimit, *ssLimit)
+	override(&sc.RaceBenchLimit, *rbLimit)
+	override(&sc.FTPTrials, *ftpTrials)
+	override(&sc.FTPLimit, *ftpLimit)
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	want := map[string]bool{}
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	for _, a := range args {
+		for _, e := range strings.Split(a, ",") {
+			e = strings.TrimSpace(strings.ToLower(e))
+			switch e {
+			case "all":
+				want["fig2"], want["sct"], want["rb"], want["ftp"] = true, true, true, true
+			case "fig2", "sct", "rb", "ftp":
+				want[e] = true
+			case "table1", "table4":
+				want["sct"] = true
+			case "table2":
+				want["rb"] = true
+			case "table3", "fig5":
+				want["ftp"] = true
+			default:
+				fatalf("unknown experiment %q", e)
+			}
+		}
+	}
+
+	progress := experiments.Progress(nil)
+	if !*quiet {
+		progress = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+
+	if want["fig2"] {
+		timed("fig2", func() {
+			f := experiments.Figure2(sc.Fig2Trials, sc.Seed)
+			emit(*outDir, "figure2", f.Render(*full), "")
+		})
+	}
+	if want["sct"] {
+		timed("sct", func() {
+			r := experiments.SCTBench(sc, progress)
+			t1, t4 := r.Table1(), r.Table4()
+			emit(*outDir, "table1", t1.String(), t1.CSV())
+			emit(*outDir, "table4", t4.String(), t4.CSV())
+		})
+	}
+	if want["rb"] {
+		timed("rb", func() {
+			r := experiments.RaceBench(sc, progress)
+			t2 := r.Table2()
+			emit(*outDir, "table2", t2.String(), t2.CSV())
+		})
+	}
+	if want["ftp"] {
+		timed("ftp", func() {
+			r := experiments.LightFTP(sc, progress)
+			t3 := r.Table3()
+			emit(*outDir, "table3", t3.String(), t3.CSV())
+			emit(*outDir, "figure5", r.Figure5(), "")
+		})
+	}
+}
+
+func timed(name string, f func()) {
+	start := time.Now()
+	f()
+	fmt.Fprintf(os.Stderr, "%s finished in %s\n", name, time.Since(start).Round(time.Millisecond))
+}
+
+// emit prints the artifact and optionally archives it under dir.
+func emit(dir, name, text, csv string) {
+	fmt.Println(text)
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatalf("mkdir %s: %v", dir, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".txt"), []byte(text), 0o644); err != nil {
+		fatalf("write %s: %v", name, err)
+	}
+	if csv != "" {
+		if err := os.WriteFile(filepath.Join(dir, name+".csv"), []byte(csv), 0o644); err != nil {
+			fatalf("write %s.csv: %v", name, err)
+		}
+	}
+}
+
+func fatalf(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "surwbench: "+format+"\n", a...)
+	os.Exit(2)
+}

@@ -1,0 +1,142 @@
+// Command surwrun runs one benchmark target under one scheduling algorithm
+// and reports schedules-to-first-bug, optionally dumping the failing
+// schedule's event trace for inspection or replay.
+//
+// Usage:
+//
+//	surwrun -target CS/reorder_10 -alg SURW [-limit N] [-sessions K] [-seed S] [-trace]
+//	surwrun -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"surw/internal/core"
+	"surw/internal/ftp"
+	"surw/internal/profile"
+	"surw/internal/racebench"
+	"surw/internal/replay"
+	"surw/internal/runner"
+	"surw/internal/sched"
+	"surw/internal/sctbench"
+)
+
+func main() {
+	var (
+		targetName = flag.String("target", "", "benchmark target name (see -list)")
+		algName    = flag.String("alg", "SURW", "scheduling algorithm (SURW, URW, POS, RW, PCT-<d>, N-U, N-S)")
+		limit      = flag.Int("limit", 10_000, "schedule budget per session")
+		sessions   = flag.Int("sessions", 1, "independent sessions")
+		seed       = flag.Int64("seed", 1, "master seed")
+		trace      = flag.Bool("trace", false, "replay and print the first failing schedule's events")
+		list       = flag.Bool("list", false, "list available targets")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range allTargetNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+	tgt, ok := lookupTarget(*targetName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "surwrun: unknown target %q (try -list)\n", *targetName)
+		os.Exit(2)
+	}
+	if _, err := core.New(*algName); err != nil {
+		fmt.Fprintf(os.Stderr, "surwrun: %v\n", err)
+		os.Exit(2)
+	}
+
+	res, err := runner.RunTarget(tgt, *algName, runner.Config{
+		Sessions:       *sessions,
+		Limit:          *limit,
+		Seed:           *seed,
+		StopAtFirstBug: true,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "surwrun: %v\n", err)
+		os.Exit(1)
+	}
+
+	sum, found := res.FirstBugSummary()
+	fmt.Printf("target    %s\n", tgt.Name)
+	fmt.Printf("algorithm %s\n", *algName)
+	fmt.Printf("sessions  %d x %d schedules\n", *sessions, *limit)
+	if found == 0 {
+		fmt.Println("result    no bug found")
+		return
+	}
+	fmt.Printf("result    bug found in %d/%d sessions\n", found, *sessions)
+	fmt.Printf("schedules to first bug: mean %.1f ± %.1f (min %.0f, max %.0f)\n",
+		sum.Mean, sum.Std, sum.Min, sum.Max)
+	for id := range res.DistinctBugs() {
+		fmt.Printf("bug id    %s\n", id)
+	}
+	obs := res.FirstBugObs()
+	if len(obs) > 1 {
+		fmt.Printf("censored observations available for log-rank comparisons (%d)\n", len(obs))
+	}
+	if *trace {
+		printFailingTrace(tgt, *algName, *seed, *limit)
+	}
+}
+
+// allTargetNames lists every runnable target across the suites.
+func allTargetNames() []string {
+	names := sctbench.Names()
+	for _, b := range racebench.Suite() {
+		names = append(names, "RaceBench/"+b.Name)
+	}
+	return append(names, "LightFTP")
+}
+
+// lookupTarget resolves a target from any suite.
+func lookupTarget(name string) (runner.Target, bool) {
+	if tgt, ok := sctbench.ByName(name); ok {
+		return tgt, true
+	}
+	for _, b := range racebench.Suite() {
+		if "RaceBench/"+b.Name == name {
+			return b.Target(), true
+		}
+	}
+	if name == "LightFTP" {
+		return ftp.DefaultConfig().Target(1), true
+	}
+	return runner.Target{}, false
+}
+
+// printFailingTrace re-runs session 0's schedules with recording enabled,
+// minimizes the first failing schedule's recording, and prints the
+// minimized interleaving.
+func printFailingTrace(tgt runner.Target, algName string, seed int64, limit int) {
+	alg, _ := core.New(algName)
+	prof, _ := profile.Collect(tgt.Prog, profile.Options{Seed: seed + 17, ProgSeed: tgt.ProgSeed, MaxSteps: tgt.MaxSteps})
+	info := prof.Instantiate(prof.SelectAll())
+	opts := sched.Options{ProgSeed: tgt.ProgSeed, MaxSteps: tgt.MaxSteps, Info: info}
+	for i := 0; i < limit; i++ {
+		opts.Seed = seed + int64(i)*2_000_033 + 1
+		r, rec := replay.Record(tgt.Prog, alg, opts)
+		if !r.Buggy() {
+			continue
+		}
+		fmt.Printf("\nfailing schedule at seed offset %d: %v\n", i, r.Failure)
+		fmt.Printf("recording: %s\n", rec)
+		min, attempts := replay.Minimize(tgt.Prog, rec, r.Failure.BugID, opts, 2000)
+		fmt.Printf("minimized (after %d replays): %s\n", attempts, min)
+		opts.RecordTrace = true
+		final := replay.Replay(tgt.Prog, min, opts)
+		opts.RecordTrace = false
+		fmt.Printf("minimized failing interleaving (%d events):\n", len(final.Trace))
+		for _, ev := range final.Trace {
+			fmt.Printf("  %s\n", ev)
+		}
+		fmt.Printf("failure: %v\n", final.Failure)
+		return
+	}
+	fmt.Println("\nno failing schedule under the Δ=Γ trace configuration; rerun with another -seed")
+}

@@ -1,0 +1,3 @@
+module surw
+
+go 1.22

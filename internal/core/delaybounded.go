@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math/rand"
+
+	"surw/internal/sched"
+)
+
+// DB implements randomized delay-bounded scheduling (Emmi, Qadeer,
+// Rakamarić — POPL 2011; the randomized instantiation used in Thomson et
+// al.'s empirical study the paper builds its benchmark methodology on).
+// The scheduler runs threads round-robin, never preempting voluntarily;
+// at d randomly chosen event indices it "delays" the running thread —
+// sends it to the back of the round — forcing one context switch. Bugs
+// reachable with few delays are found quickly; like PCT it needs a trace
+// length estimate for placing its delay points.
+type DB struct {
+	Delays int
+
+	rng     *rand.Rand
+	delayAt []int
+	nextDP  int
+	steps   int
+	current sched.ThreadID
+	demoted map[sched.ThreadID]int // round-robin demotion stamps
+	demotes int
+}
+
+// NewDB returns a delay-bounded scheduler with d delays per schedule.
+func NewDB(d int) *DB {
+	if d < 0 {
+		d = 0
+	}
+	return &DB{Delays: d}
+}
+
+// Name implements sched.Algorithm.
+func (a *DB) Name() string { return "DB-" + itoa(a.Delays) }
+
+// Begin implements sched.Algorithm.
+func (a *DB) Begin(info *sched.ProgramInfo, rng *rand.Rand) {
+	a.rng = rng
+	a.steps = 0
+	a.nextDP = 0
+	a.current = -1
+	a.demoted = make(map[sched.ThreadID]int)
+	a.demotes = 0
+	n := DefaultLengthGuess
+	if info != nil && info.TotalEvents > 0 {
+		n = info.TotalEvents
+	}
+	a.delayAt = a.delayAt[:0]
+	for i := 0; i < a.Delays; i++ {
+		a.delayAt = append(a.delayAt, rng.Intn(n)+1)
+	}
+	sortInts(a.delayAt)
+}
+
+// Next implements sched.Algorithm: keep running the current thread; when
+// it blocks or finishes (or was delayed), take the enabled thread with the
+// oldest demotion stamp, lowest TID first.
+func (a *DB) Next(st *sched.State) sched.ThreadID {
+	e := st.Enabled()
+	for _, tid := range e {
+		if tid == a.current {
+			return tid
+		}
+	}
+	best := e[0]
+	for _, tid := range e[1:] {
+		if a.demoted[tid] < a.demoted[best] {
+			best = tid
+		}
+	}
+	return best
+}
+
+// Observe implements sched.Algorithm: count events and apply delay points
+// by demoting the running thread to the back of the round.
+func (a *DB) Observe(ev sched.Event, _ *sched.State) {
+	a.current = ev.TID
+	a.steps++
+	for a.nextDP < len(a.delayAt) && a.steps >= a.delayAt[a.nextDP] {
+		a.demotes++
+		a.demoted[ev.TID] = a.demotes
+		a.current = -1 // force a switch at the next decision
+		a.nextDP++
+	}
+}

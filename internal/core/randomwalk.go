@@ -1,0 +1,34 @@
+package core
+
+import (
+	"math/rand"
+
+	"surw/internal/sched"
+)
+
+// RandomWalk schedules each enabled thread with equal probability at every
+// step. It is the simplest randomized CCT algorithm and, as §2.1 of the
+// paper shows, is heavily biased on the interleaving space: runs that
+// repeatedly pick the same thread are exponentially more likely than
+// balanced ones.
+type RandomWalk struct {
+	rng *rand.Rand
+}
+
+// NewRandomWalk returns a fresh RandomWalk scheduler.
+func NewRandomWalk() *RandomWalk { return &RandomWalk{} }
+
+// Name implements sched.Algorithm.
+func (*RandomWalk) Name() string { return "RW" }
+
+// Begin implements sched.Algorithm.
+func (a *RandomWalk) Begin(_ *sched.ProgramInfo, rng *rand.Rand) { a.rng = rng }
+
+// Next implements sched.Algorithm.
+func (a *RandomWalk) Next(st *sched.State) sched.ThreadID {
+	e := st.Enabled()
+	return e[a.rng.Intn(len(e))]
+}
+
+// Observe implements sched.Algorithm.
+func (*RandomWalk) Observe(sched.Event, *sched.State) {}

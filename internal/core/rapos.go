@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+
+	"surw/internal/sched"
+)
+
+// RAPOS implements Sen's RAPOS (ASE 2007), the partial-order-aware
+// predecessor of POS the paper cites among the stateless samplers. It
+// proceeds in rounds: each round randomly selects a maximal pairwise
+// non-racing subset of the enabled events and executes it in random order,
+// so racing events land in different rounds with fresh coin flips. Like
+// POS it counteracts Random Walk's bias on partial-order-equivalent
+// interleavings without needing count estimates.
+type RAPOS struct {
+	rng   *rand.Rand
+	queue []sched.ThreadID // remainder of the current round
+	cands []sched.ThreadID
+	round []sched.ThreadID
+}
+
+// NewRAPOS returns a fresh RAPOS scheduler.
+func NewRAPOS() *RAPOS { return &RAPOS{} }
+
+// Name implements sched.Algorithm.
+func (*RAPOS) Name() string { return "RAPOS" }
+
+// Begin implements sched.Algorithm.
+func (a *RAPOS) Begin(_ *sched.ProgramInfo, rng *rand.Rand) {
+	a.rng = rng
+	a.queue = a.queue[:0]
+}
+
+// Next implements sched.Algorithm.
+func (a *RAPOS) Next(st *sched.State) sched.ThreadID {
+	enabled := st.Enabled()
+	// Drain the current round, skipping threads that became disabled or
+	// finished since the round was formed.
+	for len(a.queue) > 0 {
+		tid := a.queue[0]
+		a.queue = a.queue[1:]
+		for _, e := range enabled {
+			if e == tid {
+				return tid
+			}
+		}
+	}
+	// Form a new round: shuffle the enabled threads, then greedily keep
+	// those whose next events do not race with an already-kept one.
+	a.cands = append(a.cands[:0], enabled...)
+	a.rng.Shuffle(len(a.cands), func(i, j int) { a.cands[i], a.cands[j] = a.cands[j], a.cands[i] })
+	a.round = a.round[:0]
+	for _, tid := range a.cands {
+		ev := st.NextEvent(tid)
+		ok := true
+		for _, kept := range a.round {
+			if st.NextEvent(kept).Conflicts(ev) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			a.round = append(a.round, tid)
+		}
+	}
+	a.queue = append(a.queue[:0], a.round[1:]...)
+	return a.round[0]
+}
+
+// Observe implements sched.Algorithm.
+func (*RAPOS) Observe(sched.Event, *sched.State) {}

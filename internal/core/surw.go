@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math/rand"
+
+	"surw/internal/sched"
+)
+
+// SURW is Algorithm 2: Selectively Uniform Random Walk.
+//
+// Given a subset Δ of interesting events (ProgramInfo.Interesting) with
+// per-thread count estimates, SURW eagerly selects — by URW-weighted random
+// choice, potentially before the event is even enabled — the thread
+// intended to execute the next interesting event. Any other thread about to
+// execute an interesting event is blocked until the intended one has run
+// its event, at which point the counts shrink, a new intended thread is
+// drawn, and the blocked set clears. All non-interesting ordering decisions
+// are delegated to a pickFrom policy (by default: fresh random priority per
+// event, highest wins), which by construction cannot affect the Δ-projected
+// interleaving distribution. This yields Δ-uniformity and, because pickFrom
+// gives every interleaving positive probability, Γ-completeness.
+//
+// The §3.5 refinements are included: a parent thread carries the Δ-weight
+// of its unspawned descendants, and the intended thread is re-selected
+// after every spawn.
+//
+// If the counts are exhausted (estimation error), SURW degrades gracefully:
+// it stops constraining interesting events and behaves like pickFrom alone,
+// preserving completeness (§3.6, §7).
+type SURW struct {
+	name    string
+	uniform bool // false for the N-U ablation (unweighted intended choice)
+	// PickUniform switches pickFrom from random event priorities to a
+	// uniform choice among candidates at each step (an ablation knob; the
+	// default matches the paper's implementation).
+	PickUniform bool
+	// NoSpawnCorrection disables the §3.5 thread-creation weight
+	// correction (ablation knob; off in normal use).
+	NoSpawnCorrection bool
+
+	rng         *rand.Rand
+	rw          remWeights
+	pick        eventPrio
+	interesting func(sched.Event) bool
+	intended    sched.ThreadID // -1 when unconstrained
+	havePicked  bool
+	blocked     []bool
+	cands       []sched.ThreadID
+	wbuf        []float64
+}
+
+// NewSURW returns the full SURW scheduler.
+func NewSURW() *SURW { return &SURW{name: "SURW", uniform: true} }
+
+// NewNonUniform returns the paper's N-U ablation: SURW's selectivity with a
+// naive (unweighted) random choice of the intended thread.
+func NewNonUniform() *SURW { return &SURW{name: "N-U", uniform: false} }
+
+// Name implements sched.Algorithm.
+func (a *SURW) Name() string { return a.name }
+
+// Begin implements sched.Algorithm.
+func (a *SURW) Begin(info *sched.ProgramInfo, rng *rand.Rand) {
+	a.rng = rng
+	a.rw.noCorrect = a.NoSpawnCorrection
+	a.rw.reset(info, true)
+	a.pick.reset(rng)
+	a.interesting = nil
+	if info != nil {
+		a.interesting = info.Interesting
+	}
+	a.intended = -1
+	a.havePicked = false
+	a.blocked = a.blocked[:0]
+}
+
+func (a *SURW) isInteresting(ev sched.Event) bool {
+	if a.interesting == nil {
+		return true // Δ = Γ
+	}
+	return a.interesting(ev)
+}
+
+func (a *SURW) isBlocked(tid sched.ThreadID) bool {
+	return tid < len(a.blocked) && a.blocked[tid]
+}
+
+func (a *SURW) block(tid sched.ThreadID) {
+	for len(a.blocked) <= tid {
+		a.blocked = append(a.blocked, false)
+	}
+	a.blocked[tid] = true
+}
+
+func (a *SURW) clearBlocked() {
+	for i := range a.blocked {
+		a.blocked[i] = false
+	}
+}
+
+// reselect draws a new intended thread among live threads with remaining
+// interesting weight. A nil pool means "all live threads"; fallback paths
+// pass the enabled set instead.
+func (a *SURW) reselect(st *sched.State, pool []sched.ThreadID) {
+	a.clearBlocked()
+	a.cands = a.cands[:0]
+	a.wbuf = a.wbuf[:0]
+	if pool == nil {
+		for tid := 0; tid < st.NumThreads(); tid++ {
+			if !st.Finished(tid) {
+				a.cands = append(a.cands, tid)
+			}
+		}
+	} else {
+		a.cands = append(a.cands, pool...)
+	}
+	total := 0.0
+	for _, tid := range a.cands {
+		w := a.rw.weight(st, tid)
+		if !a.uniform && w > 0 {
+			w = 1 // N-U: unweighted choice among threads with events left
+		}
+		a.wbuf = append(a.wbuf, w)
+		total += w
+	}
+	if len(a.cands) == 0 || total <= 0 {
+		a.intended = -1
+		return
+	}
+	a.intended = a.cands[weightedIndex(a.rng, a.wbuf)]
+}
+
+// Next implements sched.Algorithm (Algorithm 2's main loop).
+func (a *SURW) Next(st *sched.State) sched.ThreadID {
+	if !a.havePicked {
+		a.havePicked = true
+		a.reselect(st, nil)
+	}
+	for {
+		enabled := st.Enabled()
+		a.cands = a.cands[:0]
+		for _, tid := range enabled {
+			if !a.isBlocked(tid) {
+				a.cands = append(a.cands, tid)
+			}
+		}
+		if len(a.cands) == 0 {
+			// Every enabled thread is poised on an unintended interesting
+			// event while the intended thread is disabled (e.g. stuck on a
+			// lock, §3.5). Re-draw the intended thread among the enabled
+			// ones to preserve progress and completeness.
+			a.reselect(st, enabled)
+			if a.intended == -1 {
+				return enabled[a.rng.Intn(len(enabled))]
+			}
+			return a.intended
+		}
+		var t sched.ThreadID
+		if a.PickUniform {
+			t = a.cands[a.rng.Intn(len(a.cands))]
+		} else {
+			t = a.pick.maxPrio(st, a.cands)
+		}
+		if a.intended != -1 && t != a.intended && a.isInteresting(st.NextEvent(t)) {
+			a.block(t)
+			continue
+		}
+		return t
+	}
+}
+
+// Observe implements sched.Algorithm: consume counts on interesting events,
+// re-draw the intended thread after each one, and recover if the intended
+// thread exits.
+func (a *SURW) Observe(ev sched.Event, st *sched.State) {
+	if a.isInteresting(ev) {
+		a.rw.onEvent(st, ev.TID)
+		if a.havePicked {
+			a.reselect(st, nil)
+		}
+	}
+	if a.intended != -1 && st.Finished(a.intended) {
+		a.reselect(st, nil)
+	}
+}
+
+// ObserveSpawn implements sched.SpawnObserver: apply the §3.5 spawn weight
+// correction and, when the spawner *is* the intended thread, re-decide
+// between keeping the parent's side and handing the commitment to the new
+// child, in proportion to their updated weights. Only this conditional
+// handoff preserves the eager commitment's measure: a parent carrying k
+// unspawned descendants hands each off with exactly its n_i share
+// (telescoping to the paper's 1/100 checker probability in reorder_100),
+// whereas an unconditional re-draw would dilute commitments made at
+// earlier spawns.
+func (a *SURW) ObserveSpawn(parent, child sched.ThreadID, st *sched.State) {
+	childW := a.rw.weight(st, child)
+	a.rw.onSpawn(st, child)
+	if !a.havePicked || a.intended != parent {
+		return
+	}
+	parentW := a.rw.weight(st, parent)
+	if !a.uniform { // N-U: unweighted handoff among sides with events left
+		if childW > 0 {
+			childW = 1
+		}
+		if parentW > 0 {
+			parentW = 1
+		}
+	}
+	total := childW + parentW
+	if total <= 0 {
+		a.reselect(st, nil)
+		return
+	}
+	if a.rng.Float64()*total < childW {
+		a.intended = child
+		a.clearBlocked()
+	}
+}

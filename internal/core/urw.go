@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/rand"
+
+	"surw/internal/sched"
+)
+
+// remWeights maintains, per logical thread, the estimated number of
+// remaining (interesting) events, plus the §3.5 thread-creation correction:
+// the weight of a live thread includes the remaining events of all of its
+// still-unspawned descendants, so interleavings that schedule child-thread
+// events early are not under-sampled.
+type remWeights struct {
+	lm        lidMap
+	rem       []int // remaining events by LID
+	w         []int // rem + unspawned-descendant remaining, by LID
+	noCorrect bool  // ablation: disable the §3.5 correction
+}
+
+// reset reloads the counts. interesting selects ProgramInfo's Δ counts
+// instead of total counts.
+func (rw *remWeights) reset(info *sched.ProgramInfo, interesting bool) {
+	rw.lm.reset(info)
+	rw.rem = rw.rem[:0]
+	rw.w = rw.w[:0]
+	if info == nil {
+		return
+	}
+	src := info.Events
+	if interesting {
+		src = info.InterestingEvents
+	}
+	rw.rem = append(rw.rem, src...)
+	rw.w = append(rw.w, src...)
+	if rw.noCorrect {
+		return
+	}
+	// Profiles register parents before children, so walking LIDs from the
+	// highest down accumulates full subtree weights.
+	for l := len(rw.w) - 1; l >= 0; l-- {
+		for _, c := range info.Children[l] {
+			rw.w[l] += rw.w[c]
+		}
+	}
+}
+
+// lid resolves a runtime thread to its logical ID (-1 if unprofiled).
+func (rw *remWeights) lid(st *sched.State, tid sched.ThreadID) int {
+	return rw.lm.lid(st, tid)
+}
+
+// weight returns the sampling weight of a live thread. Unprofiled threads
+// weigh zero; callers fall back to uniform choice when all weights vanish.
+func (rw *remWeights) weight(st *sched.State, tid sched.ThreadID) float64 {
+	l := rw.lid(st, tid)
+	if l < 0 || l >= len(rw.w) {
+		return 0
+	}
+	return float64(rw.w[l])
+}
+
+// onEvent records that thread tid executed one counted event.
+func (rw *remWeights) onEvent(st *sched.State, tid sched.ThreadID) {
+	l := rw.lid(st, tid)
+	if l < 0 || l >= len(rw.rem) {
+		return
+	}
+	if rw.rem[l] > 0 {
+		rw.rem[l]--
+		if rw.w[l] > 0 {
+			rw.w[l]--
+		}
+	}
+}
+
+// onSpawn moves a freshly spawned child's subtree weight off its ancestors.
+func (rw *remWeights) onSpawn(st *sched.State, childTID sched.ThreadID) {
+	if rw.noCorrect {
+		return
+	}
+	c := rw.lid(st, childTID)
+	if c < 0 || c >= len(rw.w) {
+		return
+	}
+	info := rw.lm.info
+	sub := rw.w[c]
+	for a := info.Parent[c]; a >= 0; a = info.Parent[a] {
+		rw.w[a] -= sub
+		if rw.w[a] < 0 {
+			rw.w[a] = 0
+		}
+	}
+}
+
+// URW is Algorithm 1: a weighted random walk whose weights are the
+// estimated numbers of events remaining on each thread. For programs whose
+// threads never block, URW provably samples every interleaving of the
+// estimated lengths with equal probability; the weight of a thread tracks
+// exactly the number of interleaving extensions beginning with its next
+// event.
+type URW struct {
+	name string
+	// NoSpawnCorrection disables the §3.5 thread-creation weight
+	// correction (ablation knob; off in normal use).
+	NoSpawnCorrection bool
+
+	rng  *rand.Rand
+	rw   remWeights
+	wbuf []float64
+}
+
+// NewURW returns a fresh URW scheduler (requires ProgramInfo event counts).
+func NewURW() *URW { return &URW{name: "URW"} }
+
+// NewNonSelective returns the paper's N-S ablation: URW applied to every
+// event of the program (selectivity disabled). Operationally identical to
+// URW; the distinct name keeps reports honest about what was configured.
+func NewNonSelective() *URW { return &URW{name: "N-S"} }
+
+// Name implements sched.Algorithm.
+func (a *URW) Name() string { return a.name }
+
+// Begin implements sched.Algorithm.
+func (a *URW) Begin(info *sched.ProgramInfo, rng *rand.Rand) {
+	a.rng = rng
+	a.rw.noCorrect = a.NoSpawnCorrection
+	a.rw.reset(info, false)
+}
+
+// Next implements sched.Algorithm: sample an enabled thread with
+// probability proportional to its remaining-event weight.
+func (a *URW) Next(st *sched.State) sched.ThreadID {
+	e := st.Enabled()
+	a.wbuf = a.wbuf[:0]
+	for _, tid := range e {
+		a.wbuf = append(a.wbuf, a.rw.weight(st, tid))
+	}
+	return e[weightedIndex(a.rng, a.wbuf)]
+}
+
+// Observe implements sched.Algorithm: decrement the executing thread's
+// count.
+func (a *URW) Observe(ev sched.Event, st *sched.State) {
+	a.rw.onEvent(st, ev.TID)
+}
+
+// ObserveSpawn implements sched.SpawnObserver: move the child's subtree
+// weight off its ancestors (§3.5 thread-creation correction).
+func (a *URW) ObserveSpawn(_, child sched.ThreadID, st *sched.State) {
+	a.rw.onSpawn(st, child)
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"surw/internal/core"
+	"surw/internal/report"
+	"surw/internal/sched"
+	"surw/internal/stats"
+)
+
+// Fig2K is the per-thread event count of the Figure 1/2 program (the paper
+// uses 5: 252 interleavings).
+const Fig2K = 5
+
+// Fig2Result holds the Figure 2 histograms.
+type Fig2Result struct {
+	Trials     int
+	Classes    int
+	Histograms map[string]map[string]int // algorithm -> final x -> count
+	ChiSquare  map[string]float64
+	Distinct   map[string]int
+	Entropy    map[string]float64
+}
+
+// Figure2 samples the Figure 1 program with URW, Random Walk and PCT-10 and
+// tallies the distribution of the final value of x (the paper's Figure 2
+// histograms). URW is provably uniform over the 252 classes; the baselines
+// are heavily skewed.
+func Figure2(trials int, seed int64) *Fig2Result {
+	prog := Bitshift(Fig2K)
+	info := BitshiftInfo(Fig2K)
+	res := &Fig2Result{
+		Trials:     trials,
+		Classes:    int(stats.Binomial(2*Fig2K, Fig2K)),
+		Histograms: make(map[string]map[string]int),
+		ChiSquare:  make(map[string]float64),
+		Distinct:   make(map[string]int),
+		Entropy:    make(map[string]float64),
+	}
+	for _, name := range []string{"URW", "RW", "PCT-10"} {
+		alg, err := core.New(name)
+		if err != nil {
+			panic(err)
+		}
+		hist := make(map[string]int)
+		for i := 0; i < trials; i++ {
+			r := sched.Run(prog, alg, sched.Options{Seed: seed + int64(i), Info: info})
+			if r.Buggy() {
+				panic(r.Failure)
+			}
+			hist[r.Behavior]++
+		}
+		res.Histograms[name] = hist
+		counts := make([]int, 0, len(hist))
+		for _, c := range hist {
+			counts = append(counts, c)
+		}
+		res.ChiSquare[name] = stats.ChiSquareUniform(counts, res.Classes)
+		res.Distinct[name] = len(hist)
+		res.Entropy[name] = stats.Entropy(counts)
+	}
+	return res
+}
+
+// Render prints the summary table and, when full is set, the per-algorithm
+// histograms (the actual Figure 2 panels).
+func (f *Fig2Result) Render(full bool) string {
+	var b strings.Builder
+	tb := report.NewTable(
+		fmt.Sprintf("Figure 2: distribution of final x over %d schedules (%d classes)", f.Trials, f.Classes),
+		"Algorithm", "Distinct", "Entropy(bits)", "ChiSq(uniform)")
+	for _, name := range []string{"URW", "RW", "PCT-10"} {
+		tb.AddRow(name,
+			fmt.Sprintf("%d", f.Distinct[name]),
+			fmt.Sprintf("%.2f", f.Entropy[name]),
+			fmt.Sprintf("%.0f", f.ChiSquare[name]))
+	}
+	tb.AddFooter(fmt.Sprintf("uniform reference entropy = %.2f bits; chi-square df = %d",
+		math.Log2(float64(f.Classes)), f.Classes-1))
+	b.WriteString(tb.String())
+	if full {
+		for _, name := range []string{"URW", "RW", "PCT-10"} {
+			b.WriteString("\n")
+			b.WriteString(report.Histogram("Figure 2 ("+name+"): final x histogram", f.Histograms[name], 60))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"surw/internal/report"
+	"surw/internal/runner"
+	"surw/internal/sctbench"
+	"surw/internal/stats"
+)
+
+// SCTAlgorithms is Table 4's column order.
+var SCTAlgorithms = []string{"SURW", "PCT-3", "PCT-10", "POS", "RW", "N-U", "N-S"}
+
+// SCTResult holds the raw data behind Tables 1 and 4.
+type SCTResult struct {
+	Scale   Scale
+	Targets []string
+	// Results[target][alg]
+	Results map[string]map[string]*runner.Result
+}
+
+// Progress receives experiment progress lines; nil discards them.
+type Progress func(format string, args ...any)
+
+// SCTBench runs every suite target under every Table 4 algorithm with the
+// schedules-to-first-bug methodology (SafeStack gets its own larger
+// budget, as in the paper).
+func SCTBench(sc Scale, progress Progress) *SCTResult {
+	if progress == nil {
+		progress = func(string, ...any) {}
+	}
+	out := &SCTResult{Scale: sc, Results: make(map[string]map[string]*runner.Result)}
+	targets := sctbench.Targets()
+	for ti, tgt := range targets {
+		out.Targets = append(out.Targets, tgt.Name)
+		out.Results[tgt.Name] = make(map[string]*runner.Result)
+		limit := sc.Limit
+		if tgt.Name == "SafeStack" {
+			limit = sc.SafeStackLimit
+		}
+		for _, alg := range SCTAlgorithms {
+			res, err := runner.RunTarget(tgt, alg, runner.Config{
+				Sessions:       sc.Sessions,
+				Limit:          limit,
+				Seed:           sc.Seed,
+				StopAtFirstBug: true,
+			})
+			if err != nil {
+				panic(err)
+			}
+			out.Results[tgt.Name][alg] = res
+			sum, found := res.FirstBugSummary()
+			progress("[%2d/%d] %-24s %-6s found %d/%d mean %.0f",
+				ti+1, len(targets), tgt.Name, alg, found, sc.Sessions, sum.Mean)
+		}
+	}
+	return out
+}
+
+// Table1 renders the bug-count summary (paper Table 1): per algorithm, the
+// number of targets whose bug was exposed in any session, the per-session
+// mean, and the Mann-Whitney p-value of SURW's per-session counts against
+// each baseline.
+func (r *SCTResult) Table1() *report.Table {
+	tb := report.NewTable(
+		fmt.Sprintf("Table 1: bugs found on SCTBench+ConVul (max %d; %d sessions x %d schedules)",
+			len(r.Targets), r.Scale.Sessions, r.Scale.Limit),
+		append([]string{"Metric"}, SCTAlgorithms...)...)
+	perSession := r.perSessionCounts()
+
+	total := []string{"Total"}
+	mean := []string{"Mean"}
+	pvals := []string{"p vs SURW"}
+	for _, alg := range SCTAlgorithms {
+		found := 0
+		for _, tname := range r.Targets {
+			if r.Results[tname][alg].FoundEver() {
+				found++
+			}
+		}
+		total = append(total, fmt.Sprintf("%d", found))
+		mean = append(mean, fmt.Sprintf("%.2f", stats.Summarize(perSession[alg]).Mean))
+		if alg == "SURW" {
+			pvals = append(pvals, "-")
+		} else {
+			_, p := stats.MannWhitneyU(perSession["SURW"], perSession[alg])
+			pvals = append(pvals, fmt.Sprintf("%.2g", p))
+		}
+	}
+	tb.AddRow(total...)
+	tb.AddRow(mean...)
+	tb.AddRow(pvals...)
+	if missed := r.bugsMissedBySURW(); len(missed) == 0 {
+		tb.AddFooter("no target's bug was found by a baseline but missed by SURW")
+	} else {
+		tb.AddFooter(fmt.Sprintf("targets missed by SURW but found by a baseline: %v", missed))
+	}
+	return tb
+}
+
+// perSessionCounts returns, per algorithm, the number of targets whose bug
+// each session exposed.
+func (r *SCTResult) perSessionCounts() map[string][]float64 {
+	out := make(map[string][]float64)
+	for _, alg := range SCTAlgorithms {
+		counts := make([]float64, r.Scale.Sessions)
+		for _, tname := range r.Targets {
+			for s, sess := range r.Results[tname][alg].Sessions {
+				if sess.FirstBug >= 0 && s < len(counts) {
+					counts[s]++
+				}
+			}
+		}
+		out[alg] = counts
+	}
+	return out
+}
+
+func (r *SCTResult) bugsMissedBySURW() []string {
+	var missed []string
+	for _, tname := range r.Targets {
+		if r.Results[tname]["SURW"].FoundEver() {
+			continue
+		}
+		for _, alg := range SCTAlgorithms[1:] {
+			if r.Results[tname][alg].FoundEver() {
+				missed = append(missed, tname)
+				break
+			}
+		}
+	}
+	sort.Strings(missed)
+	return missed
+}
+
+// Table4 renders the full schedules-to-first-bug breakdown (paper Table 4,
+// Appendix A). The best algorithm per row is bracketed when the log-rank
+// test separates it from every rival at p < 0.05.
+func (r *SCTResult) Table4() *report.Table {
+	tb := report.NewTable(
+		fmt.Sprintf("Table 4: schedules to first bug, mean ± std over %d sessions (limit %d)",
+			r.Scale.Sessions, r.Scale.Limit),
+		append([]string{"Target"}, SCTAlgorithms...)...)
+	for _, tname := range r.Targets {
+		row := []string{tname}
+		best := r.bestAlgorithm(tname)
+		for _, alg := range SCTAlgorithms {
+			res := r.Results[tname][alg]
+			sum, found := res.FirstBugSummary()
+			cell := report.MeanStd(sum.Mean, sum.Std, found, r.Scale.Sessions)
+			if alg == best {
+				cell = "[" + cell + "]"
+			}
+			row = append(row, cell)
+		}
+		tb.AddRow(row...)
+	}
+	tb.AddFooter("- never triggered; * not triggered in at least one session;")
+	tb.AddFooter("[x] best by log-rank test (p < 0.05 against every rival)")
+	tb.AddFooter("profiled algorithms (SURW, PCT, N-U, N-S) include the +1 profiling run")
+	return tb
+}
+
+// bestAlgorithm returns the algorithm that is log-rank-significantly
+// fastest on the target, or "" when no algorithm separates from the rest.
+func (r *SCTResult) bestAlgorithm(tname string) string {
+	type cand struct {
+		alg  string
+		mean float64
+	}
+	var cands []cand
+	for _, alg := range SCTAlgorithms {
+		res := r.Results[tname][alg]
+		sum, found := res.FirstBugSummary()
+		if found == 0 {
+			continue
+		}
+		mean := sum.Mean
+		// Sessions that never found the bug push the effective time up.
+		if found < len(res.Sessions) {
+			mean = float64(res.Limit)
+		}
+		cands = append(cands, cand{alg, mean})
+	}
+	if len(cands) < 2 {
+		return ""
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].mean < cands[j].mean })
+	best := cands[0].alg
+	for _, c := range cands[1:] {
+		_, p := stats.LogRank(r.Results[tname][best].FirstBugObs(), r.Results[tname][c.alg].FirstBugObs())
+		if p >= 0.05 {
+			return ""
+		}
+	}
+	return best
+}

@@ -1,0 +1,230 @@
+package profile
+
+import (
+	"math/rand"
+	"testing"
+
+	"surw/internal/core"
+	"surw/internal/sched"
+)
+
+// prog is a two-worker program with one hot shared var, one cold shared
+// var, one thread-local var, and a mutex.
+func prog(t *sched.Thread) {
+	hot := t.NewVar("hot", 0)
+	cold := t.NewVar("cold", 0)
+	m := t.NewMutex("mu")
+	w1 := t.Go(func(w *sched.Thread) {
+		local := w.NewVar("local", 0)
+		for i := 0; i < 10; i++ {
+			hot.Add(w, 1)
+		}
+		local.Store(w, 1)
+		m.Lock(w)
+		cold.Add(w, 1)
+		m.Unlock(w)
+	})
+	w2 := t.Go(func(w *sched.Thread) {
+		for i := 0; i < 10; i++ {
+			hot.Add(w, 1)
+		}
+		m.Lock(w)
+		cold.Add(w, 1)
+		m.Unlock(w)
+	})
+	t.Join(w1)
+	t.Join(w2)
+}
+
+func collect(t *testing.T) *Profile {
+	t.Helper()
+	p, err := Collect(prog, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCollectCounts(t *testing.T) {
+	p := collect(t)
+	if n := p.Info.NumThreads(); n != 3 {
+		t.Fatalf("threads = %d, want 3", n)
+	}
+	l1, l2 := p.Info.LID("0.0"), p.Info.LID("0.1")
+	if l1 < 0 || l2 < 0 {
+		t.Fatal("worker paths missing")
+	}
+	// Worker 1: 10 hot + 1 local + lock + cold + unlock = 14 events.
+	if p.Info.Events[l1] != 14 {
+		t.Fatalf("worker1 events = %d, want 14", p.Info.Events[l1])
+	}
+	if p.Info.Events[l2] != 13 {
+		t.Fatalf("worker2 events = %d, want 13", p.Info.Events[l2])
+	}
+	root := p.Info.LID("0")
+	if p.Info.Events[root] != 2 {
+		t.Fatalf("root events = %d, want 2 joins", p.Info.Events[root])
+	}
+	if p.Info.TotalEvents != 14+13+2 {
+		t.Fatalf("total = %d", p.Info.TotalEvents)
+	}
+}
+
+func TestCensusObjects(t *testing.T) {
+	p := collect(t)
+	stats := map[string]ObjStat{}
+	for _, o := range p.Objs {
+		stats[o.Name] = o
+	}
+	if o := stats["hot"]; o.Accesses != 20 || o.Threads != 2 || o.Writes != 20 {
+		t.Fatalf("hot stats wrong: %+v", o)
+	}
+	if o := stats["cold"]; o.Accesses != 2 || o.Threads != 2 {
+		t.Fatalf("cold stats wrong: %+v", o)
+	}
+	if o := stats["local"]; o.Threads != 1 {
+		t.Fatalf("local stats wrong: %+v", o)
+	}
+	if o := stats["mu"]; o.Kind != sched.ObjMutex || o.Accesses != 4 {
+		t.Fatalf("mutex stats wrong: %+v", o)
+	}
+}
+
+func TestSelectSingleVarWeighted(t *testing.T) {
+	p := collect(t)
+	picks := map[string]int{}
+	for seed := int64(0); seed < 2000; seed++ {
+		sel, ok := p.SelectSingleVar(rand.New(rand.NewSource(seed)))
+		if !ok {
+			t.Fatal("no shared var found")
+		}
+		if len(sel.Objects) != 1 {
+			t.Fatalf("objects = %v", sel.Objects)
+		}
+		picks[sel.Objects[0]]++
+	}
+	if picks["local"] > 0 {
+		t.Fatal("thread-local var selected as shared")
+	}
+	// hot has 20 of the 22 shared accesses: expect ~91% of picks.
+	if picks["hot"] < 1600 {
+		t.Fatalf("hot picked only %d/2000 times", picks["hot"])
+	}
+	if picks["cold"] == 0 {
+		t.Fatal("cold never picked despite nonzero weight")
+	}
+}
+
+func TestInstantiateCounts(t *testing.T) {
+	p := collect(t)
+	sel := Selection{Desc: "hot", Objects: []string{"hot"}, Interesting: AccessTo("hot")}
+	info := p.Instantiate(sel)
+	l1, l2, root := info.LID("0.0"), info.LID("0.1"), info.LID("0")
+	if info.InterestingEvents[l1] != 10 || info.InterestingEvents[l2] != 10 {
+		t.Fatalf("interesting counts = %v", info.InterestingEvents)
+	}
+	if info.InterestingEvents[root] != 0 {
+		t.Fatal("root should have no interesting events")
+	}
+	if info.Interesting == nil || info.DeltaDesc != "hot" {
+		t.Fatal("selection not attached")
+	}
+	// The source profile must be untouched.
+	if p.Info.Interesting != nil {
+		t.Fatal("Instantiate mutated the profile")
+	}
+}
+
+func TestInstantiateAll(t *testing.T) {
+	p := collect(t)
+	info := p.Instantiate(p.SelectAll())
+	for i := range info.Events {
+		if info.InterestingEvents[i] != info.Events[i] {
+			t.Fatal("Δ=Γ counts must equal total counts")
+		}
+	}
+	if info.Interesting != nil {
+		t.Fatal("Δ=Γ must use a nil predicate")
+	}
+}
+
+func TestSelectLockEntrances(t *testing.T) {
+	p := collect(t)
+	sel, ok := p.SelectLockEntrances()
+	if !ok {
+		t.Fatal("no locks found")
+	}
+	lockEv := sched.Event{Kind: sched.OpLock, ObjHash: sched.HashName("mu")}
+	readEv := sched.Event{Kind: sched.OpRead, ObjHash: sched.HashName("hot")}
+	if !sel.Interesting(lockEv) || sel.Interesting(readEv) {
+		t.Fatal("lock-entrance predicate wrong")
+	}
+	info := p.Instantiate(sel)
+	l1 := info.LID("0.0")
+	if info.InterestingEvents[l1] != 1 {
+		t.Fatalf("worker1 lock count = %d, want 1", info.InterestingEvents[l1])
+	}
+}
+
+func TestSelectRegion(t *testing.T) {
+	p := collect(t)
+	sel, ok := p.SelectRegion(rand.New(rand.NewSource(5)), 21)
+	if !ok {
+		t.Fatal("no region found")
+	}
+	if len(sel.Objects) < 2 {
+		t.Fatalf("region too small for threshold: %v", sel.Objects)
+	}
+}
+
+func TestSURWWithProfiledCounts(t *testing.T) {
+	// End-to-end: profile, select hot var, run SURW; program is bug-free so
+	// every schedule must pass.
+	p := collect(t)
+	info := p.Instantiate(Selection{Desc: "hot", Interesting: AccessTo("hot")})
+	for seed := int64(0); seed < 30; seed++ {
+		res := sched.Run(prog, core.NewSURW(), sched.Options{Seed: seed, Info: info})
+		if res.Buggy() || res.Truncated {
+			t.Fatalf("seed %d: %v truncated=%v", seed, res.Failure, res.Truncated)
+		}
+	}
+}
+
+func TestCollectAveragesRuns(t *testing.T) {
+	p, err := Collect(prog, Options{Runs: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The program is schedule-independent in event counts, so averages must
+	// match a single run exactly.
+	if p.Info.TotalEvents != 29 {
+		t.Fatalf("averaged total = %d, want 29", p.Info.TotalEvents)
+	}
+}
+
+func TestCollectTruncationError(t *testing.T) {
+	spin := func(t *sched.Thread) {
+		for {
+			t.Yield()
+		}
+	}
+	if _, err := Collect(spin, Options{MaxSteps: 50}); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestSelectionEmptyProfile(t *testing.T) {
+	p, err := Collect(func(t *sched.Thread) {}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.SelectSingleVar(rand.New(rand.NewSource(1))); ok {
+		t.Fatal("single-var selection on empty profile should fail")
+	}
+	if _, ok := p.SelectRegion(rand.New(rand.NewSource(1)), 10); ok {
+		t.Fatal("region selection on empty profile should fail")
+	}
+	if _, ok := p.SelectLockEntrances(); ok {
+		t.Fatal("lock selection on empty profile should fail")
+	}
+}

@@ -1,0 +1,118 @@
+package progfuzz
+
+import (
+	"math/rand"
+	"testing"
+
+	"surw/internal/core"
+	"surw/internal/profile"
+	"surw/internal/sched"
+	"surw/internal/systematic"
+)
+
+// algorithms under robustness test.
+var algNames = []string{"SURW", "URW", "POS", "RAPOS", "PCT-3", "PCT-10", "RW", "N-U", "N-S"}
+
+func TestGeneratedProgramsAreDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		p1 := Gen(seed, Config{})
+		p2 := Gen(seed, Config{})
+		if p1.Threads() != p2.Threads() {
+			t.Fatalf("seed %d: generation nondeterministic", seed)
+		}
+		a := sched.Run(p1.Prog(), core.NewRandomWalk(), sched.Options{Seed: 7})
+		b := sched.Run(p2.Prog(), core.NewRandomWalk(), sched.Options{Seed: 7})
+		if a.InterleavingHash != b.InterleavingHash || a.Behavior != b.Behavior {
+			t.Fatalf("seed %d: runs diverged", seed)
+		}
+	}
+}
+
+// TestNoAlgorithmBreaksGeneratedPrograms is the core robustness sweep:
+// generated programs are deadlock-free and assertion-free, so any failure
+// or truncation is a framework bug.
+func TestNoAlgorithmBreaksGeneratedPrograms(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		p := Gen(seed, Config{})
+		prog := p.Prog()
+		prof, err := profile.Collect(prog, profile.Options{Seed: 999})
+		if err != nil {
+			t.Fatalf("gen %d: profiling truncated: %v", seed, err)
+		}
+		for _, name := range algNames {
+			alg, err := core.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var info *sched.ProgramInfo
+			switch name {
+			case "SURW", "N-U":
+				if sel, ok := prof.SelectSingleVar(newRng(seed)); ok {
+					info = prof.Instantiate(sel)
+				} else {
+					info = prof.Instantiate(prof.SelectAll())
+				}
+			case "URW", "N-S", "PCT-3", "PCT-10":
+				info = prof.Instantiate(prof.SelectAll())
+			}
+			for s := int64(0); s < 15; s++ {
+				r := sched.Run(prog, alg, sched.Options{Seed: s, Info: info, MaxSteps: 100_000})
+				if r.Buggy() {
+					t.Fatalf("gen %d, %s, seed %d: spurious failure %v", seed, name, s, r.Failure)
+				}
+				if r.Truncated {
+					t.Fatalf("gen %d, %s, seed %d: truncated", seed, name, s)
+				}
+			}
+		}
+	}
+}
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// TestSamplersWithinOracleSpace cross-checks random samplers against the
+// exhaustive oracle on tiny generated programs.
+func TestSamplersWithinOracleSpace(t *testing.T) {
+	checked := 0
+	for seed := int64(0); seed < 30 && checked < 5; seed++ {
+		p := Gen(seed, Config{MaxThreads: 3, MaxOps: 3, Vars: 2, Mutexes: 1})
+		prog := p.Prog()
+		oracle := systematic.Explore(prog, systematic.Options{MaxSchedules: 60_000})
+		if !oracle.Exhausted {
+			continue // too large; skip
+		}
+		checked++
+		for _, name := range []string{"RW", "POS", "RAPOS", "SURW"} {
+			alg, _ := core.New(name)
+			for s := int64(0); s < 200; s++ {
+				r := sched.Run(prog, alg, sched.Options{Seed: s})
+				if !oracle.Interleavings[r.InterleavingHash] {
+					t.Fatalf("gen %d: %s left the feasible space", seed, name)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no generated program was small enough for the oracle")
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	p := Gen(1, Config{MaxThreads: -1, MaxOps: 0, Vars: 0, Mutexes: 0, SpawnDepth: 0})
+	if p.Threads() < 1 {
+		t.Fatal("no root thread")
+	}
+	r := sched.Run(p.Prog(), core.NewRandomWalk(), sched.Options{Seed: 1})
+	if r.Buggy() {
+		t.Fatalf("normalized config program failed: %v", r.Failure)
+	}
+}
+
+func TestThreadBudgetRespected(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		p := Gen(seed, Config{MaxThreads: 3})
+		if p.Threads() > 3 {
+			t.Fatalf("seed %d: %d thread plans exceed the budget", seed, p.Threads())
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package race implements a vector-clock happens-before data-race detector
+// over recorded schedules, and closes the loop §6 of the paper sketches:
+// "dynamic analyses and SURW are complementary to each other, as they crave
+// for a diverse and representative sample of interleavings and in return
+// identify interesting events for SURW to target." Detect finds racy
+// variables in traces; SelectRacy turns them into the Δ selection SURW
+// consumes.
+//
+// The analysis is FastTrack-flavoured: each thread carries a vector clock,
+// lock releases publish clocks that acquisitions join (condition waits
+// release their mutex too — the mutex is recovered from the waiter's
+// subsequent wake-lock event), and variable accesses race when a
+// conflicting prior access is not happens-before ordered. Two documented
+// approximations err toward missing races rather than inventing them:
+// a child thread joins its parent's clock as of the parent's last event
+// before the child's first (the exact spawn point is not in the trace), and
+// join edges are not modelled (post-join reads in the root thread typically
+// use the event-free Peek and are invisible anyway).
+package race
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"surw/internal/core"
+	"surw/internal/profile"
+	"surw/internal/sched"
+)
+
+// Race is one detected data race on a shared variable.
+type Race struct {
+	// ObjHash identifies the variable (resolve names via a Profile).
+	ObjHash uint64
+	// Prior and Access are the two unordered conflicting events.
+	Prior, Access sched.Event
+}
+
+func (r Race) String() string {
+	return fmt.Sprintf("race on obj %x: %v vs %v", r.ObjHash, r.Prior, r.Access)
+}
+
+// vc is a dense vector clock indexed by TID.
+type vc []int
+
+func (v vc) get(tid int) int {
+	if tid < len(v) {
+		return v[tid]
+	}
+	return 0
+}
+
+func (v *vc) set(tid, val int) {
+	for len(*v) <= tid {
+		*v = append(*v, 0)
+	}
+	(*v)[tid] = val
+}
+
+func (v *vc) join(o vc) {
+	for tid, c := range o {
+		if c > v.get(tid) {
+			v.set(tid, c)
+		}
+	}
+}
+
+func (v vc) clone() vc { return append(vc(nil), v...) }
+
+// epoch is a scalar clock stamp of one thread.
+type epoch struct {
+	tid int
+	clk int
+}
+
+func (e epoch) before(v vc) bool { return e.clk <= v.get(e.tid) && e.clk > 0 }
+
+type varState struct {
+	lastWrite  epoch
+	lastWriteE sched.Event
+	readers    map[int]epoch
+	readerEvs  map[int]sched.Event
+}
+
+// Detect analyzes one recorded trace (sched.Options.RecordTrace) and
+// returns the data races found, at most one per variable. paths is the
+// run's Result.ThreadPaths, used to wire parent-to-child spawn edges; a
+// nil paths falls back to joining every earlier thread's clock at a new
+// thread's first event (coarser: masks more).
+func Detect(trace []sched.Event, paths []string) []Race {
+	parentTID := map[int]int{}
+	if paths != nil {
+		byPath := map[string]int{}
+		for tid, p := range paths {
+			byPath[p] = tid
+		}
+		for tid, p := range paths {
+			if i := strings.LastIndexByte(p, '.'); i >= 0 {
+				if pt, ok := byPath[p[:i]]; ok {
+					parentTID[tid] = pt
+				}
+			}
+		}
+	}
+	clocks := map[int]vc{}           // per thread
+	released := map[sched.ObjID]vc{} // per lock: published clock
+	vars := map[sched.ObjID]*varState{}
+	firstSeen := map[int]bool{}
+	reported := map[uint64]bool{}
+	var races []Race
+
+	// Pre-pass: recover the mutex a cond wait releases from the waiter's
+	// next wake-lock event.
+	waitMutex := make(map[int]sched.ObjID) // trace index of OpWait -> mutex
+	for i, ev := range trace {
+		if ev.Kind != sched.OpWait {
+			continue
+		}
+		for j := i + 1; j < len(trace); j++ {
+			if trace[j].TID == ev.TID {
+				if trace[j].Kind == sched.OpWakeLock {
+					waitMutex[i] = trace[j].Obj
+				}
+				break
+			}
+		}
+	}
+
+	clockOf := func(tid int) vc {
+		c, ok := clocks[tid]
+		if !ok {
+			c = vc{}
+			clocks[tid] = c
+		}
+		return c
+	}
+
+	for i, ev := range trace {
+		t := ev.TID
+		c := clockOf(t)
+		if !firstSeen[t] {
+			firstSeen[t] = true
+			if pt, ok := parentTID[t]; ok {
+				// Spawn edge: the parent's events so far precede this
+				// thread's creation (approximately: up to the parent's
+				// last event before this one).
+				c.join(clocks[pt])
+			} else if paths == nil {
+				for other := range clocks {
+					if other != t {
+						c.join(clocks[other])
+					}
+				}
+			}
+		}
+		c.set(t, c.get(t)+1)
+		clocks[t] = c
+
+		switch ev.Kind {
+		case sched.OpLock, sched.OpWakeLock, sched.OpRLock, sched.OpSemP:
+			if rel, ok := released[ev.Obj]; ok {
+				c.join(rel)
+				clocks[t] = c
+			}
+		case sched.OpUnlock, sched.OpRUnlock, sched.OpSemV:
+			released[ev.Obj] = mergedRelease(released[ev.Obj], c)
+		case sched.OpWait:
+			if m, ok := waitMutex[i]; ok {
+				released[m] = mergedRelease(released[m], c)
+			}
+		case sched.OpRead, sched.OpWrite, sched.OpRMW:
+			vs, ok := vars[ev.Obj]
+			if !ok {
+				vs = &varState{readers: map[int]epoch{}, readerEvs: map[int]sched.Event{}}
+				vars[ev.Obj] = vs
+			}
+			// Write-write and write-read checks against the last write.
+			if vs.lastWrite.clk > 0 && vs.lastWrite.tid != t && !vs.lastWrite.before(c) {
+				races = report(races, reported, Race{ObjHash: ev.ObjHash, Prior: vs.lastWriteE, Access: ev})
+			}
+			if ev.Kind.IsWrite() {
+				// Read-write checks against every unordered reader.
+				for rt, re := range vs.readers {
+					if rt != t && !re.before(c) {
+						races = report(races, reported, Race{ObjHash: ev.ObjHash, Prior: vs.readerEvs[rt], Access: ev})
+					}
+				}
+				vs.lastWrite = epoch{tid: t, clk: c.get(t)}
+				vs.lastWriteE = ev
+				vs.readers = map[int]epoch{}
+				vs.readerEvs = map[int]sched.Event{}
+			} else {
+				vs.readers[t] = epoch{tid: t, clk: c.get(t)}
+				vs.readerEvs[t] = ev
+			}
+		}
+	}
+	return races
+}
+
+func mergedRelease(prev, cur vc) vc {
+	out := cur.clone()
+	out.join(prev)
+	return out
+}
+
+func report(races []Race, seen map[uint64]bool, r Race) []Race {
+	if seen[r.ObjHash] {
+		return races
+	}
+	seen[r.ObjHash] = true
+	return append(races, r)
+}
+
+// RacyObjects aggregates the racy variable hashes across recorded runs.
+func RacyObjects(results []*sched.Result) map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, res := range results {
+		for _, r := range Detect(res.Trace, res.ThreadPaths) {
+			out[r.ObjHash] = true
+		}
+	}
+	return out
+}
+
+// SelectRacy samples `runs` random-walk schedules of prog, race-detects
+// their traces, and returns the Δ selection "all accesses to the racy
+// variables" with names resolved through the profile's census — the
+// §6 feedback loop from dynamic analysis into SURW. ok is false when no
+// race was observed.
+func SelectRacy(p *profile.Profile, prog func(*sched.Thread), runs int, seed int64, maxSteps int) (profile.Selection, bool) {
+	if runs <= 0 {
+		runs = 5
+	}
+	alg := core.NewRandomWalk()
+	racy := map[uint64]bool{}
+	for i := 0; i < runs; i++ {
+		res := sched.Run(prog, alg, sched.Options{
+			Seed: seed + int64(i), MaxSteps: maxSteps, RecordTrace: true,
+		})
+		for _, r := range Detect(res.Trace, res.ThreadPaths) {
+			racy[r.ObjHash] = true
+		}
+	}
+	if len(racy) == 0 {
+		return profile.Selection{}, false
+	}
+	var names []string
+	for _, o := range p.Objs {
+		if racy[o.Hash] {
+			names = append(names, o.Name)
+		}
+	}
+	if len(names) == 0 {
+		return profile.Selection{}, false
+	}
+	sort.Strings(names)
+	return profile.Selection{
+		Desc:        fmt.Sprintf("accesses to racy vars {%s}", strings.Join(names, ", ")),
+		Objects:     names,
+		Interesting: profile.AccessTo(names...),
+	}, true
+}

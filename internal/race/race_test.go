@@ -1,0 +1,248 @@
+package race
+
+import (
+	"strings"
+	"testing"
+
+	"surw/internal/core"
+	"surw/internal/profile"
+	"surw/internal/sched"
+)
+
+// traceOf runs prog under a random walk and returns the recorded trace.
+func traceOf(prog func(*sched.Thread), seed int64) *sched.Result {
+	return sched.Run(prog, core.NewRandomWalk(), sched.Options{Seed: seed, RecordTrace: true})
+}
+
+func racyProg(t *sched.Thread) {
+	x := t.NewVar("x", 0)
+	h1 := t.Go(func(w *sched.Thread) { x.Store(w, 1) })
+	h2 := t.Go(func(w *sched.Thread) { x.Store(w, 2) })
+	t.Join(h1)
+	t.Join(h2)
+}
+
+func lockedProg(t *sched.Thread) {
+	m := t.NewMutex("m")
+	x := t.NewVar("x", 0)
+	body := func(w *sched.Thread) {
+		m.Lock(w)
+		x.Add(w, 1)
+		m.Unlock(w)
+	}
+	h1, h2 := t.Go(body), t.Go(body)
+	t.Join(h1)
+	t.Join(h2)
+}
+
+func TestDetectsWriteWriteRace(t *testing.T) {
+	found := false
+	for seed := int64(0); seed < 20 && !found; seed++ {
+		res := traceOf(racyProg, seed)
+		if len(Detect(res.Trace, res.ThreadPaths)) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("write-write race never detected")
+	}
+}
+
+func TestNoFalsePositiveUnderLock(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		res := traceOf(lockedProg, seed)
+		if races := Detect(res.Trace, res.ThreadPaths); len(races) > 0 {
+			t.Fatalf("seed %d: false race %v", seed, races[0])
+		}
+	}
+}
+
+func TestNoFalsePositiveThroughCond(t *testing.T) {
+	// The producer-consumer handshake orders the accesses through the
+	// mutex+cond; the wait's release edge (recovered via the wake-lock
+	// pre-pass) must prevent a false positive on the data variable.
+	prog := func(t *sched.Thread) {
+		m := t.NewMutex("m")
+		c := t.NewCond("c", m)
+		ready := t.NewVar("ready", 0)
+		data := t.NewVar("data", 0)
+		cons := t.Go(func(w *sched.Thread) {
+			m.Lock(w)
+			for ready.Load(w) == 0 {
+				c.Wait(w)
+			}
+			m.Unlock(w)
+			data.Load(w) // ordered after the producer's store via the cond
+		})
+		data.Store(t, 42)
+		m.Lock(t)
+		ready.Store(t, 1)
+		c.Signal(t)
+		m.Unlock(t)
+		t.Join(cons)
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		res := traceOf(prog, seed)
+		for _, r := range Detect(res.Trace, res.ThreadPaths) {
+			if r.ObjHash == sched.HashName("data") {
+				t.Fatalf("seed %d: false race on cond-ordered data: %v", seed, r)
+			}
+		}
+	}
+}
+
+func TestSpawnEdgePreventsParentChildFalsePositive(t *testing.T) {
+	// The parent writes before spawning; the child reads. Program order
+	// through the spawn must not be flagged.
+	prog := func(t *sched.Thread) {
+		x := t.NewVar("x", 0)
+		x.Store(t, 1)
+		h := t.Go(func(w *sched.Thread) { x.Load(w) })
+		t.Join(h)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		res := traceOf(prog, seed)
+		if races := Detect(res.Trace, res.ThreadPaths); len(races) > 0 {
+			t.Fatalf("seed %d: spawn-ordered access flagged: %v", seed, races[0])
+		}
+	}
+}
+
+func TestReadReadNotARace(t *testing.T) {
+	prog := func(t *sched.Thread) {
+		x := t.NewVar("x", 7)
+		h1 := t.Go(func(w *sched.Thread) { x.Load(w) })
+		h2 := t.Go(func(w *sched.Thread) { x.Load(w) })
+		t.Join(h1)
+		t.Join(h2)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		res := traceOf(prog, seed)
+		if races := Detect(res.Trace, res.ThreadPaths); len(races) > 0 {
+			t.Fatalf("seed %d: read-read flagged: %v", seed, races[0])
+		}
+	}
+}
+
+func TestSemaphoreOrdersAccesses(t *testing.T) {
+	// V/P carries a happens-before edge like a lock release/acquire.
+	prog := func(t *sched.Thread) {
+		s := t.NewSemaphore("s", 0)
+		data := t.NewVar("data", 0)
+		h := t.Go(func(w *sched.Thread) {
+			s.P(w)
+			data.Load(w)
+		})
+		data.Store(t, 1)
+		s.V(t)
+		t.Join(h)
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		res := traceOf(prog, seed)
+		if races := Detect(res.Trace, res.ThreadPaths); len(races) > 0 {
+			t.Fatalf("seed %d: semaphore-ordered access flagged: %v", seed, races[0])
+		}
+	}
+}
+
+func TestRacyObjectsAggregates(t *testing.T) {
+	var results []*sched.Result
+	for seed := int64(0); seed < 10; seed++ {
+		results = append(results, traceOf(racyProg, seed))
+	}
+	racy := RacyObjects(results)
+	if !racy[sched.HashName("x")] {
+		t.Fatal("aggregated racy set missed x")
+	}
+}
+
+func TestSelectRacyFeedsDelta(t *testing.T) {
+	// The §6 loop: races found on wronglock's data variable become the Δ
+	// selection, and SURW with that Δ finds the bug quickly.
+	wronglock := func(t *sched.Thread) {
+		lockA := t.NewMutex("A")
+		lockB := t.NewMutex("B")
+		data := t.NewVar("data", 0)
+		quiet := t.NewVar("quiet", 0) // lock-protected everywhere: not racy
+		w1 := t.Go(func(w *sched.Thread) {
+			lockA.Lock(w)
+			data.Add(w, 1)
+			quiet.Add(w, 1)
+			lockA.Unlock(w)
+		})
+		r1 := t.Go(func(w *sched.Thread) {
+			lockB.Lock(w) // wrong lock for data
+			before := data.Load(w)
+			after := data.Load(w)
+			lockB.Unlock(w)
+			w.Assert(before == after, "dirty-read")
+		})
+		t.Join(w1)
+		t.Join(r1)
+	}
+	prof, err := profile.Collect(wronglock, profile.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := SelectRacy(prof, wronglock, 10, 3, 0)
+	if !ok {
+		t.Fatal("no races found for Δ selection")
+	}
+	if !strings.Contains(sel.Desc, "data") {
+		t.Fatalf("Δ should name the racy var: %q", sel.Desc)
+	}
+	for _, name := range sel.Objects {
+		if name == "quiet" {
+			t.Fatal("consistently locked var must not be selected")
+		}
+	}
+	info := prof.Instantiate(sel)
+	found := false
+	for seed := int64(0); seed < 300 && !found; seed++ {
+		r := sched.Run(wronglock, core.NewSURW(), sched.Options{Seed: seed, Info: info})
+		found = r.Buggy()
+	}
+	if !found {
+		t.Fatal("SURW with race-derived Δ missed the bug")
+	}
+}
+
+func TestSelectRacyNoRaces(t *testing.T) {
+	prof, err := profile.Collect(lockedProg, profile.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := SelectRacy(prof, lockedProg, 10, 1, 0); ok {
+		t.Fatal("race-free program yielded a racy Δ")
+	}
+}
+
+func TestVectorClockPrimitives(t *testing.T) {
+	var v vc
+	v.set(3, 5)
+	if v.get(3) != 5 || v.get(7) != 0 {
+		t.Fatal("set/get wrong")
+	}
+	var o vc
+	o.set(1, 2)
+	o.set(3, 1)
+	v.join(o)
+	if v.get(1) != 2 || v.get(3) != 5 {
+		t.Fatal("join wrong")
+	}
+	e := epoch{tid: 3, clk: 5}
+	if !e.before(v) {
+		t.Fatal("epoch.before wrong")
+	}
+	if (epoch{tid: 3, clk: 6}).before(v) {
+		t.Fatal("future epoch claims ordered")
+	}
+	if (epoch{}).before(v) {
+		t.Fatal("zero epoch must not be before anything")
+	}
+	c := v.clone()
+	c.set(3, 99)
+	if v.get(3) == 99 {
+		t.Fatal("clone aliases")
+	}
+}

@@ -1,0 +1,222 @@
+// Package replay records, replays, and minimizes schedules. A Recording
+// captures the choice an algorithm made at every consulted decision point
+// (single-enabled steps need no choice and are omitted); replaying a
+// recording reproduces the schedule exactly on the same deterministic
+// program. Minimize shrinks a failing recording by removing preemptive
+// context switches while preserving the failure — the paper's replayable-
+// schedule property turned into a debugging aid.
+package replay
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"surw/internal/sched"
+)
+
+// Recording is the sequence of choices (indices into the enabled set) at
+// each consulted decision.
+type Recording struct {
+	Choices []int
+}
+
+// String serializes the recording compactly ("3:0,2,1,...").
+func (r Recording) String() string {
+	parts := make([]string, len(r.Choices))
+	for i, c := range r.Choices {
+		parts[i] = strconv.Itoa(c)
+	}
+	return strconv.Itoa(len(r.Choices)) + ":" + strings.Join(parts, ",")
+}
+
+// Parse deserializes a Recording produced by String.
+func Parse(s string) (Recording, error) {
+	head, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return Recording{}, fmt.Errorf("replay: missing length prefix in %q", s)
+	}
+	n, err := strconv.Atoi(head)
+	if err != nil {
+		return Recording{}, fmt.Errorf("replay: bad length in %q: %v", s, err)
+	}
+	if n == 0 && rest == "" {
+		return Recording{}, nil
+	}
+	parts := strings.Split(rest, ",")
+	if len(parts) != n {
+		return Recording{}, fmt.Errorf("replay: length %d != %d entries", n, len(parts))
+	}
+	rec := Recording{Choices: make([]int, n)}
+	for i, p := range parts {
+		c, err := strconv.Atoi(p)
+		if err != nil || c < 0 {
+			return Recording{}, fmt.Errorf("replay: bad choice %q", p)
+		}
+		rec.Choices[i] = c
+	}
+	return rec, nil
+}
+
+// Recorder wraps an algorithm and records its choices.
+type Recorder struct {
+	Inner   sched.Algorithm
+	choices []int
+}
+
+// NewRecorder wraps inner.
+func NewRecorder(inner sched.Algorithm) *Recorder { return &Recorder{Inner: inner} }
+
+// Name implements sched.Algorithm.
+func (r *Recorder) Name() string { return "record(" + r.Inner.Name() + ")" }
+
+// Begin implements sched.Algorithm.
+func (r *Recorder) Begin(info *sched.ProgramInfo, rng *rand.Rand) {
+	r.choices = r.choices[:0]
+	r.Inner.Begin(info, rng)
+}
+
+// Next implements sched.Algorithm.
+func (r *Recorder) Next(st *sched.State) sched.ThreadID {
+	tid := r.Inner.Next(st)
+	idx := 0
+	for i, e := range st.Enabled() {
+		if e == tid {
+			idx = i
+			break
+		}
+	}
+	r.choices = append(r.choices, idx)
+	return tid
+}
+
+// Observe implements sched.Algorithm.
+func (r *Recorder) Observe(ev sched.Event, st *sched.State) { r.Inner.Observe(ev, st) }
+
+// ObserveSpawn forwards spawn notifications when the inner algorithm wants
+// them.
+func (r *Recorder) ObserveSpawn(parent, child sched.ThreadID, st *sched.State) {
+	if so, ok := r.Inner.(sched.SpawnObserver); ok {
+		so.ObserveSpawn(parent, child, st)
+	}
+}
+
+// Recording returns the choices of the last completed schedule.
+func (r *Recorder) Recording() Recording {
+	return Recording{Choices: append([]int(nil), r.choices...)}
+}
+
+// Player replays a Recording; past its end (or on an out-of-range choice,
+// which cannot happen on the deterministic program that produced it) it
+// continues non-preemptively.
+type Player struct {
+	Rec  Recording
+	step int
+	prev sched.ThreadID
+}
+
+// NewPlayer replays rec.
+func NewPlayer(rec Recording) *Player { return &Player{Rec: rec} }
+
+// Name implements sched.Algorithm.
+func (p *Player) Name() string { return "replay" }
+
+// Begin implements sched.Algorithm.
+func (p *Player) Begin(*sched.ProgramInfo, *rand.Rand) {
+	p.step = 0
+	p.prev = -1
+}
+
+// Next implements sched.Algorithm.
+func (p *Player) Next(st *sched.State) sched.ThreadID {
+	e := st.Enabled()
+	idx := -1
+	if p.step < len(p.Rec.Choices) && p.Rec.Choices[p.step] < len(e) {
+		idx = p.Rec.Choices[p.step]
+	}
+	p.step++
+	if idx < 0 {
+		for i, tid := range e {
+			if tid == p.prev {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			idx = 0
+		}
+	}
+	return e[idx]
+}
+
+// Observe implements sched.Algorithm.
+func (p *Player) Observe(ev sched.Event, _ *sched.State) { p.prev = ev.TID }
+
+// Record runs one schedule of prog under alg with recording enabled and
+// returns the result with its recording.
+func Record(prog func(*sched.Thread), alg sched.Algorithm, opts sched.Options) (*sched.Result, Recording) {
+	rec := NewRecorder(alg)
+	res := sched.Run(prog, rec, opts)
+	return res, rec.Recording()
+}
+
+// Replay re-executes a recording and returns its result. opts.Seed is
+// irrelevant (the player consumes no randomness); ProgSeed and MaxSteps
+// must match the recording run.
+func Replay(prog func(*sched.Thread), rec Recording, opts sched.Options) *sched.Result {
+	return sched.Run(prog, NewPlayer(rec), opts)
+}
+
+// Minimize greedily simplifies a failing recording while preserving its
+// bug ID: for each decision, it tries replacing the recorded choice with
+// the non-preemptive one (marked by dropping the entry and every later
+// one, letting the player's continuation take over) and with choice 0,
+// keeping any change under which the failure persists. The result
+// typically has far fewer preemptions, making the failing interleaving
+// readable. maxAttempts bounds replay executions (0 = 10,000).
+func Minimize(prog func(*sched.Thread), rec Recording, bugID string, opts sched.Options, maxAttempts int) (Recording, int) {
+	if maxAttempts <= 0 {
+		maxAttempts = 10_000
+	}
+	attempts := 0
+	fails := func(r Recording) bool {
+		if attempts >= maxAttempts {
+			return false
+		}
+		attempts++
+		res := Replay(prog, r, opts)
+		return res.Buggy() && res.Failure.BugID == bugID
+	}
+	cur := Recording{Choices: append([]int(nil), rec.Choices...)}
+
+	// Pass 1: truncate the tail — everything after the failure is noise,
+	// and often the bug still fires with the continuation policy replacing
+	// the last recorded choices.
+	lo, hi := 0, len(cur.Choices)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if fails(Recording{Choices: cur.Choices[:mid]}) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo < len(cur.Choices) && fails(Recording{Choices: cur.Choices[:lo]}) {
+		cur.Choices = append([]int(nil), cur.Choices[:lo]...)
+	}
+
+	// Pass 2: flatten individual choices to 0 (the least-preemptive
+	// deterministic option) where the failure persists.
+	for i := range cur.Choices {
+		if cur.Choices[i] == 0 {
+			continue
+		}
+		old := cur.Choices[i]
+		cur.Choices[i] = 0
+		if !fails(cur) {
+			cur.Choices[i] = old
+		}
+	}
+	return cur, attempts
+}

@@ -1,0 +1,191 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+
+	"surw/internal/core"
+	"surw/internal/sched"
+)
+
+// torn is a program whose assert fails when the two writes of the setter
+// are split by the checker.
+func torn(t *sched.Thread) {
+	a := t.NewVar("a", 0)
+	b := t.NewVar("b", 0)
+	set := t.Go(func(w *sched.Thread) {
+		a.Store(w, 1)
+		b.Store(w, 1)
+	})
+	chk := t.Go(func(w *sched.Thread) {
+		av, bv := a.Load(w), b.Load(w)
+		w.Assert(!(av == 1 && bv == 0), "torn")
+	})
+	t.Join(set)
+	t.Join(chk)
+}
+
+// findFailure records schedules until one fails.
+func findFailure(t *testing.T) (Recording, *sched.Result) {
+	t.Helper()
+	for seed := int64(0); seed < 500; seed++ {
+		res, rec := Record(torn, core.NewRandomWalk(), sched.Options{Seed: seed})
+		if res.Buggy() {
+			return rec, res
+		}
+	}
+	t.Fatal("no failing schedule found")
+	return Recording{}, nil
+}
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	rec, orig := findFailure(t)
+	res := Replay(torn, rec, sched.Options{})
+	if !res.Buggy() || res.Failure.BugID != orig.Failure.BugID {
+		t.Fatalf("replay diverged: %+v vs %+v", res.Failure, orig.Failure)
+	}
+	if res.InterleavingHash != orig.InterleavingHash {
+		t.Fatal("replayed interleaving differs from the recorded one")
+	}
+}
+
+func TestRecordingsOfCleanRunsReplayCleanly(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		res, rec := Record(torn, core.NewRandomWalk(), sched.Options{Seed: seed})
+		if res.Buggy() {
+			continue
+		}
+		again := Replay(torn, rec, sched.Options{})
+		if again.InterleavingHash != res.InterleavingHash {
+			t.Fatalf("seed %d: clean replay diverged", seed)
+		}
+	}
+}
+
+func TestSerializeParseRoundTrip(t *testing.T) {
+	for _, rec := range []Recording{
+		{},
+		{Choices: []int{0}},
+		{Choices: []int{3, 0, 2, 1, 1}},
+	} {
+		s := rec.String()
+		back, err := Parse(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if len(back.Choices) != len(rec.Choices) {
+			t.Fatalf("%q: round trip lost entries", s)
+		}
+		for i := range rec.Choices {
+			if back.Choices[i] != rec.Choices[i] {
+				t.Fatalf("%q: entry %d differs", s, i)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "abc", "2:1", "1:x", "1:-2", "nope"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestMinimizePreservesBug(t *testing.T) {
+	rec, orig := findFailure(t)
+	min, attempts := Minimize(torn, rec, orig.Failure.BugID, sched.Options{}, 0)
+	if attempts == 0 {
+		t.Fatal("no minimization attempts made")
+	}
+	res := Replay(torn, min, sched.Options{})
+	if !res.Buggy() || res.Failure.BugID != orig.Failure.BugID {
+		t.Fatalf("minimized recording lost the bug: %+v", res.Failure)
+	}
+	if len(min.Choices) > len(rec.Choices) {
+		t.Fatal("minimization grew the recording")
+	}
+}
+
+func TestMinimizeShrinksNoisyRecording(t *testing.T) {
+	// A noisy program: the failing schedule found by RW carries many
+	// irrelevant choices that minimization should flatten.
+	noisy := func(t *sched.Thread) {
+		x := t.NewVar("x", 0)
+		noise := t.NewVar("noise", 0)
+		set := t.Go(func(w *sched.Thread) {
+			for i := 0; i < 5; i++ {
+				noise.Add(w, 1)
+			}
+			x.Store(w, 1)
+			x.Store(w, 2)
+		})
+		chk := t.Go(func(w *sched.Thread) {
+			for i := 0; i < 5; i++ {
+				noise.Add(w, 1)
+			}
+			w.Assert(x.Load(w) != 1, "mid-write")
+		})
+		t.Join(set)
+		t.Join(chk)
+	}
+	var rec Recording
+	var bugID string
+	found := false
+	for seed := int64(0); seed < 2000 && !found; seed++ {
+		res, r := Record(noisy, core.NewRandomWalk(), sched.Options{Seed: seed})
+		if res.Buggy() {
+			rec, bugID, found = r, res.Failure.BugID, true
+		}
+	}
+	if !found {
+		t.Fatal("bug not found")
+	}
+	min, _ := Minimize(noisy, rec, bugID, sched.Options{}, 0)
+	nonZero := 0
+	for _, c := range min.Choices {
+		if c != 0 {
+			nonZero++
+		}
+	}
+	origNonZero := 0
+	for _, c := range rec.Choices {
+		if c != 0 {
+			origNonZero++
+		}
+	}
+	if nonZero > origNonZero {
+		t.Fatalf("minimization increased non-default choices: %d > %d", nonZero, origNonZero)
+	}
+	if !strings.Contains(min.String(), ":") {
+		t.Fatal("serialization broken")
+	}
+}
+
+func TestRecorderForwardsSpawnObserver(t *testing.T) {
+	// SURW behind a Recorder must behave identically to bare SURW (the
+	// recorder forwards Begin/Observe/ObserveSpawn), so equal seeds give
+	// equal interleavings.
+	info := sched.NewProgramInfo()
+	info.AddThread("0", "")
+	for i := 0; i < 2; i++ {
+		l := info.AddThread("0."+string(rune('0'+i)), "0")
+		info.Events[l] = 3
+		info.InterestingEvents[l] = 3
+	}
+	info.TotalEvents = 6
+	prog := func(t *sched.Thread) {
+		x := t.NewVar("x", 0)
+		h1 := t.Go(func(w *sched.Thread) { x.Add(w, 1); x.Add(w, 1); x.Add(w, 1) })
+		h2 := t.Go(func(w *sched.Thread) { x.Add(w, 1); x.Add(w, 1); x.Add(w, 1) })
+		t.Join(h1)
+		t.Join(h2)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		bare := sched.Run(prog, core.NewSURW(), sched.Options{Seed: seed, Info: info})
+		wrapped, _ := Record(prog, core.NewSURW(), sched.Options{Seed: seed, Info: info})
+		if bare.InterleavingHash != wrapped.InterleavingHash {
+			t.Fatalf("seed %d: recorder perturbed SURW", seed)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package report renders the evaluation's tables and figures as aligned
+// text tables, CSV, and ASCII charts, so every artifact the paper presents
+// can be regenerated on a terminal and archived as plain files.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Header  []string
+	Rows    [][]string
+	Footers []string
+}
+
+// NewTable creates a table with the given title and column names.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; short rows are padded.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddFooter appends a note rendered under the table.
+func (t *Table) AddFooter(note string) { t.Footers = append(t.Footers, note) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i == 0 {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = fmt.Sprintf("%*s", widths[i], c)
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, f := range t.Footers {
+		fmt.Fprintf(w, "%s\n", f)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// MeanStd formats the paper's "mean ± std" cells; missing results ("—" in
+// the paper) render as "-" and partially missing ones carry "*".
+func MeanStd(mean, std float64, found, sessions int) string {
+	if found == 0 {
+		return "-"
+	}
+	cell := fmt.Sprintf("%.0f ± %.0f", mean, std)
+	if found < sessions {
+		cell += "*"
+	}
+	return cell
+}
+
+// Histogram renders counts as an ASCII bar chart with keys sorted
+// ascending. maxBar is the widest bar in characters.
+func Histogram(title string, counts map[string]int, maxBar int) string {
+	keys := make([]string, 0, len(counts))
+	peak := 0
+	for k, v := range counts {
+		keys = append(keys, k)
+		if v > peak {
+			peak = v
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if peak == 0 {
+		return b.String()
+	}
+	keyW := 0
+	for _, k := range keys {
+		if len(k) > keyW {
+			keyW = len(k)
+		}
+	}
+	for _, k := range keys {
+		n := counts[k] * maxBar / peak
+		fmt.Fprintf(&b, "%*s |%s %d\n", keyW, k, strings.Repeat("#", n), counts[k])
+	}
+	return b.String()
+}
+
+// Series is one named curve of a Curves chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Curves renders multiple series as an ASCII scatter chart of the given
+// size (paper figures 5a/5b are line charts; dots carry the same shape).
+func Curves(title string, series []Series, width, height int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(series) == 0 || width < 8 || height < 4 {
+		return b.String()
+	}
+	maxX, maxY := 0.0, 0.0
+	for _, s := range series {
+		for i := range s.X {
+			if s.X[i] > maxX {
+				maxX = s.X[i]
+			}
+			if s.Y[i] > maxY {
+				maxY = s.Y[i]
+			}
+		}
+	}
+	if maxX == 0 || maxY == 0 {
+		return b.String()
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "*o+x#@%&"
+	for si, s := range series {
+		m := marks[si%len(marks)]
+		for i := range s.X {
+			c := int(s.X[i] / maxX * float64(width-1))
+			r := height - 1 - int(s.Y[i]/maxY*float64(height-1))
+			if r >= 0 && r < height && c >= 0 && c < width {
+				grid[r][c] = m
+			}
+		}
+	}
+	fmt.Fprintf(&b, "y max = %.0f\n", maxY)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "|%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "+%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, " x max = %.0f\n", maxX)
+	for si, s := range series {
+		fmt.Fprintf(&b, " %c = %s\n", marks[si%len(marks)], s.Name)
+	}
+	return b.String()
+}

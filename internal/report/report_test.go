@@ -1,0 +1,91 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "Target", "SURW", "RW")
+	tb.AddRow("CS/reorder_10", "17 ± 11", "-")
+	tb.AddRow("CS/stack", "5 ± 3", "176 ± 136")
+	tb.AddFooter("- means never found")
+	out := tb.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "CS/reorder_10") {
+		t.Fatalf("missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Header and rows align on column starts.
+	if !strings.HasPrefix(lines[1], "Target") {
+		t.Fatalf("header line wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[5], "never found") {
+		t.Fatalf("footer missing: %q", lines[5])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`x,y`, `q"z`)
+	csv := tb.CSV()
+	want := "a,b\n\"x,y\",\"q\"\"z\"\n"
+	if csv != want {
+		t.Fatalf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")
+	if out := tb.String(); !strings.Contains(out, "only") {
+		t.Fatalf("short row lost: %s", out)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	if got := MeanStd(368921, 329371, 20, 20); got != "368921 ± 329371" {
+		t.Fatalf("got %q", got)
+	}
+	if got := MeanStd(100, 5, 15, 20); got != "100 ± 5*" {
+		t.Fatalf("partial sessions: %q", got)
+	}
+	if got := MeanStd(0, 0, 0, 20); got != "-" {
+		t.Fatalf("never found: %q", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram("Fig", map[string]int{"a": 4, "b": 2, "c": 0}, 8)
+	if !strings.Contains(h, "a |######## 4") {
+		t.Fatalf("peak bar wrong:\n%s", h)
+	}
+	if !strings.Contains(h, "b |#### 2") {
+		t.Fatalf("half bar wrong:\n%s", h)
+	}
+	if Histogram("empty", nil, 8) == "" {
+		t.Fatal("title lost on empty histogram")
+	}
+}
+
+func TestCurves(t *testing.T) {
+	s := []Series{
+		{Name: "SURW", X: []float64{0, 50, 100}, Y: []float64{0, 70, 100}},
+		{Name: "RW", X: []float64{0, 50, 100}, Y: []float64{0, 30, 50}},
+	}
+	out := Curves("Figure 5a", s, 40, 10)
+	if !strings.Contains(out, "Figure 5a") || !strings.Contains(out, "* = SURW") {
+		t.Fatalf("curves missing parts:\n%s", out)
+	}
+	if !strings.Contains(out, "x max = 100") || !strings.Contains(out, "y max = 100") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+	if out := Curves("tiny", s, 2, 2); !strings.Contains(out, "tiny") {
+		t.Fatal("degenerate size should still emit title")
+	}
+	if out := Curves("none", nil, 40, 10); !strings.Contains(out, "none") {
+		t.Fatal("empty series should still emit title")
+	}
+}

@@ -1,0 +1,342 @@
+// Package runner drives the paper's experimental methodology: for a target
+// program and an algorithm it runs sessions of up to a fixed number of
+// schedules, profiles once per session for the algorithms that need count
+// estimates, re-draws the interesting-event subset Δ per schedule (the
+// paper's SCTBench/ConVul instantiation), and records schedules-to-first-
+// bug, distinct bugs, and interleaving/behaviour coverage.
+package runner
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"surw/internal/core"
+	"surw/internal/profile"
+	"surw/internal/sched"
+	"surw/internal/stats"
+)
+
+// Target describes a program under test.
+type Target struct {
+	// Name identifies the target in reports ("CS/reorder_10", ...).
+	Name string
+	// Prog is the root thread body. It must be re-runnable: all shared
+	// state is created inside it through the sched API.
+	Prog func(*sched.Thread)
+	// MaxSteps bounds each schedule (0 = sched.DefaultMaxSteps).
+	MaxSteps int
+	// ProgSeed fixes the program-input randomness for all schedules.
+	ProgSeed int64
+	// Select overrides the per-schedule Δ choice for SURW/N-U; nil uses the
+	// paper's default, a single shared variable drawn with probability
+	// proportional to its access count. Returning ok=false falls back to
+	// Δ = Γ for that schedule.
+	Select func(p *profile.Profile, rng *rand.Rand) (profile.Selection, bool)
+	// TraceFilter restricts which events form the interleaving fingerprint
+	// for coverage studies (nil = all events).
+	TraceFilter func(sched.Event) bool
+}
+
+// Config controls a batch of sessions.
+type Config struct {
+	// Sessions is the number of independent sessions (paper: 20).
+	Sessions int
+	// Limit is the schedule budget per session (paper: 10^4).
+	Limit int
+	// Seed derives all session and schedule seeds.
+	Seed int64
+	// StopAtFirstBug ends a session at its first failing schedule
+	// (schedules-to-first-bug methodology). Leave false to keep sampling
+	// and accumulate distinct bugs (RaceBench methodology).
+	StopAtFirstBug bool
+	// Coverage records interleaving and behaviour tallies with a series
+	// point every CoverageEvery schedules (Figure 5 / Table 3).
+	Coverage      bool
+	CoverageEvery int
+	// ProfileRuns is the number of census runs per session (default 1).
+	ProfileRuns int
+}
+
+// CovPoint is one point of a coverage curve.
+type CovPoint struct {
+	Schedules     int
+	Interleavings int
+	Behaviors     int
+}
+
+// Coverage tallies the distinct interleavings and behaviours one session
+// witnessed.
+type Coverage struct {
+	Interleavings map[uint64]int
+	Behaviors     map[string]int
+	Series        []CovPoint
+}
+
+// InterleavingEntropy returns the Shannon entropy of the interleaving
+// distribution sampled by the session.
+func (c *Coverage) InterleavingEntropy() float64 { return stats.EntropyOfMap(c.Interleavings) }
+
+// BehaviorEntropy returns the Shannon entropy of the behaviour
+// distribution sampled by the session.
+func (c *Coverage) BehaviorEntropy() float64 { return stats.EntropyOfMap(c.Behaviors) }
+
+// Session is the outcome of one session.
+type Session struct {
+	// FirstBug is the 1-based schedule index of the first bug, counting the
+	// profiling run for the algorithms that need one (the paper's
+	// accounting); -1 if the budget expired bug-free.
+	FirstBug int
+	// Bugs counts how many schedules manifested each distinct bug ID.
+	Bugs map[string]int
+	// Schedules is the number of testing schedules actually run.
+	Schedules int
+	// Truncated counts schedules that hit the step budget.
+	Truncated int
+	// Cov is non-nil when Config.Coverage was set.
+	Cov *Coverage
+}
+
+// Result aggregates the sessions of one (target, algorithm) pair.
+type Result struct {
+	Target    string
+	Algorithm string
+	Limit     int
+	Sessions  []Session
+}
+
+// needsProfile reports whether the algorithm consumes count estimates, and
+// therefore whether the paper charges it one extra schedule for the
+// profiling run.
+func needsProfile(alg string) bool {
+	a := strings.ToUpper(alg)
+	return a == "SURW" || a == "N-U" || a == "N-S" || a == "URW" ||
+		strings.HasPrefix(a, "PCT") || strings.HasPrefix(a, "DB-")
+}
+
+// usesDelta reports whether the algorithm consumes a Δ selection.
+func usesDelta(alg string) bool {
+	a := strings.ToUpper(alg)
+	return a == "SURW" || a == "N-U"
+}
+
+// RunTarget runs cfg.Sessions sessions of algName on the target.
+func RunTarget(tgt Target, algName string, cfg Config) (*Result, error) {
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 1
+	}
+	if cfg.Limit <= 0 {
+		cfg.Limit = 1000
+	}
+	res := &Result{Target: tgt.Name, Algorithm: algName, Limit: cfg.Limit}
+	for s := 0; s < cfg.Sessions; s++ {
+		sess, err := runSession(tgt, algName, cfg, s)
+		if err != nil {
+			return nil, fmt.Errorf("runner: %s/%s session %d: %w", tgt.Name, algName, s, err)
+		}
+		res.Sessions = append(res.Sessions, *sess)
+	}
+	return res, nil
+}
+
+func runSession(tgt Target, algName string, cfg Config, session int) (*Session, error) {
+	alg, err := core.New(algName)
+	if err != nil {
+		return nil, err
+	}
+	base := cfg.Seed + int64(session)*1_000_003
+	sessRng := rand.New(rand.NewSource(base))
+
+	plusOne := 0
+	var prof *profile.Profile
+	if needsProfile(algName) {
+		plusOne = 1
+		prof, _ = profile.Collect(tgt.Prog, profile.Options{
+			Runs:     cfg.ProfileRuns,
+			Seed:     base + 17,
+			ProgSeed: tgt.ProgSeed,
+			MaxSteps: tgt.MaxSteps,
+		})
+		// A crashing or truncated census still yields usable (if noisy)
+		// counts; §7 of the paper discusses exactly this degradation.
+	}
+	var fixedInfo *sched.ProgramInfo
+	if prof != nil && !usesDelta(algName) {
+		fixedInfo = prof.Instantiate(prof.SelectAll())
+	}
+
+	sess := &Session{FirstBug: -1, Bugs: make(map[string]int)}
+	if cfg.Coverage {
+		sess.Cov = &Coverage{
+			Interleavings: make(map[uint64]int),
+			Behaviors:     make(map[string]int),
+		}
+	}
+	every := cfg.CoverageEvery
+	if every <= 0 {
+		every = cfg.Limit/50 + 1
+	}
+
+	for i := 0; i < cfg.Limit; i++ {
+		info := fixedInfo
+		if prof != nil && usesDelta(algName) {
+			sel, ok := selectDelta(tgt, prof, sessRng)
+			if ok {
+				info = prof.Instantiate(sel)
+			} else {
+				info = prof.Instantiate(prof.SelectAll())
+			}
+		}
+		r := sched.Run(tgt.Prog, alg, sched.Options{
+			Seed:        base + int64(i)*2_000_033 + 1,
+			ProgSeed:    tgt.ProgSeed,
+			MaxSteps:    tgt.MaxSteps,
+			Info:        info,
+			TraceFilter: tgt.TraceFilter,
+		})
+		sess.Schedules++
+		if r.Truncated {
+			sess.Truncated++
+		}
+		if sess.Cov != nil {
+			sess.Cov.Interleavings[r.InterleavingHash]++
+			if r.Behavior != "" {
+				sess.Cov.Behaviors[r.Behavior]++
+			}
+			if (i+1)%every == 0 || i+1 == cfg.Limit {
+				sess.Cov.Series = append(sess.Cov.Series, CovPoint{
+					Schedules:     i + 1,
+					Interleavings: len(sess.Cov.Interleavings),
+					Behaviors:     len(sess.Cov.Behaviors),
+				})
+			}
+		}
+		if r.Buggy() {
+			sess.Bugs[r.BugID()]++
+			if sess.FirstBug == -1 {
+				sess.FirstBug = i + 1 + plusOne
+				if cfg.StopAtFirstBug {
+					break
+				}
+			}
+		}
+	}
+	return sess, nil
+}
+
+func selectDelta(tgt Target, prof *profile.Profile, rng *rand.Rand) (profile.Selection, bool) {
+	if tgt.Select != nil {
+		return tgt.Select(prof, rng)
+	}
+	return prof.SelectSingleVar(rng)
+}
+
+// FirstBugObs converts the sessions to right-censored observations for the
+// log-rank test: censored at limit(+1 for profiled algorithms) when no bug
+// was found.
+func (r *Result) FirstBugObs() []stats.Obs {
+	obs := make([]stats.Obs, 0, len(r.Sessions))
+	for _, s := range r.Sessions {
+		if s.FirstBug >= 0 {
+			obs = append(obs, stats.Obs{Time: float64(s.FirstBug), Event: true})
+		} else {
+			obs = append(obs, stats.Obs{Time: float64(r.Limit + 1), Event: false})
+		}
+	}
+	return obs
+}
+
+// FirstBugSummary summarizes schedules-to-first-bug over the sessions that
+// found the bug; found reports how many did.
+func (r *Result) FirstBugSummary() (sum stats.Summary, found int) {
+	var xs []float64
+	for _, s := range r.Sessions {
+		if s.FirstBug >= 0 {
+			xs = append(xs, float64(s.FirstBug))
+			found++
+		}
+	}
+	return stats.Summarize(xs), found
+}
+
+// FoundEver reports whether any session exposed a bug.
+func (r *Result) FoundEver() bool {
+	for _, s := range r.Sessions {
+		if s.FirstBug >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// FoundAll reports whether every session exposed a bug.
+func (r *Result) FoundAll() bool {
+	for _, s := range r.Sessions {
+		if s.FirstBug < 0 {
+			return false
+		}
+	}
+	return len(r.Sessions) > 0
+}
+
+// DistinctBugs returns the union of bug IDs across sessions.
+func (r *Result) DistinctBugs() map[string]bool {
+	out := make(map[string]bool)
+	for _, s := range r.Sessions {
+		for id := range s.Bugs {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// MeanCoverageSeries averages the per-session coverage curves pointwise and
+// returns (schedules, mean interleavings, std, mean behaviours, std) rows.
+// Sessions must share a series shape (same Config).
+func (r *Result) MeanCoverageSeries() []CovSeriesPoint {
+	if len(r.Sessions) == 0 || r.Sessions[0].Cov == nil {
+		return nil
+	}
+	n := len(r.Sessions[0].Cov.Series)
+	out := make([]CovSeriesPoint, 0, n)
+	for i := 0; i < n; i++ {
+		var ilv, beh []float64
+		sch := 0
+		for _, s := range r.Sessions {
+			if s.Cov == nil || i >= len(s.Cov.Series) {
+				continue
+			}
+			p := s.Cov.Series[i]
+			sch = p.Schedules
+			ilv = append(ilv, float64(p.Interleavings))
+			beh = append(beh, float64(p.Behaviors))
+		}
+		si, sb := stats.Summarize(ilv), stats.Summarize(beh)
+		out = append(out, CovSeriesPoint{
+			Schedules: sch,
+			IlvMean:   si.Mean, IlvStd: si.Std,
+			BehMean: sb.Mean, BehStd: sb.Std,
+		})
+	}
+	return out
+}
+
+// CovSeriesPoint is one aggregated point of Figure 5's curves.
+type CovSeriesPoint struct {
+	Schedules       int
+	IlvMean, IlvStd float64
+	BehMean, BehStd float64
+}
+
+// EntropySummary aggregates the per-session entropies (Table 3 rows).
+func (r *Result) EntropySummary() (ilv, beh stats.Summary) {
+	var is, bs []float64
+	for _, s := range r.Sessions {
+		if s.Cov == nil {
+			continue
+		}
+		is = append(is, s.Cov.InterleavingEntropy())
+		bs = append(bs, s.Cov.BehaviorEntropy())
+	}
+	return stats.Summarize(is), stats.Summarize(bs)
+}

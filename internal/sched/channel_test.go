@@ -1,0 +1,376 @@
+package sched
+
+import "testing"
+
+func TestBufferedChannelFIFO(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		var got []int
+		res := Run(func(th *Thread) {
+			ch := NewChan[int](th, "ch", 2)
+			prod := th.Go(func(w *Thread) {
+				for i := 0; i < 6; i++ {
+					ch.Send(w, i)
+				}
+				ch.Close(w)
+			})
+			cons := th.Go(func(w *Thread) {
+				for {
+					v, ok := ch.Recv(w)
+					if !ok {
+						return
+					}
+					got = append(got, v)
+				}
+			})
+			th.JoinAll(prod, cons)
+		}, &pickRandom{}, Options{Seed: seed})
+		if res.Buggy() || res.Truncated {
+			t.Fatalf("seed %d: %v truncated=%v", seed, res.Failure, res.Truncated)
+		}
+		if len(got) != 6 {
+			t.Fatalf("seed %d: received %d values", seed, len(got))
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("seed %d: got[%d] = %d (FIFO broken)", seed, i, v)
+			}
+		}
+	}
+}
+
+func TestBufferedChannelBlocksWhenFull(t *testing.T) {
+	// Capacity 1, two sends, no receiver: the second send must deadlock.
+	res := Run(func(th *Thread) {
+		ch := NewChan[int](th, "ch", 1)
+		ch.Send(th, 1)
+		ch.Send(th, 2)
+	}, nil, Options{})
+	if !res.Buggy() || res.Failure.Kind != FailDeadlock {
+		t.Fatalf("failure = %+v, want deadlock", res.Failure)
+	}
+}
+
+func TestUnbufferedRendezvous(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		var order []string
+		res := Run(func(th *Thread) {
+			ch := NewChan[int](th, "ch", 0)
+			sender := th.Go(func(w *Thread) {
+				ch.Send(w, 42)
+				order = append(order, "send-done")
+			})
+			recvr := th.Go(func(w *Thread) {
+				v, ok := ch.Recv(w)
+				if !ok || v != 42 {
+					w.Fail("bad-recv")
+				}
+				order = append(order, "recv-done")
+			})
+			th.JoinAll(sender, recvr)
+		}, &pickRandom{}, Options{Seed: seed})
+		if res.Buggy() || res.Truncated {
+			t.Fatalf("seed %d: %v", seed, res.Failure)
+		}
+		// Rendezvous: the receive can never complete after... both are
+		// post-handoff markers, but the send must not finish before the
+		// value is consumed, so "send-done" can never be first while the
+		// receiver is still blocked. Both orders of the markers are fine;
+		// what matters is both ran.
+		if len(order) != 2 {
+			t.Fatalf("seed %d: order = %v", seed, order)
+		}
+	}
+}
+
+func TestUnbufferedSendBlocksWithoutReceiver(t *testing.T) {
+	res := Run(func(th *Thread) {
+		ch := NewChan[int](th, "ch", 0)
+		ch.Send(th, 1)
+	}, nil, Options{})
+	if !res.Buggy() || res.Failure.Kind != FailDeadlock {
+		t.Fatalf("failure = %+v, want deadlock", res.Failure)
+	}
+}
+
+func TestRecvFromClosedDrained(t *testing.T) {
+	res := Run(func(th *Thread) {
+		ch := NewChan[int](th, "ch", 3)
+		ch.Send(th, 7)
+		ch.Close(th)
+		if v, ok := ch.Recv(th); !ok || v != 7 {
+			th.Fail("drain-failed")
+		}
+		if _, ok := ch.Recv(th); ok {
+			th.Fail("closed-chan-delivered")
+		}
+	}, nil, Options{})
+	if res.Buggy() {
+		t.Fatal(res.Failure)
+	}
+}
+
+func TestSendOnClosedPanics(t *testing.T) {
+	res := Run(func(th *Thread) {
+		ch := NewChan[int](th, "ch", 1)
+		ch.Close(th)
+		ch.Send(th, 1)
+	}, nil, Options{})
+	if !res.Buggy() || res.Failure.Kind != FailPanic {
+		t.Fatalf("failure = %+v, want panic", res.Failure)
+	}
+}
+
+func TestDoubleClosePanics(t *testing.T) {
+	res := Run(func(th *Thread) {
+		ch := NewChan[int](th, "ch", 1)
+		ch.Close(th)
+		ch.Close(th)
+	}, nil, Options{})
+	if !res.Buggy() || res.Failure.Kind != FailPanic {
+		t.Fatalf("failure = %+v, want panic", res.Failure)
+	}
+}
+
+func TestCloseWakesBlockedReceivers(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		res := Run(func(th *Thread) {
+			ch := NewChan[int](th, "ch", 0)
+			r1 := th.Go(func(w *Thread) {
+				if _, ok := ch.Recv(w); ok {
+					w.Fail("phantom-value")
+				}
+			})
+			r2 := th.Go(func(w *Thread) {
+				if _, ok := ch.Recv(w); ok {
+					w.Fail("phantom-value")
+				}
+			})
+			th.Yield()
+			ch.Close(th)
+			th.JoinAll(r1, r2)
+		}, &pickRandom{}, Options{Seed: seed})
+		if res.Buggy() || res.Truncated {
+			t.Fatalf("seed %d: %v", seed, res.Failure)
+		}
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	res := Run(func(th *Thread) {
+		ch := NewChan[int](th, "ch", 1)
+		if _, ok := ch.TryRecv(th); ok {
+			th.Fail("tryrecv-empty")
+		}
+		ch.Send(th, 5)
+		if v, ok := ch.TryRecv(th); !ok || v != 5 {
+			th.Fail("tryrecv-value")
+		}
+	}, nil, Options{})
+	if res.Buggy() {
+		t.Fatal(res.Failure)
+	}
+}
+
+func TestChannelPipeline(t *testing.T) {
+	// A 3-stage pipeline over channels: generator -> squarer -> sink.
+	for seed := int64(0); seed < 20; seed++ {
+		var sum int64
+		res := Run(func(th *Thread) {
+			nums := NewChan[int64](th, "nums", 1)
+			squares := NewChan[int64](th, "squares", 1)
+			gen := th.Go(func(w *Thread) {
+				for i := int64(1); i <= 4; i++ {
+					nums.Send(w, i)
+				}
+				nums.Close(w)
+			})
+			sq := th.Go(func(w *Thread) {
+				for {
+					v, ok := nums.Recv(w)
+					if !ok {
+						squares.Close(w)
+						return
+					}
+					squares.Send(w, v*v)
+				}
+			})
+			sink := th.Go(func(w *Thread) {
+				for {
+					v, ok := squares.Recv(w)
+					if !ok {
+						return
+					}
+					sum += v
+				}
+			})
+			th.JoinAll(gen, sq, sink)
+		}, &pickRandom{}, Options{Seed: seed, MaxSteps: 50_000})
+		if res.Buggy() || res.Truncated {
+			t.Fatalf("seed %d: %v truncated=%v", seed, res.Failure, res.Truncated)
+		}
+		if sum != 1+4+9+16 {
+			t.Fatalf("seed %d: sum = %d", seed, sum)
+		}
+	}
+}
+
+func TestChannelCapAndLen(t *testing.T) {
+	Run(func(th *Thread) {
+		ch := NewChan[int](th, "ch", 2)
+		if ch.Cap() != 2 || ch.Len() != 0 {
+			t.Error("fresh channel cap/len wrong")
+		}
+		ch.Send(th, 1)
+		if ch.Len() != 1 {
+			t.Errorf("len = %d", ch.Len())
+		}
+		neg := NewChan[int](th, "neg", -3)
+		if neg.Cap() != 0 {
+			t.Error("negative capacity not clamped")
+		}
+	}, nil, Options{})
+}
+
+func TestRWMutexReadersShareWritersExclude(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		res := Run(func(th *Thread) {
+			rw := th.NewRWMutex("rw")
+			readers := th.NewVar("activeReaders", 0)
+			read := func(w *Thread) {
+				for i := 0; i < 2; i++ {
+					rw.RLock(w)
+					readers.Add(w, 1)
+					readers.Add(w, -1)
+					rw.RUnlock(w)
+				}
+			}
+			write := func(w *Thread) {
+				rw.Lock(w)
+				w.Assert(readers.Load(w) == 0, "writer-saw-reader")
+				w.Assert(rw.Readers() == 0, "readers-during-write")
+				rw.Unlock(w)
+			}
+			h1, h2, h3 := th.Go(read), th.Go(read), th.Go(write)
+			th.JoinAll(h1, h2, h3)
+		}, &pickRandom{}, Options{Seed: seed})
+		if res.Buggy() || res.Truncated {
+			t.Fatalf("seed %d: %v", seed, res.Failure)
+		}
+	}
+}
+
+func TestRWMutexConcurrentReadersObservable(t *testing.T) {
+	// Some schedule must witness two readers inside simultaneously.
+	saw := false
+	for seed := int64(0); seed < 100 && !saw; seed++ {
+		Run(func(th *Thread) {
+			rw := th.NewRWMutex("rw")
+			inside := th.NewVar("inside", 0)
+			read := func(w *Thread) {
+				rw.RLock(w)
+				if inside.Add(w, 1) == 2 {
+					saw = true
+				}
+				w.Yield()
+				inside.Add(w, -1)
+				rw.RUnlock(w)
+			}
+			h1, h2 := th.Go(read), th.Go(read)
+			th.JoinAll(h1, h2)
+		}, &pickRandom{}, Options{Seed: seed})
+	}
+	if !saw {
+		t.Fatal("no schedule had two concurrent readers")
+	}
+}
+
+func TestRWMutexWriterBlocksUntilReadersDrain(t *testing.T) {
+	res := Run(func(th *Thread) {
+		rw := th.NewRWMutex("rw")
+		rw.RLock(th)
+		h := th.Go(func(w *Thread) {
+			rw.Lock(w) // must wait for the root's read lock
+			rw.Unlock(w)
+		})
+		th.Yield()
+		rw.RUnlock(th)
+		th.Join(h)
+	}, pickLeft{}, Options{})
+	if res.Buggy() {
+		t.Fatal(res.Failure)
+	}
+}
+
+func TestRWMutexRUnlockWithoutRLock(t *testing.T) {
+	res := Run(func(th *Thread) {
+		rw := th.NewRWMutex("rw")
+		rw.RUnlock(th)
+	}, nil, Options{})
+	if !res.Buggy() || res.Failure.Kind != FailPanic {
+		t.Fatalf("failure = %+v, want panic", res.Failure)
+	}
+}
+
+func TestRWConflictSemantics(t *testing.T) {
+	w := Event{TID: 0, Kind: OpLock, Obj: 7}
+	r1 := Event{TID: 1, Kind: OpRLock, Obj: 7}
+	r2 := Event{TID: 2, Kind: OpRLock, Obj: 7}
+	if !w.Conflicts(r1) || !r1.Conflicts(w) {
+		t.Fatal("writer acquisition must race with reader acquisition")
+	}
+	if r1.Conflicts(r2) {
+		t.Fatal("reader acquisitions must not race with each other")
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		res := Run(func(th *Thread) {
+			wg := th.NewWaitGroup("wg")
+			done := th.NewVar("done", 0)
+			wg.Add(th, 3)
+			for i := 0; i < 3; i++ {
+				th.Go(func(w *Thread) {
+					done.Add(w, 1)
+					wg.Done(w)
+				})
+			}
+			wg.Wait(th)
+			th.Assert(done.Peek() == 3, "waitgroup-early-return")
+		}, &pickRandom{}, Options{Seed: seed})
+		if res.Buggy() || res.Truncated {
+			t.Fatalf("seed %d: %v", seed, res.Failure)
+		}
+	}
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	res := Run(func(th *Thread) {
+		wg := th.NewWaitGroup("wg")
+		wg.Done(th)
+	}, nil, Options{})
+	if !res.Buggy() || res.Failure.Kind != FailPanic {
+		t.Fatalf("failure = %+v, want panic", res.Failure)
+	}
+}
+
+func TestOnceRunsExactlyOnce(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		res := Run(func(th *Thread) {
+			once := th.NewOnce("init")
+			count := th.NewVar("count", 0)
+			body := func(w *Thread) {
+				once.Do(w, func() { count.Add(w, 1) })
+			}
+			h1, h2, h3 := th.Go(body), th.Go(body), th.Go(body)
+			th.JoinAll(h1, h2, h3)
+			th.Assert(count.Peek() == 1, "once-ran-twice")
+			if !once.Did() {
+				th.Fail("once-not-done")
+			}
+		}, &pickRandom{}, Options{Seed: seed})
+		if res.Buggy() || res.Truncated {
+			t.Fatalf("seed %d: %v", seed, res.Failure)
+		}
+	}
+}

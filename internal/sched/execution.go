@@ -1,0 +1,349 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+type threadState uint8
+
+const (
+	tsUnprimed threadState = iota // goroutine started, first event not yet published
+	tsReady                       // parked with a published next event
+	tsRunning                     // holds the baton (transient)
+	tsSleeping                    // asleep in a condition wait, no next event
+	tsFinished                    // exited
+)
+
+// Execution drives one schedule of one program. It is created by Run and is
+// single-use. All state is confined: exactly one goroutine (a virtual
+// thread or the scheduler loop) runs at any time, so no field needs locking.
+type Execution struct {
+	opts     Options
+	alg      Algorithm
+	progRand *rand.Rand
+
+	threads []*Thread
+	byPath  map[string]ThreadID
+	objs    []objState
+	objSeen map[string]int // name collision counter
+
+	toSched chan *Thread
+	pending []spawnRec // spawns awaiting priming + algorithm notification
+
+	steps     int
+	maxSteps  int
+	failure   *Failure
+	truncated bool
+	aborted   bool
+	behavior  string
+
+	trace       []Event
+	ilvHash     uint64
+	deltaHash   uint64
+	interesting func(Event) bool
+	filter      func(Event) bool
+
+	state *State
+}
+
+type spawnRec struct {
+	parent, child ThreadID
+}
+
+type objState struct {
+	kind ObjKind
+	name string
+	hash uint64
+
+	val int64 // ObjVar
+	ref any   // ObjVar (Ref payload)
+
+	owner   ThreadID // ObjMutex: writer owner, -1 when free
+	readers int      // ObjMutex: active reader count (RWMutex)
+
+	condMu  ObjID      // ObjCond: associated mutex
+	waiters []ThreadID // ObjCond: sleeping threads, FIFO
+
+	sem int // ObjSem: current count
+}
+
+const fnvOffset, fnvPrime = 14695981039346656037, 1099511628211
+
+// HashName returns the stable 64-bit hash used for Event.ObjHash and
+// Event.PathHash, so Δ predicates can match object names without strings.
+func HashName(name string) uint64 { return fnv1a(fnvOffset, name) }
+
+func fnv1a(h uint64, data string) uint64 {
+	for i := 0; i < len(data); i++ {
+		h = (h ^ uint64(data[i])) * fnvPrime
+	}
+	return h
+}
+
+func fnvMix(h uint64, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// Run executes one schedule of prog under alg and returns its Result.
+// A nil alg falls back to always picking the lowest enabled TID (a
+// deterministic left-most schedule, useful for smoke tests).
+func Run(prog func(*Thread), alg Algorithm, opts Options) *Result {
+	ex := &Execution{
+		opts:     opts,
+		alg:      alg,
+		progRand: rand.New(rand.NewSource(opts.ProgSeed + 1)),
+		byPath:   make(map[string]ThreadID),
+		objSeen:  make(map[string]int),
+		toSched:  make(chan *Thread),
+		maxSteps: opts.MaxSteps,
+		ilvHash:  fnvOffset,
+		filter:   opts.TraceFilter,
+	}
+	if ex.maxSteps <= 0 {
+		ex.maxSteps = DefaultMaxSteps
+	}
+	if opts.Info != nil && opts.Info.Interesting != nil {
+		ex.interesting = opts.Info.Interesting
+		ex.deltaHash = fnvOffset
+	}
+	ex.state = &State{ex: ex}
+	if alg != nil {
+		alg.Begin(opts.Info, rand.New(rand.NewSource(opts.Seed+1)))
+	}
+
+	root := ex.addThread(nil, prog)
+	go root.trampoline()
+	ex.primeNew()
+	ex.loop()
+	ex.killRemaining()
+
+	res := &Result{
+		Failure:          ex.failure,
+		Steps:            ex.steps,
+		Truncated:        ex.truncated,
+		InterleavingHash: ex.ilvHash,
+		DeltaHash:        ex.deltaHash,
+		Behavior:         ex.behavior,
+		Trace:            ex.trace,
+		Threads:          len(ex.threads),
+	}
+	if opts.RecordTrace {
+		res.ThreadPaths = make([]string, len(ex.threads))
+		for i, t := range ex.threads {
+			res.ThreadPaths[i] = t.path
+		}
+	}
+	return res
+}
+
+func (ex *Execution) loop() {
+	for {
+		if ex.failure != nil {
+			return
+		}
+		enabled := ex.enabledTIDs()
+		if len(enabled) == 0 {
+			if ex.anyAlive() {
+				ex.reportDeadlock()
+			}
+			return
+		}
+		if ex.steps >= ex.maxSteps {
+			ex.truncated = true
+			return
+		}
+		var tid ThreadID
+		switch {
+		case len(enabled) == 1:
+			tid = enabled[0]
+		case ex.alg != nil:
+			tid = ex.alg.Next(ex.state)
+			if !containsTID(enabled, tid) {
+				panic(fmt.Sprintf("sched: algorithm %s chose disabled thread T%d", ex.alg.Name(), tid))
+			}
+		default:
+			tid = enabled[0]
+		}
+		t := ex.threads[tid]
+		ev := t.next
+		ex.steps++
+		ex.recordEvent(ev)
+		ex.grant(t)
+		ex.primeNew()
+		if ex.alg != nil {
+			ex.enabledTIDs() // refresh for Observe (e.g. POS race resampling)
+			ex.alg.Observe(ev, ex.state)
+		}
+	}
+}
+
+func containsTID(tids []ThreadID, tid ThreadID) bool {
+	for _, t := range tids {
+		if t == tid {
+			return true
+		}
+	}
+	return false
+}
+
+func (ex *Execution) recordEvent(ev Event) {
+	if ex.filter == nil || ex.filter(ev) {
+		ex.ilvHash = fnvMix(fnvMix(ex.ilvHash, ev.PathHash), uint64(ev.Kind)<<32^ev.ObjHash)
+	}
+	if ex.interesting != nil && ex.interesting(ev) {
+		ex.deltaHash = fnvMix(fnvMix(ex.deltaHash, ev.PathHash), uint64(ev.Kind)<<32^ev.ObjHash)
+	}
+	if ex.opts.RecordTrace {
+		ex.trace = append(ex.trace, ev)
+	}
+}
+
+// grant hands the baton to t, which executes its published event and runs
+// until it parks at its next event, sleeps, or exits. grant returns once the
+// baton is back with the scheduler.
+func (ex *Execution) grant(t *Thread) {
+	t.state = tsRunning
+	t.gate <- step{}
+	<-ex.toSched
+}
+
+// primeNew runs every newly spawned thread up to its first event so its
+// next event becomes visible for scheduling, then notifies the algorithm of
+// the spawns. Priming can cascade (a child may spawn grandchildren before
+// its first event), so iteration is by index over the growing thread list.
+func (ex *Execution) primeNew() {
+	for i := 0; i < len(ex.threads); i++ {
+		if t := ex.threads[i]; t.state == tsUnprimed {
+			t.state = tsRunning
+			t.gate <- step{}
+			<-ex.toSched
+		}
+	}
+	if len(ex.pending) == 0 {
+		return
+	}
+	pending := ex.pending
+	ex.pending = ex.pending[:0]
+	if so, ok := ex.alg.(SpawnObserver); ok {
+		for _, p := range pending {
+			so.ObserveSpawn(p.parent, p.child, ex.state)
+		}
+	}
+}
+
+func (ex *Execution) enabledTIDs() []ThreadID {
+	enabled := ex.state.enabled[:0]
+	for _, t := range ex.threads {
+		if ex.enabled(t) {
+			enabled = append(enabled, t.id)
+		}
+	}
+	ex.state.enabled = enabled
+	return enabled
+}
+
+func (ex *Execution) enabled(t *Thread) bool {
+	if t.state != tsReady {
+		return false
+	}
+	switch t.next.Kind {
+	case OpLock, OpWakeLock:
+		o := &ex.objs[t.next.Obj-1]
+		// A writer additionally waits for readers to drain (rwmutex).
+		return o.owner == -1 && o.readers == 0
+	case OpRLock:
+		return ex.objs[t.next.Obj-1].owner == -1
+	case OpSemP:
+		return ex.objs[t.next.Obj-1].sem > 0
+	case OpJoin:
+		return ex.threads[t.joinTarget].state == tsFinished
+	default:
+		return true
+	}
+}
+
+func (ex *Execution) anyAlive() bool {
+	for _, t := range ex.threads {
+		if t.state != tsFinished {
+			return true
+		}
+	}
+	return false
+}
+
+func (ex *Execution) reportDeadlock() {
+	msg := "no enabled threads; blocked:"
+	for _, t := range ex.threads {
+		switch t.state {
+		case tsSleeping:
+			msg += fmt.Sprintf(" T%d(wait)", t.id)
+		case tsReady:
+			msg += fmt.Sprintf(" T%d(%s)", t.id, t.next.Kind)
+		}
+	}
+	ex.fail(&Failure{Kind: FailDeadlock, BugID: "deadlock", Msg: msg, TID: -1, Step: ex.steps})
+}
+
+func (ex *Execution) fail(f *Failure) {
+	if ex.failure == nil {
+		ex.failure = f
+	}
+	ex.aborted = true
+}
+
+// killRemaining unwinds every live thread. All live threads are blocked on
+// their gate (parked, sleeping, or unprimed), so each kill grant produces
+// exactly one exit notification.
+func (ex *Execution) killRemaining() {
+	ex.aborted = true
+	for _, t := range ex.threads {
+		if t.state != tsFinished {
+			t.gate <- step{kill: true}
+			<-ex.toSched
+		}
+	}
+}
+
+func (ex *Execution) addThread(parent *Thread, body func(*Thread)) *Thread {
+	t := &Thread{
+		ex:   ex,
+		id:   len(ex.threads),
+		body: body,
+		gate: make(chan step),
+	}
+	if parent == nil {
+		t.path = "0"
+		t.parent = -1
+	} else {
+		t.path = fmt.Sprintf("%s.%d", parent.path, parent.spawned)
+		parent.spawned++
+		t.parent = parent.id
+	}
+	t.pathHash = fnv1a(fnvOffset, t.path)
+	ex.threads = append(ex.threads, t)
+	ex.byPath[t.path] = t.id
+	return t
+}
+
+func (ex *Execution) addObj(o objState, name, autoPrefix string) ObjID {
+	if name == "" {
+		name = fmt.Sprintf("%s#%d", autoPrefix, len(ex.objs))
+	}
+	if n := ex.objSeen[name]; n > 0 {
+		ex.objSeen[name] = n + 1
+		name = fmt.Sprintf("%s~%d", name, n)
+	} else {
+		ex.objSeen[name] = 1
+	}
+	o.name = name
+	o.hash = fnv1a(fnvOffset, name)
+	ex.objs = append(ex.objs, o)
+	return ObjID(len(ex.objs))
+}
+
+func (ex *Execution) obj(id ObjID) *objState { return &ex.objs[id-1] }

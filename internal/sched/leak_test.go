@@ -1,0 +1,39 @@
+package sched
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestNoGoroutineLeaks runs many schedules (including aborted ones with
+// sleeping and blocked threads) and checks the goroutine count returns to
+// baseline: killRemaining must reap every virtual thread.
+func TestNoGoroutineLeaks(t *testing.T) {
+	prog := func(th *Thread) {
+		m := th.NewMutex("m")
+		c := th.NewCond("c", m)
+		sleeper := th.Go(func(w *Thread) {
+			m.Lock(w)
+			c.Wait(w) // never signaled: killed at abort
+			m.Unlock(w)
+		})
+		blocked := th.Go(func(w *Thread) {
+			m2 := th // blocked on join below
+			_ = m2
+			w.Yield()
+			w.Yield()
+		})
+		th.Yield()
+		th.Fail("abort") // leaves sleeper asleep and others parked
+		th.JoinAll(sleeper, blocked)
+	}
+	baseline := runtime.NumGoroutine()
+	for seed := int64(0); seed < 500; seed++ {
+		Run(prog, &pickRandom{}, Options{Seed: seed})
+	}
+	runtime.GC()
+	after := runtime.NumGoroutine()
+	if after > baseline+3 {
+		t.Fatalf("goroutines leaked: baseline %d, after %d", baseline, after)
+	}
+}

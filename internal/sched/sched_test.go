@@ -1,0 +1,569 @@
+package sched
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// pickRandom is a minimal uniform random-walk algorithm for exercising the
+// scheduler in tests without importing the real algorithms.
+type pickRandom struct{ rng *rand.Rand }
+
+func (p *pickRandom) Name() string                       { return "test-random" }
+func (p *pickRandom) Begin(_ *ProgramInfo, r *rand.Rand) { p.rng = r }
+func (p *pickRandom) Observe(Event, *State)              {}
+func (p *pickRandom) Next(st *State) ThreadID {
+	e := st.Enabled()
+	return e[p.rng.Intn(len(e))]
+}
+
+// pickLeft always runs the lowest enabled TID.
+type pickLeft struct{}
+
+func (pickLeft) Name() string                   { return "test-left" }
+func (pickLeft) Begin(*ProgramInfo, *rand.Rand) {}
+func (pickLeft) Observe(Event, *State)          {}
+func (pickLeft) Next(st *State) ThreadID        { return st.Enabled()[0] }
+
+// pickRight always runs the highest enabled TID.
+type pickRight struct{}
+
+func (pickRight) Name() string                   { return "test-right" }
+func (pickRight) Begin(*ProgramInfo, *rand.Rand) {}
+func (pickRight) Observe(Event, *State)          {}
+func (pickRight) Next(st *State) ThreadID {
+	e := st.Enabled()
+	return e[len(e)-1]
+}
+
+func TestSingleThread(t *testing.T) {
+	ran := false
+	res := Run(func(th *Thread) {
+		v := th.NewVar("x", 7)
+		v.Store(th, v.Load(th)+1)
+		ran = true
+	}, nil, Options{})
+	if !ran {
+		t.Fatal("program body did not run")
+	}
+	if res.Buggy() {
+		t.Fatalf("unexpected failure: %v", res.Failure)
+	}
+	if res.Steps != 2 {
+		t.Fatalf("steps = %d, want 2 (one read, one write)", res.Steps)
+	}
+	if res.Threads != 1 {
+		t.Fatalf("threads = %d, want 1", res.Threads)
+	}
+}
+
+func TestSpawnJoinAndCounter(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		var final int64
+		res := Run(func(th *Thread) {
+			c := th.NewVar("c", 0)
+			var hs []*Handle
+			for i := 0; i < 4; i++ {
+				hs = append(hs, th.Go(func(w *Thread) {
+					for j := 0; j < 5; j++ {
+						c.Add(w, 1)
+					}
+				}))
+			}
+			th.JoinAll(hs...)
+			final = c.Peek()
+		}, &pickRandom{}, Options{Seed: seed})
+		if res.Buggy() {
+			t.Fatalf("seed %d: unexpected failure %v", seed, res.Failure)
+		}
+		if final != 20 {
+			t.Fatalf("seed %d: atomic counter = %d, want 20", seed, final)
+		}
+	}
+}
+
+func TestRacyReadModifyWrite(t *testing.T) {
+	// A non-atomic increment (Load then Store) must be able to lose updates
+	// under at least one schedule, and to not lose them under another.
+	run := func(alg Algorithm, seed int64) int64 {
+		var final int64
+		Run(func(th *Thread) {
+			c := th.NewVar("c", 0)
+			h1 := th.Go(func(w *Thread) { c.Store(w, c.Load(w)+1) })
+			h2 := th.Go(func(w *Thread) { c.Store(w, c.Load(w)+1) })
+			th.Join(h1)
+			th.Join(h2)
+			final = c.Peek()
+		}, alg, Options{Seed: seed})
+		return final
+	}
+	saw := map[int64]bool{}
+	for seed := int64(0); seed < 100; seed++ {
+		saw[run(&pickRandom{}, seed)] = true
+	}
+	if !saw[1] || !saw[2] {
+		t.Fatalf("expected both outcomes 1 and 2 across schedules, saw %v", saw)
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		res := Run(func(th *Thread) {
+			m := th.NewMutex("m")
+			inCS := th.NewVar("inCS", 0)
+			body := func(w *Thread) {
+				for i := 0; i < 3; i++ {
+					m.Lock(w)
+					w.Assert(inCS.Add(w, 1) == 1, "mutual-exclusion")
+					w.Assert(inCS.Add(w, -1) == 0, "mutual-exclusion")
+					m.Unlock(w)
+				}
+			}
+			h1, h2, h3 := th.Go(body), th.Go(body), th.Go(body)
+			th.JoinAll(h1, h2, h3)
+		}, &pickRandom{}, Options{Seed: seed})
+		if res.Buggy() {
+			t.Fatalf("seed %d: mutual exclusion violated: %v", seed, res.Failure)
+		}
+	}
+}
+
+func TestCondProducerConsumer(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		var got []int64
+		res := Run(func(th *Thread) {
+			m := th.NewMutex("m")
+			notEmpty := th.NewCond("notEmpty", m)
+			notFull := th.NewCond("notFull", m)
+			buf := NewRef[[]int64](th, "buf", nil)
+			const cap, items = 2, 6
+			prod := th.Go(func(w *Thread) {
+				for i := int64(0); i < items; i++ {
+					m.Lock(w)
+					for len(buf.Get(w)) == cap {
+						notFull.Wait(w)
+					}
+					buf.Update(w, func(b []int64) []int64 { return append(b, i) })
+					notEmpty.Signal(w)
+					m.Unlock(w)
+				}
+			})
+			cons := th.Go(func(w *Thread) {
+				for i := 0; i < items; i++ {
+					m.Lock(w)
+					for len(buf.Get(w)) == 0 {
+						notEmpty.Wait(w)
+					}
+					var x int64
+					buf.Update(w, func(b []int64) []int64 { x = b[0]; return b[1:] })
+					got = append(got, x)
+					notFull.Signal(w)
+					m.Unlock(w)
+				}
+			})
+			th.JoinAll(prod, cons)
+		}, &pickRandom{}, Options{Seed: seed})
+		if res.Buggy() {
+			t.Fatalf("seed %d: %v", seed, res.Failure)
+		}
+		if len(got) != 6 {
+			t.Fatalf("seed %d: consumed %d items, want 6", seed, len(got))
+		}
+		for i, x := range got {
+			if x != int64(i) {
+				t.Fatalf("seed %d: got[%d] = %d (FIFO violated)", seed, i, x)
+			}
+		}
+	}
+}
+
+func TestSemaphore(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		res := Run(func(th *Thread) {
+			sem := th.NewSemaphore("s", 2)
+			inside := th.NewVar("inside", 0)
+			body := func(w *Thread) {
+				sem.P(w)
+				w.Assert(inside.Add(w, 1) <= 2, "sem-bound")
+				inside.Add(w, -1)
+				sem.V(w)
+			}
+			hs := []*Handle{th.Go(body), th.Go(body), th.Go(body), th.Go(body)}
+			th.JoinAll(hs...)
+		}, &pickRandom{}, Options{Seed: seed})
+		if res.Buggy() {
+			t.Fatalf("seed %d: %v", seed, res.Failure)
+		}
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	// Classic lock-order inversion; pickRight forces T1 to grab b first.
+	prog := func(th *Thread) {
+		a := th.NewMutex("a")
+		b := th.NewMutex("b")
+		h1 := th.Go(func(w *Thread) {
+			a.Lock(w)
+			b.Lock(w)
+			b.Unlock(w)
+			a.Unlock(w)
+		})
+		h2 := th.Go(func(w *Thread) {
+			b.Lock(w)
+			a.Lock(w)
+			a.Unlock(w)
+			b.Unlock(w)
+		})
+		th.Join(h1)
+		th.Join(h2)
+	}
+	found := false
+	for seed := int64(0); seed < 50 && !found; seed++ {
+		res := Run(prog, &pickRandom{}, Options{Seed: seed})
+		if res.Buggy() {
+			if res.Failure.Kind != FailDeadlock {
+				t.Fatalf("wrong failure kind %v", res.Failure)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("deadlock never detected in 50 random schedules")
+	}
+}
+
+func TestAssertAbortsOtherThreads(t *testing.T) {
+	res := Run(func(th *Thread) {
+		v := th.NewVar("v", 0)
+		h := th.Go(func(w *Thread) {
+			for i := 0; i < 1000; i++ {
+				v.Add(w, 1)
+			}
+		})
+		th.Fail("boom")
+		th.Join(h)
+	}, pickLeft{}, Options{})
+	if !res.Buggy() || res.Failure.BugID != "boom" {
+		t.Fatalf("failure = %v, want boom", res.Failure)
+	}
+}
+
+func TestPanicCaptured(t *testing.T) {
+	res := Run(func(th *Thread) {
+		v := th.NewVar("v", 0)
+		_ = v.Load(th)
+		panic("kaput")
+	}, nil, Options{})
+	if !res.Buggy() || res.Failure.Kind != FailPanic {
+		t.Fatalf("failure = %v, want panic", res.Failure)
+	}
+	if !strings.Contains(res.Failure.Msg, "kaput") {
+		t.Fatalf("panic message lost: %q", res.Failure.Msg)
+	}
+}
+
+func TestStepBudgetTruncates(t *testing.T) {
+	res := Run(func(th *Thread) {
+		for {
+			th.Yield()
+		}
+	}, nil, Options{MaxSteps: 100})
+	if !res.Truncated {
+		t.Fatal("expected truncation")
+	}
+	if res.Buggy() {
+		t.Fatalf("truncation must not be a bug: %v", res.Failure)
+	}
+	if res.Steps != 100 {
+		t.Fatalf("steps = %d, want 100", res.Steps)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	prog := func(th *Thread) {
+		x := th.NewVar("x", 0)
+		m := th.NewMutex("m")
+		body := func(w *Thread) {
+			m.Lock(w)
+			x.Store(w, x.Load(w)*2+1)
+			m.Unlock(w)
+		}
+		h1, h2, h3 := th.Go(body), th.Go(body), th.Go(body)
+		th.JoinAll(h1, h2, h3)
+	}
+	hashes := map[uint64]bool{}
+	for seed := int64(0); seed < 20; seed++ {
+		r1 := Run(prog, &pickRandom{}, Options{Seed: seed, RecordTrace: true})
+		r2 := Run(prog, &pickRandom{}, Options{Seed: seed, RecordTrace: true})
+		if r1.InterleavingHash != r2.InterleavingHash {
+			t.Fatalf("seed %d: replay diverged", seed)
+		}
+		if len(r1.Trace) != len(r2.Trace) {
+			t.Fatalf("seed %d: trace lengths differ", seed)
+		}
+		for i := range r1.Trace {
+			if r1.Trace[i] != r2.Trace[i] {
+				t.Fatalf("seed %d: trace diverged at %d: %v vs %v", seed, i, r1.Trace[i], r2.Trace[i])
+			}
+		}
+		hashes[r1.InterleavingHash] = true
+	}
+	if len(hashes) < 2 {
+		t.Fatal("all seeds produced the same interleaving; randomness broken")
+	}
+}
+
+func TestStablePathsAndNames(t *testing.T) {
+	var paths []string
+	var names []string
+	res := Run(func(th *Thread) {
+		v := th.NewVar("x", 0)
+		names = append(names, v.Name())
+		h1 := th.Go(func(w *Thread) {
+			paths = append(paths, w.Path())
+			u := w.NewVar("", 0)
+			names = append(names, u.Name())
+			u.Store(w, 1)
+		})
+		th.Join(h1)
+		h2 := th.Go(func(w *Thread) {
+			paths = append(paths, w.Path())
+			w.Yield()
+		})
+		th.Join(h2)
+	}, pickLeft{}, Options{})
+	if res.Buggy() {
+		t.Fatalf("unexpected failure: %v", res.Failure)
+	}
+	if paths[0] != "0.0" || paths[1] != "0.1" {
+		t.Fatalf("paths = %v", paths)
+	}
+	if names[0] != "x" || names[1] != "var#1" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestDuplicateNamesDisambiguated(t *testing.T) {
+	Run(func(th *Thread) {
+		a := th.NewVar("x", 0)
+		b := th.NewVar("x", 0)
+		if a.Name() == b.Name() {
+			t.Errorf("duplicate names not disambiguated: %q", a.Name())
+		}
+	}, nil, Options{})
+}
+
+func TestConflicts(t *testing.T) {
+	mk := func(tid int, k OpKind, obj ObjID) Event { return Event{TID: tid, Kind: k, Obj: obj} }
+	cases := []struct {
+		a, b Event
+		want bool
+	}{
+		{mk(0, OpWrite, 1), mk(1, OpRead, 1), true},
+		{mk(0, OpRead, 1), mk(1, OpRead, 1), false},
+		{mk(0, OpWrite, 1), mk(1, OpWrite, 2), false},
+		{mk(0, OpWrite, 1), mk(0, OpRead, 1), false},
+		{mk(0, OpLock, 3), mk(1, OpLock, 3), true},
+		{mk(0, OpLock, 3), mk(1, OpUnlock, 3), false},
+		{mk(0, OpRMW, 1), mk(1, OpRead, 1), true},
+	}
+	for i, c := range cases {
+		if got := c.a.Conflicts(c.b); got != c.want {
+			t.Errorf("case %d: Conflicts = %v, want %v", i, got, c.want)
+		}
+		if got := c.b.Conflicts(c.a); got != c.want {
+			t.Errorf("case %d (sym): Conflicts = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestProgramInfoTree(t *testing.T) {
+	pi := NewProgramInfo()
+	root := pi.AddThread("0", "")
+	c1 := pi.AddThread("0.0", "0")
+	c2 := pi.AddThread("0.1", "0")
+	gc := pi.AddThread("0.1.0", "0.1")
+	if root != 0 || pi.Parent[root] != -1 {
+		t.Fatal("root wrong")
+	}
+	if pi.Parent[c1] != root || pi.Parent[c2] != root || pi.Parent[gc] != c2 {
+		t.Fatalf("parents wrong: %v", pi.Parent)
+	}
+	if len(pi.Children[root]) != 2 || pi.Children[c2][0] != gc {
+		t.Fatalf("children wrong: %v", pi.Children)
+	}
+	if pi.AddThread("0.0", "0") != c1 {
+		t.Fatal("re-add must return existing LID")
+	}
+	if pi.LID("0.1.0") != gc || pi.LID("0.9") != -1 {
+		t.Fatal("LID lookup wrong")
+	}
+	cp := pi.Clone()
+	cp.Events[0] = 99
+	if pi.Events[0] == 99 {
+		t.Fatal("Clone shares Events")
+	}
+}
+
+func TestParentOf(t *testing.T) {
+	if parentOf("0.1.2") != "0.1" || parentOf("0") != "" {
+		t.Fatal("parentOf wrong")
+	}
+}
+
+func TestProgSeedIndependentOfSchedule(t *testing.T) {
+	draw := func(seed int64) int64 {
+		var got int64
+		Run(func(th *Thread) {
+			got = th.ProgRand().Int63()
+			th.Yield()
+		}, &pickRandom{}, Options{Seed: seed, ProgSeed: 42})
+		return got
+	}
+	if draw(1) != draw(2) {
+		t.Fatal("program randomness varied with scheduling seed")
+	}
+}
+
+func TestBehaviorReported(t *testing.T) {
+	res := Run(func(th *Thread) {
+		th.Yield()
+		th.SetBehavior("final=3")
+	}, nil, Options{})
+	if res.Behavior != "final=3" {
+		t.Fatalf("behavior = %q", res.Behavior)
+	}
+}
+
+func TestTraceFilterRestrictsHash(t *testing.T) {
+	prog := func(filterOn bool) func(*Thread) {
+		return func(th *Thread) {
+			x := th.NewVar("x", 0)
+			y := th.NewVar("y", 0)
+			h := th.Go(func(w *Thread) { x.Store(w, 1); y.Store(w, 1) })
+			x.Store(th, 2)
+			y.Store(th, 2)
+			th.Join(h)
+			_ = filterOn
+		}
+	}
+	// Two schedules differing only in y-access order must collide when the
+	// filter keeps only x accesses.
+	onlyX := func(ev Event) bool { return ev.ObjHash == fnv1a(fnvOffset, "x") }
+	r1 := Run(prog(true), pickLeft{}, Options{TraceFilter: onlyX})
+	r2 := Run(prog(true), pickRight{}, Options{TraceFilter: onlyX})
+	full1 := Run(prog(true), pickLeft{}, Options{})
+	full2 := Run(prog(true), pickRight{}, Options{})
+	if full1.InterleavingHash == full2.InterleavingHash {
+		t.Fatal("full hashes should differ between leftmost and rightmost schedules")
+	}
+	_ = r1
+	_ = r2 // filtered hashes may or may not collide depending on x order; just exercise the path
+}
+
+func TestTryLock(t *testing.T) {
+	res := Run(func(th *Thread) {
+		m := th.NewMutex("m")
+		if !m.TryLock(th) {
+			t.Error("TryLock on free mutex failed")
+		}
+		h := th.Go(func(w *Thread) {
+			if m.TryLock(w) {
+				w.Fail("trylock-on-held")
+			}
+		})
+		th.Join(h)
+		m.Unlock(th)
+	}, pickLeft{}, Options{})
+	if res.Buggy() {
+		t.Fatalf("unexpected: %v", res.Failure)
+	}
+}
+
+func TestBroadcastWakesAll(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		res := Run(func(th *Thread) {
+			m := th.NewMutex("m")
+			c := th.NewCond("c", m)
+			ready := th.NewVar("ready", 0)
+			woken := th.NewVar("woken", 0)
+			mk := func(w *Thread) {
+				m.Lock(w)
+				ready.Add(w, 1)
+				for ready.Load(w) >= 0 && woken.Load(w) == 0 {
+					c.Wait(w)
+					break // one wait is enough; broadcast wakes us exactly once
+				}
+				m.Unlock(w)
+			}
+			h1, h2, h3 := th.Go(mk), th.Go(mk), th.Go(mk)
+			for {
+				m.Lock(th)
+				r := ready.Load(th)
+				if r == 3 {
+					woken.Store(th, 1)
+					c.Broadcast(th)
+					m.Unlock(th)
+					break
+				}
+				m.Unlock(th)
+				th.Yield()
+			}
+			th.JoinAll(h1, h2, h3)
+		}, &pickRandom{}, Options{Seed: seed, MaxSteps: 50_000})
+		if res.Buggy() || res.Truncated {
+			t.Fatalf("seed %d: failure=%v truncated=%v", seed, res.Failure, res.Truncated)
+		}
+	}
+}
+
+func TestFNVMixProperties(t *testing.T) {
+	// Mixing is order-sensitive and injective enough for fingerprinting.
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		h1 := fnvMix(fnvMix(fnvOffset, a), b)
+		h2 := fnvMix(fnvMix(fnvOffset, b), a)
+		return h1 != h2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(s string) bool { return fnv1a(fnvOffset, s) == fnv1a(fnvOffset, s) }
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	for k := OpInvalid; k <= OpYield; k++ {
+		if k.String() == "" {
+			t.Fatalf("missing name for kind %d", k)
+		}
+	}
+	if OpRead.String() != "read" || OpKind(200).String() != "op(200)" {
+		t.Fatal("OpKind.String wrong")
+	}
+	for _, k := range []ObjKind{ObjNone, ObjVar, ObjMutex, ObjCond, ObjSem} {
+		if k.String() == "" {
+			t.Fatal("missing ObjKind name")
+		}
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{}
+	if r.Buggy() || r.BugID() != "" {
+		t.Fatal("empty result misreported")
+	}
+	r.Failure = &Failure{Kind: FailAssert, BugID: "b", Msg: "m", TID: 1, Step: 3}
+	if !r.Buggy() || r.BugID() != "b" {
+		t.Fatal("failing result misreported")
+	}
+	if r.Failure.Error() == "" {
+		t.Fatal("failure error empty")
+	}
+}

@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+type step struct{ kill bool }
+
+type killedSignal struct{}
+
+type assertFailure struct {
+	bugID string
+	msg   string
+}
+
+// Thread is a virtual thread of the program under test. Every method that
+// touches shared state is an atomic event: the thread parks, the scheduler
+// picks who runs, and only then does the operation take effect. A Thread is
+// only valid inside the program function it was passed to.
+type Thread struct {
+	ex         *Execution
+	id         ThreadID
+	parent     ThreadID
+	path       string
+	pathHash   uint64
+	body       func(*Thread)
+	gate       chan step
+	state      threadState
+	next       Event
+	seq        int
+	spawned    int
+	joinTarget ThreadID
+	heldMutex  []ObjID
+}
+
+// ID returns this thread's runtime ID (creation order, root = 0).
+func (t *Thread) ID() ThreadID { return t.id }
+
+// Path returns this thread's stable logical path: the root is "0" and the
+// k-th thread spawned by a thread with path p is "p.k". Paths identify the
+// same logical thread across schedules of a fixed program.
+func (t *Thread) Path() string { return t.path }
+
+// ProgRand returns the program-input random stream (seeded by
+// Options.ProgSeed, independent of the scheduling stream). Use it for
+// randomized but schedule-independent inputs.
+func (t *Thread) ProgRand() *rand.Rand { return t.ex.progRand }
+
+// SetBehavior records the program's behaviour fingerprint for this schedule
+// (e.g. a hash of the final data-structure state). The last call wins.
+func (t *Thread) SetBehavior(b string) { t.ex.behavior = b }
+
+// trampoline is the goroutine body of every virtual thread.
+func (t *Thread) trampoline() {
+	defer func() {
+		if r := recover(); r != nil {
+			switch v := r.(type) {
+			case killedSignal:
+				// aborted schedule; exit quietly
+			case assertFailure:
+				t.ex.fail(&Failure{Kind: FailAssert, BugID: v.bugID, Msg: v.msg, TID: t.id, Step: t.ex.steps})
+			default:
+				t.ex.fail(&Failure{Kind: FailPanic, BugID: fmt.Sprintf("panic:%v", v), Msg: fmt.Sprint(v), TID: t.id, Step: t.ex.steps})
+			}
+		}
+		t.state = tsFinished
+		t.ex.toSched <- t
+	}()
+	t.await() // wait for the priming grant
+	t.body(t)
+}
+
+// await blocks until the scheduler grants the baton, honoring kills.
+func (t *Thread) await() {
+	if (<-t.gate).kill {
+		panic(killedSignal{})
+	}
+}
+
+// sync publishes the next event and parks until the scheduler grants it.
+// On return the thread holds the baton and must perform exactly that event.
+func (t *Thread) sync(kind OpKind, obj ObjID) {
+	t.seq++
+	var objHash uint64
+	if obj != 0 {
+		objHash = t.ex.obj(obj).hash
+	}
+	t.next = Event{TID: t.id, Seq: t.seq, Kind: kind, Obj: obj, PathHash: t.pathHash, ObjHash: objHash}
+	t.state = tsReady
+	t.ex.toSched <- t
+	t.await()
+	t.state = tsRunning
+}
+
+// Go spawns a child thread running body and returns its handle. As in the
+// paper's runtime, creation is not itself a scheduling event: the parent
+// keeps running until its next event, and the child becomes schedulable
+// once it has run to its first event.
+func (t *Thread) Go(body func(*Thread)) *Handle {
+	c := t.ex.addThread(t, body)
+	t.ex.pending = append(t.ex.pending, spawnRec{parent: t.id, child: c.id})
+	go c.trampoline()
+	return &Handle{tid: c.id, ex: t.ex}
+}
+
+// Handle names a spawned thread for joining.
+type Handle struct {
+	tid ThreadID
+	ex  *Execution
+}
+
+// TID returns the runtime thread ID behind the handle.
+func (h *Handle) TID() ThreadID { return h.tid }
+
+// Join blocks (as an event) until the handled thread has exited.
+func (t *Thread) Join(h *Handle) {
+	t.joinTarget = h.tid
+	t.sync(OpJoin, 0)
+}
+
+// JoinAll joins a set of handles in order.
+func (t *Thread) JoinAll(hs ...*Handle) {
+	for _, h := range hs {
+		t.Join(h)
+	}
+}
+
+// Yield is a pure scheduling point: an event with no shared object. Use it
+// inside spin loops so the scheduler can preempt them.
+func (t *Thread) Yield() { t.sync(OpYield, 0) }
+
+// Assert records bug bugID and aborts the schedule if cond is false.
+func (t *Thread) Assert(cond bool, bugID string) {
+	if !cond {
+		panic(assertFailure{bugID: bugID, msg: "assertion failed: " + bugID})
+	}
+}
+
+// Assertf is Assert with a formatted diagnostic message.
+func (t *Thread) Assertf(cond bool, bugID, format string, args ...any) {
+	if !cond {
+		panic(assertFailure{bugID: bugID, msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+// Fail unconditionally reports bug bugID and aborts the schedule.
+func (t *Thread) Fail(bugID string) {
+	panic(assertFailure{bugID: bugID, msg: "failure: " + bugID})
+}

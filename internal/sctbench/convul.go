@@ -1,0 +1,204 @@
+package sctbench
+
+import (
+	"surw/internal/runner"
+	"surw/internal/sched"
+)
+
+// The ConVul targets model the memory-corruption CVEs of the benchmark as
+// state machines over this library's shared variables: an object's
+// lifetime is a Var (1 = live, 0 = freed), a use of freed state is the
+// asserted bug, exactly as the curated Period versions assert at the
+// corrupting access. Each model keeps the CVE's window shape — which
+// events must interleave how tightly — since that is what differentiates
+// the scheduling algorithms on these targets.
+
+// CVE20131792 models ConVul/CVE-2013-1792 (Linux keyring race): one thread
+// flushes and frees the session keyring while another, which already
+// passed the NULL check, dereferences it. The use side performs keyring
+// bookkeeping between check and use, giving a few-event window.
+func CVE20131792() runner.Target {
+	return runner.Target{
+		Name: "ConVul/CVE-2013-1792",
+		Prog: func(t *sched.Thread) {
+			lock := t.NewMutex("cred_lock")
+			keyring := t.NewVar("session_keyring", 1) // 1 = installed
+			stats := t.NewVar("key_stats", 0)
+			flusher := t.Go(func(w *sched.Thread) {
+				lock.Lock(w)
+				stats.Add(w, 1)
+				lock.Unlock(w)
+				keyring.Store(w, 0) // key_put + free
+			})
+			user := t.Go(func(w *sched.Thread) {
+				if keyring.Load(w) == 1 { // NULL check
+					stats.Add(w, 1) // bookkeeping between check and use
+					stats.Add(w, 1)
+					w.Assert(keyring.Load(w) == 1, "cve-2013-1792-uaf")
+				}
+			})
+			t.JoinAll(flusher, user)
+		},
+	}
+}
+
+// CVE20161972 models ConVul/CVE-2016-1972 (Firefox libvpx race): the bug
+// needs two context switches in close temporal proximity inside one
+// thread's three-store sequence — the configuration §3.3 highlights as
+// PCT's weakness, since its few change points rarely land that close
+// together.
+func CVE20161972() runner.Target {
+	return runner.Target{
+		Name: "ConVul/CVE-2016-1972",
+		Prog: func(t *sched.Thread) {
+			a := t.NewVar("enc_state", 0)
+			b := t.NewVar("dec_state", 0)
+			c := t.NewVar("buf_state", 0)
+			p := t.NewVar("probe", 0)
+			writer := t.Go(func(w *sched.Thread) {
+				a.Store(w, 1)
+				b.Store(w, 1)
+				c.Store(w, 1)
+			})
+			probe := t.Go(func(w *sched.Thread) {
+				if a.Load(w) == 1 && b.Load(w) == 0 { // switch #1: between a and b
+					p.Store(w, 1)
+				}
+			})
+			victim := t.Go(func(w *sched.Thread) {
+				if b.Load(w) == 1 && c.Load(w) == 0 { // switch #2: between b and c
+					w.Assert(p.Load(w) == 0, "cve-2016-1972-uaf")
+				}
+			})
+			t.JoinAll(writer, probe, victim)
+		},
+	}
+}
+
+// CVE20161973 models ConVul/CVE-2016-1973 (Firefox graphite2 race): a
+// plain use-after-free with a wide window — the user holds the reference
+// across a single unprotected gap.
+func CVE20161973() runner.Target {
+	return runner.Target{
+		Name: "ConVul/CVE-2016-1973",
+		Prog: func(t *sched.Thread) {
+			obj := t.NewVar("gr_face", 1)
+			freer := t.Go(func(w *sched.Thread) {
+				obj.Store(w, 0)
+			})
+			user := t.Go(func(w *sched.Thread) {
+				if obj.Load(w) == 1 {
+					w.Assert(obj.Load(w) == 1, "cve-2016-1973-uaf")
+				}
+			})
+			t.JoinAll(freer, user)
+		},
+	}
+}
+
+// CVE20167911 models ConVul/CVE-2016-7911 (Linux ioprio race): the free
+// happens at the very end of a long syscall path, so schedules that let
+// one thread run long without interruption — naive Random Walk's bias —
+// trigger it quickly, matching the paper's table where RW is the fastest.
+func CVE20167911() runner.Target {
+	return runner.Target{
+		Name: "ConVul/CVE-2016-7911",
+		Prog: func(t *sched.Thread) {
+			ioc := t.NewVar("io_context", 1)
+			steps := t.NewVar("path", 0)
+			getter := t.Go(func(w *sched.Thread) {
+				if ioc.Load(w) == 1 { // get_task_ioprio: NULL check
+					w.Assert(ioc.Load(w) == 1, "cve-2016-7911-uaf")
+				}
+			})
+			putter := t.Go(func(w *sched.Thread) {
+				for i := 0; i < 8; i++ { // long exit path before the put
+					steps.Add(w, 1)
+				}
+				ioc.Store(w, 0) // put_io_context frees
+			})
+			t.JoinAll(getter, putter)
+		},
+	}
+}
+
+// CVE20169806 models ConVul/CVE-2016-9806 (Linux netlink double-bind
+// double free): two binders must interleave their check/set/commit
+// triples in near-perfect alternation — the balanced interleaving Random
+// Walk almost never produces, matching its poor Table 4 entry.
+func CVE20169806() runner.Target {
+	return runner.Target{
+		Name: "ConVul/CVE-2016-9806",
+		Prog: func(t *sched.Thread) {
+			bound := t.NewVar("bound", 0)
+			groups := t.NewVar("groups_alloc", 0)
+			committed := t.NewVar("committed", 0)
+			bind := func(w *sched.Thread) {
+				if bound.Load(w) == 0 { // check
+					groups.Add(w, 1) // allocate
+					if committed.Load(w) == 0 {
+						bound.Store(w, 1) // set
+						committed.Add(w, 1)
+						// Double free: both binders allocated before either
+						// committed.
+						w.Assert(groups.Load(w) == committed.Load(w), "cve-2016-9806-double-free")
+					}
+				}
+			}
+			h1, h2 := t.Go(bind), t.Go(bind)
+			t.JoinAll(h1, h2)
+		},
+	}
+}
+
+// CVE201715265 models ConVul/CVE-2017-15265 (ALSA sequencer UAF), which no
+// algorithm triggers in the paper's budget: the model preserves the port
+// list's lock discipline, under which the asserted lifetime invariant is
+// schedule-independent.
+func CVE201715265() runner.Target {
+	return runner.Target{
+		Name: "ConVul/CVE-2017-15265",
+		Prog: func(t *sched.Thread) {
+			m := t.NewMutex("register_mutex")
+			port := t.NewVar("port", 0)
+			creator := t.Go(func(w *sched.Thread) {
+				m.Lock(w)
+				port.Store(w, 1)
+				m.Unlock(w)
+			})
+			deleter := t.Go(func(w *sched.Thread) {
+				m.Lock(w)
+				if port.Load(w) == 1 {
+					w.Assert(port.Load(w) == 1, "cve-2017-15265-uaf")
+					port.Store(w, 0)
+				}
+				m.Unlock(w)
+			})
+			t.JoinAll(creator, deleter)
+		},
+	}
+}
+
+// CVE20176346 models ConVul/CVE-2017-6346 (Linux packet_fanout race): a
+// short unprotected release window that every algorithm hits quickly.
+func CVE20176346() runner.Target {
+	return runner.Target{
+		Name: "ConVul/CVE-2017-6346",
+		Prog: func(t *sched.Thread) {
+			fanout := t.NewVar("fanout", 1)
+			ref := t.NewVar("ref", 1)
+			releaser := t.Go(func(w *sched.Thread) {
+				if ref.Add(w, -1) == 0 {
+					fanout.Store(w, 0)
+				}
+			})
+			sender := t.Go(func(w *sched.Thread) {
+				if fanout.Load(w) == 1 {
+					w.Yield() // packet processing
+					w.Assert(fanout.Load(w) == 1, "cve-2017-6346-uaf")
+				}
+			})
+			t.JoinAll(releaser, sender)
+		},
+	}
+}

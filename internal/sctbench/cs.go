@@ -1,0 +1,301 @@
+package sctbench
+
+import (
+	"fmt"
+
+	"surw/internal/runner"
+	"surw/internal/sched"
+)
+
+// Twostage models CS/twostage_*: k first-stage threads write data1 under
+// lock A and then data2 under lock B; k second-stage threads read data1
+// under A and, if the first stage appears complete, read data2 under B.
+// The bug is the atomicity violation between the two stages: a reader that
+// observes data1 == 1 but runs before the writer's second stage sees
+// data2 == 0. Twostage(1) is CS/twostage; Twostage(k) spawns 2k threads
+// (CS/twostage_2k).
+func Twostage(k int) runner.Target {
+	name := "CS/twostage"
+	if k > 1 {
+		name = fmt.Sprintf("CS/twostage_%d", 2*k)
+	}
+	return runner.Target{
+		Name: name,
+		Prog: func(t *sched.Thread) {
+			mA := t.NewMutex("A")
+			mB := t.NewMutex("B")
+			data1 := t.NewVar("data1", 0)
+			data2 := t.NewVar("data2", 0)
+			writers := spawnN(t, k, func(w *sched.Thread) {
+				mA.Lock(w)
+				data1.Store(w, 1)
+				mA.Unlock(w)
+				mB.Lock(w)
+				data2.Store(w, data1.Load(w)+1)
+				mB.Unlock(w)
+			})
+			readers := spawnN(t, k, func(w *sched.Thread) {
+				mA.Lock(w)
+				t1 := data1.Load(w)
+				mA.Unlock(w)
+				if t1 == 1 {
+					mB.Lock(w)
+					t2 := data2.Load(w)
+					mB.Unlock(w)
+					w.Assert(t2 == 2, "twostage-atomicity")
+				}
+			})
+			t.JoinAll(writers...)
+			t.JoinAll(readers...)
+		},
+	}
+}
+
+// Reorder models CS/reorder_* (Figure 4): setters write a = 1 then b = -1;
+// checkers assert the pair is in a consistent state. The bug fires when a
+// checker reads a == 1 while no setter has yet written b. Reorder(s, c)
+// spawns s setters and c checkers (CS/reorder_{s+c}).
+func Reorder(setters, checkers int) runner.Target {
+	return runner.Target{
+		Name: fmt.Sprintf("CS/reorder_%d", setters+checkers),
+		Prog: func(t *sched.Thread) {
+			a := t.NewVar("a", 0)
+			b := t.NewVar("b", 0)
+			set := spawnN(t, setters, func(w *sched.Thread) {
+				a.Store(w, 1)
+				b.Store(w, -1)
+			})
+			chk := spawnN(t, checkers, func(w *sched.Thread) {
+				av := a.Load(w)
+				bv := b.Load(w)
+				ok := (av == 0 && bv == 0) || (av == 1 && bv == -1) || (av == 0 && bv == -1)
+				w.Assert(ok, "reorder")
+			})
+			t.JoinAll(set...)
+			t.JoinAll(chk...)
+		},
+	}
+}
+
+// Stack models CS/stack: one pusher and two poppers share a stack whose
+// poppers check the size outside the lock (check-then-act). Two poppers
+// that both observe a single remaining element underflow the stack.
+func Stack() runner.Target {
+	const items = 4
+	return runner.Target{
+		Name: "CS/stack",
+		Prog: func(t *sched.Thread) {
+			m := t.NewMutex("m")
+			top := t.NewVar("top", 0)
+			pusher := t.Go(func(w *sched.Thread) {
+				for i := 0; i < items; i++ {
+					m.Lock(w)
+					nv := top.Add(w, 1)
+					w.Assert(nv <= items, "stack-overflow")
+					m.Unlock(w)
+				}
+			})
+			pop := func(w *sched.Thread) {
+				for i := 0; i < items; i++ {
+					if top.Load(w) > 0 { // buggy: check outside the lock
+						m.Lock(w)
+						nv := top.Add(w, -1)
+						w.Assert(nv >= 0, "stack-underflow")
+						m.Unlock(w)
+					}
+				}
+			}
+			p1, p2 := t.Go(pop), t.Go(pop)
+			t.JoinAll(pusher, p1, p2)
+		},
+	}
+}
+
+// Deadlock01 models CS/deadlock01: the classic two-mutex lock-order
+// inversion.
+func Deadlock01() runner.Target {
+	return runner.Target{
+		Name: "CS/deadlock01",
+		Prog: func(t *sched.Thread) {
+			a := t.NewMutex("a")
+			b := t.NewMutex("b")
+			counter := t.NewVar("counter", 0)
+			h1 := t.Go(func(w *sched.Thread) {
+				a.Lock(w)
+				b.Lock(w)
+				counter.Add(w, 1)
+				b.Unlock(w)
+				a.Unlock(w)
+			})
+			h2 := t.Go(func(w *sched.Thread) {
+				b.Lock(w)
+				a.Lock(w)
+				counter.Add(w, 1)
+				a.Unlock(w)
+				b.Unlock(w)
+			})
+			t.JoinAll(h1, h2)
+		},
+	}
+}
+
+// TokenRing models CS/token_ring: four threads each derive their token
+// from the previous thread's, and the main thread asserts the chain is
+// consistent. Any interleaving that lets a thread read a stale predecessor
+// breaks the chain.
+func TokenRing() runner.Target {
+	return runner.Target{
+		Name: "CS/token_ring",
+		Prog: func(t *sched.Thread) {
+			x := []*sched.Var{
+				t.NewVar("x1", 0), t.NewVar("x2", 0),
+				t.NewVar("x3", 0), t.NewVar("x4", 0),
+			}
+			mk := func(dst, src int) func(*sched.Thread) {
+				return func(w *sched.Thread) {
+					x[dst].Store(w, x[src].Load(w)+1)
+				}
+			}
+			hs := []*sched.Handle{
+				t.Go(mk(0, 3)), t.Go(mk(1, 0)), t.Go(mk(2, 1)), t.Go(mk(3, 2)),
+			}
+			t.JoinAll(hs...)
+			v1, v2 := x[0].Load(t), x[1].Load(t)
+			v3, v4 := x[2].Load(t), x[3].Load(t)
+			t.Assert(v2 == v1+1 && v3 == v2+1 && v4 == v3+1, "token_ring-chain")
+		},
+	}
+}
+
+// Lazy01 models CS/lazy01: three threads mutate a lock-protected counter;
+// the third asserts it never reaches the "complete" value, which it does
+// whenever the first two finish before the check.
+func Lazy01() runner.Target {
+	return runner.Target{
+		Name: "CS/lazy01",
+		Prog: func(t *sched.Thread) {
+			m := t.NewMutex("m")
+			data := t.NewVar("data", 0)
+			h1 := t.Go(func(w *sched.Thread) {
+				m.Lock(w)
+				data.Add(w, 1)
+				m.Unlock(w)
+			})
+			h2 := t.Go(func(w *sched.Thread) {
+				m.Lock(w)
+				data.Add(w, 2)
+				m.Unlock(w)
+			})
+			h3 := t.Go(func(w *sched.Thread) {
+				m.Lock(w)
+				v := data.Load(w)
+				m.Unlock(w)
+				w.Assert(v < 3, "lazy01")
+			})
+			t.JoinAll(h1, h2, h3)
+		},
+	}
+}
+
+// BluetoothDriver models CS/bluetooth_driver (Qadeer & Wu's PLDI'04
+// example): a worker increments the pending-I/O count and touches the
+// driver unless stopping; the stopper flags the stop, releases its own
+// reference, waits for pending I/O to drain, and frees the driver. The bug
+// is the unprotected window between the worker's stopping-flag check and
+// its increment: the stopper can free the driver first, and the worker then
+// touches freed memory.
+func BluetoothDriver() runner.Target {
+	return runner.Target{
+		Name: "CS/bluetooth_driver",
+		Prog: func(t *sched.Thread) {
+			pendingIO := t.NewVar("pendingIo", 1)
+			stoppingFlag := t.NewVar("stoppingFlag", 0)
+			stoppingEvent := t.NewVar("stoppingEvent", 0)
+			stopped := t.NewVar("stopped", 0)
+			decrement := func(w *sched.Thread) {
+				if pendingIO.Add(w, -1) == 0 {
+					stoppingEvent.Store(w, 1)
+				}
+			}
+			worker := t.Go(func(w *sched.Thread) {
+				status := int64(0)
+				if stoppingFlag.Load(w) != 0 {
+					status = -1
+				} else {
+					pendingIO.Add(w, 1)
+				}
+				if status == 0 {
+					// Touch the driver: it must not have been freed.
+					w.Assert(stopped.Load(w) == 0, "bluetooth-use-after-free")
+					decrement(w)
+				}
+			})
+			stopper := t.Go(func(w *sched.Thread) {
+				stoppingFlag.Store(w, 1)
+				decrement(w)
+				for stoppingEvent.Load(w) == 0 {
+					w.Yield()
+				}
+				stopped.Store(w, 1)
+			})
+			t.JoinAll(worker, stopper)
+		},
+		MaxSteps: 20_000,
+	}
+}
+
+// Account models CS/account: a locked deposit races with an unlocked
+// withdrawal's read-modify-write; the lost update breaks conservation.
+func Account() runner.Target {
+	return runner.Target{
+		Name: "CS/account",
+		Prog: func(t *sched.Thread) {
+			m := t.NewMutex("m")
+			balance := t.NewVar("balance", 100)
+			dep := t.Go(func(w *sched.Thread) {
+				m.Lock(w)
+				balance.Store(w, balance.Load(w)+10)
+				m.Unlock(w)
+			})
+			wdr := t.Go(func(w *sched.Thread) {
+				// Buggy: forgets the lock.
+				balance.Store(w, balance.Load(w)-10)
+			})
+			t.JoinAll(dep, wdr)
+			t.Assert(balance.Load(t) == 100, "account-lost-update")
+		},
+	}
+}
+
+// WrongLock models CS/wronglock(_3): a writer guards the shared datum with
+// lock A while k readers guard their two reads with lock B; the mismatched
+// locks let the writer slip between a reader's reads.
+func WrongLock(readers int) runner.Target {
+	name := "CS/wronglock"
+	if readers != 2 {
+		name = fmt.Sprintf("CS/wronglock_%d", readers)
+	}
+	return runner.Target{
+		Name: name,
+		Prog: func(t *sched.Thread) {
+			lockA := t.NewMutex("A")
+			lockB := t.NewMutex("B")
+			data := t.NewVar("data", 0)
+			w1 := t.Go(func(w *sched.Thread) {
+				lockA.Lock(w)
+				data.Add(w, 1)
+				data.Add(w, 1)
+				lockA.Unlock(w)
+			})
+			rs := spawnN(t, readers, func(w *sched.Thread) {
+				lockB.Lock(w) // wrong lock
+				before := data.Load(w)
+				after := data.Load(w)
+				lockB.Unlock(w)
+				w.Assert(before == after, "wronglock-dirty-read")
+			})
+			t.Join(w1)
+			t.JoinAll(rs...)
+		},
+	}
+}

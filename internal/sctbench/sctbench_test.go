@@ -1,0 +1,254 @@
+package sctbench
+
+import (
+	"testing"
+
+	"surw/internal/core"
+	"surw/internal/runner"
+	"surw/internal/sched"
+)
+
+// neverFindable lists the targets whose bugs the paper's algorithms never
+// trigger; our models are schedule-independent there by construction.
+// SafeStack is handled separately: it is findable, but only at a scale far
+// above the other targets' budgets (TestSafeStackHardness).
+var neverFindable = map[string]bool{
+	"Inspect/bbuf":          true,
+	"RADBench/bug5":         true,
+	"ConVul/CVE-2017-15265": true,
+	"SafeStack":             true,
+}
+
+func TestTargetsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, tgt := range Targets() {
+		if tgt.Name == "" || tgt.Prog == nil {
+			t.Fatalf("malformed target %+v", tgt)
+		}
+		if seen[tgt.Name] {
+			t.Fatalf("duplicate target %s", tgt.Name)
+		}
+		seen[tgt.Name] = true
+	}
+	if len(seen) != 38 {
+		t.Fatalf("suite has %d targets, want 38 (Table 4 rows)", len(seen))
+	}
+	if _, ok := ByName("CS/reorder_10"); !ok {
+		t.Fatal("ByName failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName found a ghost")
+	}
+	if got := len(Names()); got != 38+11 {
+		t.Fatalf("Names() = %d entries, want 49 (38 table rows + 11 trivial)", got)
+	}
+}
+
+// TestNoModelDefects runs every target under random schedules and checks
+// that failures are only ever asserted bugs or deadlocks — never panics
+// (which would indicate a broken model) — and that no schedule hits the
+// step budget.
+func TestNoModelDefects(t *testing.T) {
+	for _, tgt := range Targets() {
+		tgt := tgt
+		t.Run(tgt.Name, func(t *testing.T) {
+			res, err := runner.RunTarget(tgt, "RW", runner.Config{
+				Sessions: 1, Limit: 60, Seed: 101,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := res.Sessions[0]
+			if s.Truncated > 0 {
+				t.Fatalf("%d truncated schedules", s.Truncated)
+			}
+			for id := range s.Bugs {
+				if len(id) > 6 && id[:6] == "panic:" {
+					t.Fatalf("model panicked: %s", id)
+				}
+			}
+		})
+	}
+}
+
+// bugBudget overrides the schedule budget for the harder targets.
+var bugBudget = map[string]int{
+	"Inspect/qsort_mt": 8000,
+	"CS/reorder_100":   4000,
+	"CS/twostage_100":  6000,
+	"CS/reorder_50":    2000,
+	"CS/twostage_50":   2000,
+}
+
+func TestFindableBugsAreFindable(t *testing.T) {
+	for _, tgt := range Targets() {
+		if neverFindable[tgt.Name] {
+			continue
+		}
+		tgt := tgt
+		t.Run(tgt.Name, func(t *testing.T) {
+			budget := bugBudget[tgt.Name]
+			if budget == 0 {
+				budget = 1500
+			}
+			for _, alg := range []string{"SURW", "POS", "RW"} {
+				res, err := runner.RunTarget(tgt, alg, runner.Config{
+					Sessions: 2, Limit: budget, Seed: 7, StopAtFirstBug: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.FoundEver() {
+					return
+				}
+			}
+			t.Fatalf("no algorithm exposed the bug within %d schedules", budget)
+		})
+	}
+}
+
+// TestSafeStackHardness pins the headline property of the suite's hardest
+// target: the naive baselines stay blind at budgets where SURW succeeds.
+func TestSafeStackHardness(t *testing.T) {
+	tgt, _ := ByName("SafeStack")
+	for _, alg := range []string{"RW", "PCT-3"} {
+		res, err := runner.RunTarget(tgt, alg, runner.Config{
+			Sessions: 1, Limit: 2000, Seed: 5, StopAtFirstBug: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FoundEver() {
+			t.Fatalf("%s found SafeStack within 2000 schedules; model too easy", alg)
+		}
+	}
+	if testing.Short() {
+		t.Skip("skipping the long SURW SafeStack search in -short mode")
+	}
+	res, err := runner.RunTarget(tgt, "SURW", runner.Config{
+		Sessions: 1, Limit: 30_000, Seed: 5, StopAtFirstBug: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FoundEver() {
+		t.Fatal("SURW did not find SafeStack within 30k schedules")
+	}
+}
+
+func TestUnfindableStayQuiet(t *testing.T) {
+	for name := range neverFindable {
+		if name == "SafeStack" {
+			continue // covered by TestSafeStackHardness
+		}
+		tgt, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing target %s", name)
+		}
+		for _, alg := range []string{"RW", "POS", "SURW"} {
+			res, err := runner.RunTarget(tgt, alg, runner.Config{
+				Sessions: 1, Limit: 400, Seed: 31, StopAtFirstBug: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FoundEver() {
+				sum, _ := res.FirstBugSummary()
+				t.Fatalf("%s/%s unexpectedly failed (first at %v)", name, alg, sum.Mean)
+			}
+		}
+	}
+}
+
+// TestDeadlock01IsDeadlock pins the failure kind of the deadlock target.
+func TestDeadlock01IsDeadlock(t *testing.T) {
+	tgt, _ := ByName("CS/deadlock01")
+	for seed := int64(0); seed < 200; seed++ {
+		res := runSchedule(tgt, seed)
+		if res.Buggy() {
+			if res.Failure.Kind != sched.FailDeadlock {
+				t.Fatalf("failure kind = %v", res.Failure.Kind)
+			}
+			return
+		}
+	}
+	t.Fatal("deadlock never hit in 200 random schedules")
+}
+
+func runSchedule(tgt runner.Target, seed int64) *sched.Result {
+	return sched.Run(tgt.Prog, core.NewRandomWalk(), sched.Options{Seed: seed, MaxSteps: tgt.MaxSteps})
+}
+
+// TestReorderShape checks §4.2's structural claim: the reorder bug needs a
+// checker read between a setter's two writes with no completed setter.
+func TestReorderShape(t *testing.T) {
+	tgt := Reorder(2, 1)
+	found := false
+	for seed := int64(0); seed < 2000 && !found; seed++ {
+		res := runSchedule(tgt, seed)
+		if res.Buggy() {
+			if res.BugID() != "reorder" {
+				t.Fatalf("unexpected bug %q", res.BugID())
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("reorder_3 bug not reproduced")
+	}
+}
+
+// TestTrivialTargetsAreTrivial pins the paper's reason for omitting these
+// eleven programs from the tables: every algorithm cracks each of them
+// within a handful of schedules.
+func TestTrivialTargetsAreTrivial(t *testing.T) {
+	trivials := TrivialTargets()
+	if len(trivials) != 11 {
+		t.Fatalf("trivial set has %d targets, want 11", len(trivials))
+	}
+	for _, tgt := range trivials {
+		tgt := tgt
+		t.Run(tgt.Name, func(t *testing.T) {
+			for _, alg := range []string{"SURW", "POS", "RW", "PCT-3"} {
+				res, err := runner.RunTarget(tgt, alg, runner.Config{
+					Sessions: 3, Limit: 100, Seed: 23, StopAtFirstBug: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.FoundAll() {
+					t.Fatalf("%s failed to find the bug in 100 schedules on a trivial target", alg)
+				}
+				sum, _ := res.FirstBugSummary()
+				if sum.Mean > 40 {
+					t.Fatalf("%s mean %.0f schedules: not so trivial", alg, sum.Mean)
+				}
+			}
+		})
+	}
+}
+
+// TestNamesIncludeTrivials checks the lookup surface covers both sets.
+func TestNamesIncludeTrivials(t *testing.T) {
+	if len(Names()) != 38+11 {
+		t.Fatalf("Names() = %d entries", len(Names()))
+	}
+	if _, ok := ByName("CS/sigma"); !ok {
+		t.Fatal("trivial target not resolvable")
+	}
+}
+
+// TestTrivialModelsDontPanic: failures must be asserts or deadlocks only.
+func TestTrivialModelsDontPanic(t *testing.T) {
+	for _, tgt := range TrivialTargets() {
+		for seed := int64(0); seed < 60; seed++ {
+			res := runSchedule(tgt, seed)
+			if res.Buggy() && res.Failure.Kind == sched.FailPanic {
+				t.Fatalf("%s: model panic %v", tgt.Name, res.Failure)
+			}
+			if res.Truncated {
+				t.Fatalf("%s: truncated", tgt.Name)
+			}
+		}
+	}
+}
