@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages that spawn goroutines: the worker
+# pool, the cooperative scheduler, the parallel session runner, and the
+# parallel experiment grids.
+race:
+	$(GO) test -race -short ./internal/workpool ./internal/sched ./internal/runner ./internal/experiments
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+ci: vet build test race

@@ -12,6 +12,7 @@ package surw
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"surw/internal/core"
@@ -48,7 +49,7 @@ func benchScale() experiments.Scale {
 // is more uniform; URW should be ~250, the baselines thousands).
 func BenchmarkFig2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f := experiments.Figure2(benchScale().Fig2Trials, 1)
+		f := experiments.Figure2(benchScale().Fig2Trials, 1, 0)
 		b.ReportMetric(f.ChiSquare["URW"], "chi2-URW")
 		b.ReportMetric(f.ChiSquare["RW"], "chi2-RW")
 		b.ReportMetric(f.ChiSquare["PCT-10"], "chi2-PCT10")
@@ -193,6 +194,66 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 		steps += r.Steps
 	}
 	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkParallelSessions measures the parallel runner's scaling: the
+// same (target, algorithm, seed) workload fanned over 1, 2, 4 and
+// GOMAXPROCS workers. Results are bit-identical at every worker count (see
+// internal/runner/parallel_test.go), so this isolates pure wall-clock
+// scaling; schedules/s should grow close to linearly until the worker
+// count passes the CPU count. allocs/schedule reports the steady-state
+// allocation cost per schedule under the pooled execution engine.
+func BenchmarkParallelSessions(b *testing.B) {
+	tgt, ok := sctbench.ByName("CS/twostage_20")
+	if !ok {
+		b.Fatal("missing target")
+	}
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 && p != 4 {
+		counts = append(counts, p)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			schedules := 0
+			for i := 0; i < b.N; i++ {
+				res, err := runner.RunTarget(tgt, "RW", runner.Config{
+					Sessions: 8, Limit: 100, Seed: 42, Workers: w,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, s := range res.Sessions {
+					schedules += s.Schedules
+				}
+			}
+			runtime.ReadMemStats(&ms1)
+			b.ReportMetric(float64(schedules)/b.Elapsed().Seconds(), "schedules/s")
+			b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(schedules), "allocs/schedule")
+		})
+	}
+}
+
+// BenchmarkPooledSchedule quantifies the allocation diet directly: one
+// schedule of the Figure 1 program through a recycled sched.Pool versus a
+// fresh Execution per run.
+func BenchmarkPooledSchedule(b *testing.B) {
+	prog := experiments.Bitshift(16)
+	alg := core.NewRandomWalk()
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sched.Run(prog, alg, sched.Options{Seed: int64(i)})
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		pool := sched.NewPool()
+		for i := 0; i < b.N; i++ {
+			pool.Run(prog, alg, sched.Options{Seed: int64(i)})
+		}
+	})
 }
 
 // BenchmarkProfileCollect measures the profiling phase on a mid-size

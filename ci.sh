@@ -1,0 +1,11 @@
+#!/bin/sh
+# CI gate: build + vet everything, run the full test suite, then re-run the
+# concurrency-bearing packages under the race detector (short mode keeps the
+# race pass under a minute; the parallel runner and the experiment grids are
+# still exercised with multi-worker configurations).
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race -short ./internal/workpool ./internal/sched ./internal/runner ./internal/experiments

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"surw/internal/experiments"
+	"surw/internal/workpool"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 		ftpTrials = flag.Int("ftp-trials", 0, "override LightFTP trials")
 		ftpLimit  = flag.Int("ftp-limit", 0, "override LightFTP schedules per trial")
 		seed      = flag.Int64("seed", 0, "override the master seed")
+		workers   = flag.Int("workers", 0, "parallel workers (1 = sequential; 0 = one per CPU); results are identical at any setting")
 		outDir    = flag.String("out", "", "directory for .txt/.csv artifacts")
 		quiet     = flag.Bool("q", false, "suppress progress output")
 		full      = flag.Bool("full", false, "print full Figure 2 histograms")
@@ -66,6 +68,7 @@ func main() {
 	if *seed != 0 {
 		sc.Seed = *seed
 	}
+	sc.Workers = *workers
 
 	want := map[string]bool{}
 	args := flag.Args()
@@ -99,14 +102,15 @@ func main() {
 		}
 	}
 
+	nWorkers := workpool.Normalize(sc.Workers)
 	if want["fig2"] {
-		timed("fig2", func() {
-			f := experiments.Figure2(sc.Fig2Trials, sc.Seed)
+		timed("fig2", nWorkers, func() {
+			f := experiments.Figure2(sc.Fig2Trials, sc.Seed, sc.Workers)
 			emit(*outDir, "figure2", f.Render(*full), "")
 		})
 	}
 	if want["sct"] {
-		timed("sct", func() {
+		timed("sct", nWorkers, func() {
 			r := experiments.SCTBench(sc, progress)
 			t1, t4 := r.Table1(), r.Table4()
 			emit(*outDir, "table1", t1.String(), t1.CSV())
@@ -114,14 +118,14 @@ func main() {
 		})
 	}
 	if want["rb"] {
-		timed("rb", func() {
+		timed("rb", nWorkers, func() {
 			r := experiments.RaceBench(sc, progress)
 			t2 := r.Table2()
 			emit(*outDir, "table2", t2.String(), t2.CSV())
 		})
 	}
 	if want["ftp"] {
-		timed("ftp", func() {
+		timed("ftp", nWorkers, func() {
 			r := experiments.LightFTP(sc, progress)
 			t3 := r.Table3()
 			emit(*outDir, "table3", t3.String(), t3.CSV())
@@ -130,10 +134,11 @@ func main() {
 	}
 }
 
-func timed(name string, f func()) {
+func timed(name string, workers int, f func()) {
 	start := time.Now()
 	f()
-	fmt.Fprintf(os.Stderr, "%s finished in %s\n", name, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "%s finished in %s (%d workers)\n",
+		name, time.Since(start).Round(time.Millisecond), workers)
 }
 
 // emit prints the artifact and optionally archives it under dir.

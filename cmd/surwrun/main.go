@@ -30,6 +30,7 @@ func main() {
 		limit      = flag.Int("limit", 10_000, "schedule budget per session")
 		sessions   = flag.Int("sessions", 1, "independent sessions")
 		seed       = flag.Int64("seed", 1, "master seed")
+		workers    = flag.Int("workers", 0, "parallel session workers (1 = sequential; 0 = one per CPU); results are identical at any setting")
 		trace      = flag.Bool("trace", false, "replay and print the first failing schedule's events")
 		list       = flag.Bool("list", false, "list available targets")
 	)
@@ -56,6 +57,7 @@ func main() {
 		Limit:          *limit,
 		Seed:           *seed,
 		StopAtFirstBug: true,
+		Workers:        *workers,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "surwrun: %v\n", err)

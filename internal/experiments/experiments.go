@@ -5,7 +5,11 @@
 // command line and the repository's benchmarks drive it from testing.B.
 package experiments
 
-import "surw/internal/sched"
+import (
+	"sync"
+
+	"surw/internal/sched"
+)
 
 // Scale sets the experiment budgets. The paper's scale (20 sessions of 10^4
 // schedules, 10^6 for SafeStack, 5x10^4 RaceBench iterations, 20 FTP trials
@@ -30,6 +34,14 @@ type Scale struct {
 
 	// Fig2Trials is the number of schedules per algorithm for Figure 2.
 	Fig2Trials int
+
+	// Workers bounds experiment parallelism: the (target × algorithm) grid
+	// of every driver and the sessions inside each RunTarget fan over this
+	// many workers. 1 reproduces the legacy sequential loops; <= 0 means
+	// one worker per CPU (runtime.GOMAXPROCS(0)). Every table and figure
+	// is bit-identical under any setting — cells and sessions derive their
+	// seeds from their own indices and results are collected by index.
+	Workers int
 }
 
 // DefaultScale is the laptop-scale configuration.
@@ -57,6 +69,20 @@ func PaperScale() Scale {
 		FTPTrials:      20,
 		FTPLimit:       10_000,
 		Fig2Trials:     25_200,
+	}
+}
+
+// syncProgress serializes a Progress callback so concurrent grid cells can
+// report without interleaving lines; nil stays a no-op.
+func syncProgress(p Progress) Progress {
+	if p == nil {
+		return func(string, ...any) {}
+	}
+	var mu sync.Mutex
+	return func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		p(format, args...)
 	}
 }
 

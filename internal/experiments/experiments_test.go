@@ -21,7 +21,9 @@ func tinyScale() Scale {
 }
 
 func TestFigure2ShapesAndRender(t *testing.T) {
-	f := Figure2(tinyScale().Fig2Trials, 1)
+	// Workers: 2 exercises the parallel grid; results are worker-count
+	// independent so the assertions below hold regardless.
+	f := Figure2(tinyScale().Fig2Trials, 1, 2)
 	if f.Classes != 252 {
 		t.Fatalf("classes = %d", f.Classes)
 	}

@@ -9,6 +9,7 @@ import (
 	"surw/internal/report"
 	"surw/internal/sched"
 	"surw/internal/stats"
+	"surw/internal/workpool"
 )
 
 // Fig2K is the per-thread event count of the Figure 1/2 program (the paper
@@ -28,8 +29,10 @@ type Fig2Result struct {
 // Figure2 samples the Figure 1 program with URW, Random Walk and PCT-10 and
 // tallies the distribution of the final value of x (the paper's Figure 2
 // histograms). URW is provably uniform over the 252 classes; the baselines
-// are heavily skewed.
-func Figure2(trials int, seed int64) *Fig2Result {
+// are heavily skewed. The three algorithms run on up to `workers`
+// concurrent workers (<= 0 means one per CPU), each on its own sched.Pool
+// so the trial loop recycles execution buffers instead of reallocating.
+func Figure2(trials int, seed int64, workers int) *Fig2Result {
 	prog := Bitshift(Fig2K)
 	info := BitshiftInfo(Fig2K)
 	res := &Fig2Result{
@@ -40,19 +43,28 @@ func Figure2(trials int, seed int64) *Fig2Result {
 		Distinct:   make(map[string]int),
 		Entropy:    make(map[string]float64),
 	}
-	for _, name := range []string{"URW", "RW", "PCT-10"} {
-		alg, err := core.New(name)
+	names := []string{"URW", "RW", "PCT-10"}
+	hists, err := workpool.Map(workers, len(names), func(ni int) (map[string]int, error) {
+		alg, err := core.New(names[ni])
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
+		pool := sched.NewPool()
 		hist := make(map[string]int)
 		for i := 0; i < trials; i++ {
-			r := sched.Run(prog, alg, sched.Options{Seed: seed + int64(i), Info: info})
+			r := pool.Run(prog, alg, sched.Options{Seed: seed + int64(i), Info: info})
 			if r.Buggy() {
 				panic(r.Failure)
 			}
 			hist[r.Behavior]++
 		}
+		return hist, nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	for ni, name := range names {
+		hist := hists[ni]
 		res.Histograms[name] = hist
 		counts := make([]int, 0, len(hist))
 		for _, c := range hist {

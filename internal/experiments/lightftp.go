@@ -8,6 +8,7 @@ import (
 	"surw/internal/report"
 	"surw/internal/runner"
 	"surw/internal/stats"
+	"surw/internal/workpool"
 )
 
 // FTPAlgorithms is the case study's algorithm set (POS is excluded, as in
@@ -25,30 +26,48 @@ type FTPResult struct {
 // LightFTP runs the case study: per trial a fresh shuffled client script
 // set, 10^4 schedules in the paper; interleaving and behaviour coverage and
 // their Shannon entropies are recorded per trial.
+// The (trial × algorithm) grid fans over sc.Workers workers. Each cell
+// rebuilds its trial's target from the same derived seed (cfg.Target is a
+// deterministic function of its seed), so no two cells share mutable state
+// and the trial-ordered collection is identical at any worker count.
 func LightFTP(sc Scale, progress Progress) *FTPResult {
-	if progress == nil {
-		progress = func(string, ...any) {}
-	}
+	progress = syncProgress(progress)
 	out := &FTPResult{Scale: sc, Trials: make(map[string][]*runner.Result)}
 	cfg := ftp.DefaultConfig()
+	type cell struct {
+		trial, ai int
+	}
+	cells := make([]cell, 0, sc.FTPTrials*len(FTPAlgorithms))
 	for trial := 0; trial < sc.FTPTrials; trial++ {
-		tgt := cfg.Target(sc.Seed + int64(trial)*97)
-		for _, alg := range FTPAlgorithms {
-			res, err := runner.RunTarget(tgt, alg, runner.Config{
-				Sessions:      1,
-				Limit:         sc.FTPLimit,
-				Seed:          sc.Seed + int64(trial)*13_001,
-				Coverage:      true,
-				CoverageEvery: maxInt(sc.FTPLimit/25, 1),
-			})
-			if err != nil {
-				panic(err)
-			}
-			out.Trials[alg] = append(out.Trials[alg], res)
-			cov := res.Sessions[0].Cov
-			progress("trial %d %-6s distinct ilv=%d beh=%d", trial, alg,
-				len(cov.Interleavings), len(cov.Behaviors))
+		for ai := range FTPAlgorithms {
+			cells = append(cells, cell{trial, ai})
 		}
+	}
+	results, err := workpool.Map(sc.Workers, len(cells), func(i int) (*runner.Result, error) {
+		trial, alg := cells[i].trial, FTPAlgorithms[cells[i].ai]
+		tgt := cfg.Target(sc.Seed + int64(trial)*97)
+		res, err := runner.RunTarget(tgt, alg, runner.Config{
+			Sessions:      1,
+			Limit:         sc.FTPLimit,
+			Seed:          sc.Seed + int64(trial)*13_001,
+			Coverage:      true,
+			CoverageEvery: maxInt(sc.FTPLimit/25, 1),
+			Workers:       sc.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cov := res.Sessions[0].Cov
+		progress("trial %d %-6s distinct ilv=%d beh=%d", trial, alg,
+			len(cov.Interleavings), len(cov.Behaviors))
+		return res, nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i, c := range cells {
+		// cells are trial-major, so appends land in trial order per alg.
+		out.Trials[FTPAlgorithms[c.ai]] = append(out.Trials[FTPAlgorithms[c.ai]], results[i])
 	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 	"surw/internal/racebench"
 	"surw/internal/report"
 	"surw/internal/runner"
+	"surw/internal/workpool"
 )
 
 // RBAlgorithms is Table 2's column order.
@@ -23,33 +24,46 @@ type RBResult struct {
 // RaceBench runs every base program for the configured iteration budget
 // under every Table 2 algorithm, counting distinct injected bugs (the
 // RaceBench methodology: sampling continues after each crash).
+// The (base × algorithm) grid fans over sc.Workers workers with
+// index-ordered collection, so Table 2 is identical at any worker count.
 func RaceBench(sc Scale, progress Progress) *RBResult {
-	if progress == nil {
-		progress = func(string, ...any) {}
-	}
+	progress = syncProgress(progress)
 	out := &RBResult{
 		Scale:    sc,
 		Distinct: make(map[string]map[string]int),
 		Partial:  make(map[string]bool),
 	}
 	suite := racebench.Suite()
+	type cell struct{ bi, ai int }
+	cells := make([]cell, 0, len(suite)*len(RBAlgorithms))
 	for bi, base := range suite {
 		out.Bases = append(out.Bases, base.Name)
 		out.Partial[base.Name] = base.Partial
-		out.Distinct[base.Name] = make(map[string]int)
-		for _, alg := range RBAlgorithms {
-			res, err := runner.RunTarget(base.Target(), alg, runner.Config{
-				Sessions: 1,
-				Limit:    sc.RaceBenchLimit,
-				Seed:     sc.Seed,
-			})
-			if err != nil {
-				panic(err)
-			}
-			n := len(res.DistinctBugs())
-			out.Distinct[base.Name][alg] = n
-			progress("[%2d/%d] %-16s %-6s %d distinct", bi+1, len(suite), base.Name, alg, n)
+		out.Distinct[base.Name] = make(map[string]int, len(RBAlgorithms))
+		for ai := range RBAlgorithms {
+			cells = append(cells, cell{bi, ai})
 		}
+	}
+	counts, err := workpool.Map(sc.Workers, len(cells), func(i int) (int, error) {
+		base, alg := suite[cells[i].bi], RBAlgorithms[cells[i].ai]
+		res, err := runner.RunTarget(base.Target(), alg, runner.Config{
+			Sessions: 1,
+			Limit:    sc.RaceBenchLimit,
+			Seed:     sc.Seed,
+			Workers:  sc.Workers,
+		})
+		if err != nil {
+			return 0, err
+		}
+		n := len(res.DistinctBugs())
+		progress("[%2d/%d] %-16s %-6s %d distinct", cells[i].bi+1, len(suite), base.Name, alg, n)
+		return n, nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i, c := range cells {
+		out.Distinct[suite[c.bi].Name][RBAlgorithms[c.ai]] = counts[i]
 	}
 	return out
 }

@@ -8,6 +8,7 @@ import (
 	"surw/internal/runner"
 	"surw/internal/sctbench"
 	"surw/internal/stats"
+	"surw/internal/workpool"
 )
 
 // SCTAlgorithms is Table 4's column order.
@@ -26,35 +27,48 @@ type Progress func(format string, args ...any)
 
 // SCTBench runs every suite target under every Table 4 algorithm with the
 // schedules-to-first-bug methodology (SafeStack gets its own larger
-// budget, as in the paper).
+// budget, as in the paper). The (target × algorithm) grid fans over
+// sc.Workers workers; every cell is seeded independently and collected by
+// index, so the tables are bit-identical at any worker count.
 func SCTBench(sc Scale, progress Progress) *SCTResult {
-	if progress == nil {
-		progress = func(string, ...any) {}
-	}
+	progress = syncProgress(progress)
 	out := &SCTResult{Scale: sc, Results: make(map[string]map[string]*runner.Result)}
 	targets := sctbench.Targets()
+	type cell struct{ ti, ai int }
+	cells := make([]cell, 0, len(targets)*len(SCTAlgorithms))
 	for ti, tgt := range targets {
 		out.Targets = append(out.Targets, tgt.Name)
-		out.Results[tgt.Name] = make(map[string]*runner.Result)
+		out.Results[tgt.Name] = make(map[string]*runner.Result, len(SCTAlgorithms))
+		for ai := range SCTAlgorithms {
+			cells = append(cells, cell{ti, ai})
+		}
+	}
+	results, err := workpool.Map(sc.Workers, len(cells), func(i int) (*runner.Result, error) {
+		tgt, alg := targets[cells[i].ti], SCTAlgorithms[cells[i].ai]
 		limit := sc.Limit
 		if tgt.Name == "SafeStack" {
 			limit = sc.SafeStackLimit
 		}
-		for _, alg := range SCTAlgorithms {
-			res, err := runner.RunTarget(tgt, alg, runner.Config{
-				Sessions:       sc.Sessions,
-				Limit:          limit,
-				Seed:           sc.Seed,
-				StopAtFirstBug: true,
-			})
-			if err != nil {
-				panic(err)
-			}
-			out.Results[tgt.Name][alg] = res
-			sum, found := res.FirstBugSummary()
-			progress("[%2d/%d] %-24s %-6s found %d/%d mean %.0f",
-				ti+1, len(targets), tgt.Name, alg, found, sc.Sessions, sum.Mean)
+		res, err := runner.RunTarget(tgt, alg, runner.Config{
+			Sessions:       sc.Sessions,
+			Limit:          limit,
+			Seed:           sc.Seed,
+			StopAtFirstBug: true,
+			Workers:        sc.Workers,
+		})
+		if err != nil {
+			return nil, err
 		}
+		sum, found := res.FirstBugSummary()
+		progress("[%2d/%d] %-24s %-6s found %d/%d mean %.0f",
+			cells[i].ti+1, len(targets), tgt.Name, alg, found, sc.Sessions, sum.Mean)
+		return res, nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i, c := range cells {
+		out.Results[targets[c.ti].Name][SCTAlgorithms[c.ai]] = results[i]
 	}
 	return out
 }

@@ -1,0 +1,143 @@
+// Session execution. Sessions are the unit of parallelism: RunTarget fans
+// them over a workpool, and this file is the engine each worker runs.
+//
+// The confinement model that keeps parallel output bit-identical to the
+// sequential loop:
+//
+//   - Every session is self-contained. Its seed is derived from the config
+//     seed and its own index (cfg.Seed + session*1_000_003), never from a
+//     shared stream, so no session observes another's randomness.
+//   - A session builds all of its mutable state privately: its algorithm
+//     instance (core.New per session), its rand streams, its profile, and a
+//     sched.Pool whose buffers are recycled across the session's schedules
+//     but never shared between sessions.
+//   - Target state is created inside Prog through the sched API on every
+//     schedule, so concurrent schedules of one program never share memory;
+//     the Target struct itself is only read.
+//   - Results are collected by session index (workpool.Map), never by
+//     completion order.
+//
+// Under these rules the session loop commutes with itself, so Workers: N
+// is an execution-order change only. The regression tests in
+// parallel_test.go hold RunTarget(Workers: 4) byte-identical to
+// RunTarget(Workers: 1) for every registered algorithm.
+package runner
+
+import (
+	"math/rand"
+	"strings"
+
+	"surw/internal/core"
+	"surw/internal/profile"
+	"surw/internal/sched"
+)
+
+// needsProfile reports whether the algorithm consumes count estimates, and
+// therefore whether the paper charges it one extra schedule for the
+// profiling run.
+func needsProfile(alg string) bool {
+	a := strings.ToUpper(alg)
+	return a == "SURW" || a == "N-U" || a == "N-S" || a == "URW" ||
+		strings.HasPrefix(a, "PCT") || strings.HasPrefix(a, "DB-")
+}
+
+// usesDelta reports whether the algorithm consumes a Δ selection.
+func usesDelta(alg string) bool {
+	a := strings.ToUpper(alg)
+	return a == "SURW" || a == "N-U"
+}
+
+func runSession(tgt Target, algName string, cfg Config, session int) (*Session, error) {
+	alg, err := core.New(algName)
+	if err != nil {
+		return nil, err
+	}
+	base := cfg.Seed + int64(session)*1_000_003
+	sessRng := rand.New(rand.NewSource(base))
+
+	plusOne := 0
+	var prof *profile.Profile
+	if needsProfile(algName) {
+		plusOne = 1
+		prof, _ = profile.Collect(tgt.Prog, profile.Options{
+			Runs:     cfg.ProfileRuns,
+			Seed:     base + 17,
+			ProgSeed: tgt.ProgSeed,
+			MaxSteps: tgt.MaxSteps,
+		})
+		// A crashing or truncated census still yields usable (if noisy)
+		// counts; §7 of the paper discusses exactly this degradation.
+	}
+	var fixedInfo *sched.ProgramInfo
+	if prof != nil && !usesDelta(algName) {
+		fixedInfo = prof.Instantiate(prof.SelectAll())
+	}
+
+	sess := &Session{FirstBug: -1, Bugs: make(map[string]int)}
+	if cfg.Coverage {
+		sess.Cov = &Coverage{
+			Interleavings: make(map[uint64]int),
+			Behaviors:     make(map[string]int),
+		}
+	}
+	every := cfg.CoverageEvery
+	if every <= 0 {
+		every = cfg.Limit/50 + 1
+	}
+
+	// One pool per session: all schedules of the session share (and
+	// recycle) one set of execution buffers.
+	pool := sched.NewPool()
+	for i := 0; i < cfg.Limit; i++ {
+		info := fixedInfo
+		if prof != nil && usesDelta(algName) {
+			sel, ok := selectDelta(tgt, prof, sessRng)
+			if ok {
+				info = prof.Instantiate(sel)
+			} else {
+				info = prof.Instantiate(prof.SelectAll())
+			}
+		}
+		r := pool.Run(tgt.Prog, alg, sched.Options{
+			Seed:        base + int64(i)*2_000_033 + 1,
+			ProgSeed:    tgt.ProgSeed,
+			MaxSteps:    tgt.MaxSteps,
+			Info:        info,
+			TraceFilter: tgt.TraceFilter,
+		})
+		sess.Schedules++
+		if r.Truncated {
+			sess.Truncated++
+		}
+		if sess.Cov != nil {
+			sess.Cov.Interleavings[r.InterleavingHash]++
+			if r.Behavior != "" {
+				sess.Cov.Behaviors[r.Behavior]++
+			}
+			if (i+1)%every == 0 || i+1 == cfg.Limit {
+				sess.Cov.Series = append(sess.Cov.Series, CovPoint{
+					Schedules:     i + 1,
+					Interleavings: len(sess.Cov.Interleavings),
+					Behaviors:     len(sess.Cov.Behaviors),
+				})
+			}
+		}
+		if r.Buggy() {
+			sess.Bugs[r.BugID()]++
+			if sess.FirstBug == -1 {
+				sess.FirstBug = i + 1 + plusOne
+				if cfg.StopAtFirstBug {
+					break
+				}
+			}
+		}
+	}
+	return sess, nil
+}
+
+func selectDelta(tgt Target, prof *profile.Profile, rng *rand.Rand) (profile.Selection, bool) {
+	if tgt.Select != nil {
+		return tgt.Select(prof, rng)
+	}
+	return prof.SelectSingleVar(rng)
+}

@@ -9,12 +9,11 @@ package runner
 import (
 	"fmt"
 	"math/rand"
-	"strings"
 
-	"surw/internal/core"
 	"surw/internal/profile"
 	"surw/internal/sched"
 	"surw/internal/stats"
+	"surw/internal/workpool"
 )
 
 // Target describes a program under test.
@@ -56,6 +55,11 @@ type Config struct {
 	CoverageEvery int
 	// ProfileRuns is the number of census runs per session (default 1).
 	ProfileRuns int
+	// Workers bounds how many sessions run concurrently: 1 is the legacy
+	// sequential loop, larger values fan sessions over that many OS-backed
+	// workers, and <= 0 means one worker per CPU (runtime.GOMAXPROCS(0)).
+	// Results are bit-identical under every setting; see parallel.go.
+	Workers int
 }
 
 // CovPoint is one point of a coverage curve.
@@ -105,22 +109,8 @@ type Result struct {
 	Sessions  []Session
 }
 
-// needsProfile reports whether the algorithm consumes count estimates, and
-// therefore whether the paper charges it one extra schedule for the
-// profiling run.
-func needsProfile(alg string) bool {
-	a := strings.ToUpper(alg)
-	return a == "SURW" || a == "N-U" || a == "N-S" || a == "URW" ||
-		strings.HasPrefix(a, "PCT") || strings.HasPrefix(a, "DB-")
-}
-
-// usesDelta reports whether the algorithm consumes a Δ selection.
-func usesDelta(alg string) bool {
-	a := strings.ToUpper(alg)
-	return a == "SURW" || a == "N-U"
-}
-
-// RunTarget runs cfg.Sessions sessions of algName on the target.
+// RunTarget runs cfg.Sessions sessions of algName on the target, fanned
+// over cfg.Workers workers (see parallel.go for the confinement argument).
 func RunTarget(tgt Target, algName string, cfg Config) (*Result, error) {
 	if cfg.Sessions <= 0 {
 		cfg.Sessions = 1
@@ -128,107 +118,17 @@ func RunTarget(tgt Target, algName string, cfg Config) (*Result, error) {
 	if cfg.Limit <= 0 {
 		cfg.Limit = 1000
 	}
-	res := &Result{Target: tgt.Name, Algorithm: algName, Limit: cfg.Limit}
-	for s := 0; s < cfg.Sessions; s++ {
+	sessions, err := workpool.Map(cfg.Workers, cfg.Sessions, func(s int) (Session, error) {
 		sess, err := runSession(tgt, algName, cfg, s)
 		if err != nil {
-			return nil, fmt.Errorf("runner: %s/%s session %d: %w", tgt.Name, algName, s, err)
+			return Session{}, fmt.Errorf("runner: %s/%s session %d: %w", tgt.Name, algName, s, err)
 		}
-		res.Sessions = append(res.Sessions, *sess)
-	}
-	return res, nil
-}
-
-func runSession(tgt Target, algName string, cfg Config, session int) (*Session, error) {
-	alg, err := core.New(algName)
+		return *sess, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	base := cfg.Seed + int64(session)*1_000_003
-	sessRng := rand.New(rand.NewSource(base))
-
-	plusOne := 0
-	var prof *profile.Profile
-	if needsProfile(algName) {
-		plusOne = 1
-		prof, _ = profile.Collect(tgt.Prog, profile.Options{
-			Runs:     cfg.ProfileRuns,
-			Seed:     base + 17,
-			ProgSeed: tgt.ProgSeed,
-			MaxSteps: tgt.MaxSteps,
-		})
-		// A crashing or truncated census still yields usable (if noisy)
-		// counts; §7 of the paper discusses exactly this degradation.
-	}
-	var fixedInfo *sched.ProgramInfo
-	if prof != nil && !usesDelta(algName) {
-		fixedInfo = prof.Instantiate(prof.SelectAll())
-	}
-
-	sess := &Session{FirstBug: -1, Bugs: make(map[string]int)}
-	if cfg.Coverage {
-		sess.Cov = &Coverage{
-			Interleavings: make(map[uint64]int),
-			Behaviors:     make(map[string]int),
-		}
-	}
-	every := cfg.CoverageEvery
-	if every <= 0 {
-		every = cfg.Limit/50 + 1
-	}
-
-	for i := 0; i < cfg.Limit; i++ {
-		info := fixedInfo
-		if prof != nil && usesDelta(algName) {
-			sel, ok := selectDelta(tgt, prof, sessRng)
-			if ok {
-				info = prof.Instantiate(sel)
-			} else {
-				info = prof.Instantiate(prof.SelectAll())
-			}
-		}
-		r := sched.Run(tgt.Prog, alg, sched.Options{
-			Seed:        base + int64(i)*2_000_033 + 1,
-			ProgSeed:    tgt.ProgSeed,
-			MaxSteps:    tgt.MaxSteps,
-			Info:        info,
-			TraceFilter: tgt.TraceFilter,
-		})
-		sess.Schedules++
-		if r.Truncated {
-			sess.Truncated++
-		}
-		if sess.Cov != nil {
-			sess.Cov.Interleavings[r.InterleavingHash]++
-			if r.Behavior != "" {
-				sess.Cov.Behaviors[r.Behavior]++
-			}
-			if (i+1)%every == 0 || i+1 == cfg.Limit {
-				sess.Cov.Series = append(sess.Cov.Series, CovPoint{
-					Schedules:     i + 1,
-					Interleavings: len(sess.Cov.Interleavings),
-					Behaviors:     len(sess.Cov.Behaviors),
-				})
-			}
-		}
-		if r.Buggy() {
-			sess.Bugs[r.BugID()]++
-			if sess.FirstBug == -1 {
-				sess.FirstBug = i + 1 + plusOne
-				if cfg.StopAtFirstBug {
-					break
-				}
-			}
-		}
-	}
-	return sess, nil
-}
-
-func selectDelta(tgt Target, prof *profile.Profile, rng *rand.Rand) (profile.Selection, bool) {
-	if tgt.Select != nil {
-		return tgt.Select(prof, rng)
-	}
-	return prof.SelectSingleVar(rng)
+	return &Result{Target: tgt.Name, Algorithm: algName, Limit: cfg.Limit, Sessions: sessions}, nil
 }
 
 // FirstBugObs converts the sessions to right-censored observations for the

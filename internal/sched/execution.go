@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 )
 
 type threadState uint8
@@ -15,13 +16,17 @@ const (
 	tsFinished                    // exited
 )
 
-// Execution drives one schedule of one program. It is created by Run and is
-// single-use. All state is confined: exactly one goroutine (a virtual
-// thread or the scheduler loop) runs at any time, so no field needs locking.
+// Execution drives one schedule of one program. All state is confined:
+// exactly one goroutine (a virtual thread or the scheduler loop) runs at
+// any time, so no field needs locking. An Execution owned by a Pool is
+// reused across schedules — reset re-initializes the per-schedule fields
+// while the allocation-heavy buffers (thread structs and their gate
+// channels, the object and trace slices, the path/name maps) persist.
 type Execution struct {
 	opts     Options
 	alg      Algorithm
 	progRand *rand.Rand
+	algRand  *rand.Rand
 
 	threads []*Thread
 	byPath  map[string]ThreadID
@@ -45,6 +50,14 @@ type Execution struct {
 	filter      func(Event) bool
 
 	state *State
+
+	// Reuse pools, persistent across resets. freeThreads holds finished
+	// Thread structs (with their gate channels) from earlier schedules;
+	// names interns path and object-name strings so the spawn/create hot
+	// path stops allocating once the first schedule has seen a name.
+	freeThreads []*Thread
+	names       map[string]string
+	nameBuf     []byte
 }
 
 type spawnRec struct {
@@ -91,29 +104,74 @@ func fnvMix(h uint64, v uint64) uint64 {
 
 // Run executes one schedule of prog under alg and returns its Result.
 // A nil alg falls back to always picking the lowest enabled TID (a
-// deterministic left-most schedule, useful for smoke tests).
+// deterministic left-most schedule, useful for smoke tests). Callers
+// running many schedules of one program should prefer Pool.Run, which
+// reuses the execution buffers across schedules.
 func Run(prog func(*Thread), alg Algorithm, opts Options) *Result {
-	ex := &Execution{
-		opts:     opts,
-		alg:      alg,
-		progRand: rand.New(rand.NewSource(opts.ProgSeed + 1)),
-		byPath:   make(map[string]ThreadID),
-		objSeen:  make(map[string]int),
-		toSched:  make(chan *Thread),
-		maxSteps: opts.MaxSteps,
-		ilvHash:  fnvOffset,
-		filter:   opts.TraceFilter,
+	return new(Execution).run(prog, alg, opts)
+}
+
+// reset prepares the Execution for a fresh schedule, recycling every
+// buffer a previous schedule left behind. Re-seeding the persistent rand
+// streams yields exactly the streams a fresh rand.New(rand.NewSource(seed))
+// would produce, so pooled and one-shot executions are bit-identical.
+func (ex *Execution) reset(opts Options, alg Algorithm) {
+	ex.opts = opts
+	ex.alg = alg
+	if ex.progRand == nil {
+		ex.progRand = rand.New(rand.NewSource(opts.ProgSeed + 1))
+	} else {
+		ex.progRand.Seed(opts.ProgSeed + 1)
 	}
+	for _, t := range ex.threads {
+		ex.freeThreads = append(ex.freeThreads, t)
+	}
+	ex.threads = ex.threads[:0]
+	ex.objs = ex.objs[:0]
+	ex.pending = ex.pending[:0]
+	if ex.byPath == nil {
+		ex.byPath = make(map[string]ThreadID, 8)
+		ex.objSeen = make(map[string]int, 8)
+		ex.names = make(map[string]string, 16)
+		ex.toSched = make(chan *Thread)
+	} else {
+		clear(ex.byPath)
+		clear(ex.objSeen)
+	}
+	ex.steps = 0
+	ex.maxSteps = opts.MaxSteps
 	if ex.maxSteps <= 0 {
 		ex.maxSteps = DefaultMaxSteps
 	}
+	ex.failure = nil
+	ex.truncated = false
+	ex.aborted = false
+	ex.behavior = ""
+	ex.trace = ex.trace[:0]
+	ex.ilvHash = fnvOffset
+	ex.deltaHash = 0
+	ex.interesting = nil
+	ex.filter = opts.TraceFilter
 	if opts.Info != nil && opts.Info.Interesting != nil {
 		ex.interesting = opts.Info.Interesting
 		ex.deltaHash = fnvOffset
 	}
-	ex.state = &State{ex: ex}
+	if ex.state == nil {
+		ex.state = &State{ex: ex}
+	} else {
+		ex.state.enabled = ex.state.enabled[:0]
+	}
+}
+
+func (ex *Execution) run(prog func(*Thread), alg Algorithm, opts Options) *Result {
+	ex.reset(opts, alg)
 	if alg != nil {
-		alg.Begin(opts.Info, rand.New(rand.NewSource(opts.Seed+1)))
+		if ex.algRand == nil {
+			ex.algRand = rand.New(rand.NewSource(opts.Seed + 1))
+		} else {
+			ex.algRand.Seed(opts.Seed + 1)
+		}
+		alg.Begin(opts.Info, ex.algRand)
 	}
 
 	root := ex.addThread(nil, prog)
@@ -129,10 +187,13 @@ func Run(prog func(*Thread), alg Algorithm, opts Options) *Result {
 		InterleavingHash: ex.ilvHash,
 		DeltaHash:        ex.deltaHash,
 		Behavior:         ex.behavior,
-		Trace:            ex.trace,
 		Threads:          len(ex.threads),
 	}
 	if opts.RecordTrace {
+		// Hand the trace to the caller and surrender the buffer: a pooled
+		// Execution must never scribble over a returned Result.
+		res.Trace = ex.trace
+		ex.trace = nil
 		res.ThreadPaths = make([]string, len(ex.threads))
 		for i, t := range ex.threads {
 			res.ThreadPaths[i] = t.path
@@ -142,11 +203,11 @@ func Run(prog func(*Thread), alg Algorithm, opts Options) *Result {
 }
 
 func (ex *Execution) loop() {
+	enabled := ex.enabledTIDs()
 	for {
 		if ex.failure != nil {
 			return
 		}
-		enabled := ex.enabledTIDs()
 		if len(enabled) == 0 {
 			if ex.anyAlive() {
 				ex.reportDeadlock()
@@ -173,13 +234,36 @@ func (ex *Execution) loop() {
 		ev := t.next
 		ex.steps++
 		ex.recordEvent(ev)
+		nThreads := len(ex.threads)
 		ex.grant(t)
 		ex.primeNew()
+		// The enabled set is rebuilt (for Observe and the next decision)
+		// only when this step could have changed it. A pure event — a
+		// shared-variable access or a yield — cannot block or unblock any
+		// other thread, so if the executing thread republished an enabled
+		// event and spawned nobody, the set of enabled TIDs is unchanged.
+		if len(ex.threads) != nThreads || !ex.pureEvent(ev) ||
+			t.state != tsReady || !ex.enabled(t) {
+			enabled = ex.enabledTIDs()
+		}
 		if ex.alg != nil {
-			ex.enabledTIDs() // refresh for Observe (e.g. POS race resampling)
 			ex.alg.Observe(ev, ex.state)
 		}
 	}
+}
+
+// pureEvent reports whether ev can never change another thread's
+// enabledness: yields and accesses to plain shared variables qualify; any
+// synchronization operation (including an OpRMW TryLock on a mutex) does
+// not.
+func (ex *Execution) pureEvent(ev Event) bool {
+	switch ev.Kind {
+	case OpYield:
+		return true
+	case OpRead, OpWrite, OpRMW:
+		return ev.Obj != 0 && ex.objs[ev.Obj-1].kind == ObjVar
+	}
+	return false
 }
 
 func containsTID(tids []ThreadID, tid ThreadID) bool {
@@ -309,18 +393,48 @@ func (ex *Execution) killRemaining() {
 	}
 }
 
-func (ex *Execution) addThread(parent *Thread, body func(*Thread)) *Thread {
-	t := &Thread{
-		ex:   ex,
-		id:   len(ex.threads),
-		body: body,
-		gate: make(chan step),
+// intern canonicalizes the scratch bytes in ex.nameBuf into a string,
+// reusing the copy a previous schedule produced. The map lookup with a
+// []byte-to-string conversion does not allocate; only the first schedule
+// of a pooled Execution pays for the string.
+func (ex *Execution) intern() string {
+	if s, ok := ex.names[string(ex.nameBuf)]; ok {
+		return s
 	}
+	s := string(ex.nameBuf)
+	ex.names[s] = s
+	return s
+}
+
+func (ex *Execution) addThread(parent *Thread, body func(*Thread)) *Thread {
+	var t *Thread
+	if n := len(ex.freeThreads); n > 0 {
+		// Recycle a finished thread's struct and gate channel. Its old
+		// goroutine has fully exited (killRemaining or a natural finish
+		// handed the baton back before run returned), so nothing else can
+		// touch the gate.
+		t = ex.freeThreads[n-1]
+		ex.freeThreads = ex.freeThreads[:n-1]
+		t.next = Event{}
+		t.state = tsUnprimed
+		t.seq = 0
+		t.spawned = 0
+		t.joinTarget = 0
+		t.heldMutex = t.heldMutex[:0]
+	} else {
+		t = &Thread{gate: make(chan step)}
+	}
+	t.ex = ex
+	t.id = len(ex.threads)
+	t.body = body
 	if parent == nil {
 		t.path = "0"
 		t.parent = -1
 	} else {
-		t.path = fmt.Sprintf("%s.%d", parent.path, parent.spawned)
+		buf := append(ex.nameBuf[:0], parent.path...)
+		buf = append(buf, '.')
+		ex.nameBuf = strconv.AppendInt(buf, int64(parent.spawned), 10)
+		t.path = ex.intern()
 		parent.spawned++
 		t.parent = parent.id
 	}
@@ -332,16 +446,27 @@ func (ex *Execution) addThread(parent *Thread, body func(*Thread)) *Thread {
 
 func (ex *Execution) addObj(o objState, name, autoPrefix string) ObjID {
 	if name == "" {
-		name = fmt.Sprintf("%s#%d", autoPrefix, len(ex.objs))
+		buf := append(ex.nameBuf[:0], autoPrefix...)
+		buf = append(buf, '#')
+		ex.nameBuf = strconv.AppendInt(buf, int64(len(ex.objs)), 10)
+		name = ex.intern()
 	}
 	if n := ex.objSeen[name]; n > 0 {
 		ex.objSeen[name] = n + 1
-		name = fmt.Sprintf("%s~%d", name, n)
+		buf := append(ex.nameBuf[:0], name...)
+		buf = append(buf, '~')
+		ex.nameBuf = strconv.AppendInt(buf, int64(n), 10)
+		name = ex.intern()
 	} else {
 		ex.objSeen[name] = 1
 	}
 	o.name = name
 	o.hash = fnv1a(fnvOffset, name)
+	if n := len(ex.objs); n < cap(ex.objs) {
+		// Recycle the stale element's waiter buffer (the previous schedule
+		// of a pooled Execution created the same objects in the same order).
+		o.waiters = ex.objs[: n+1 : n+1][n].waiters[:0]
+	}
 	ex.objs = append(ex.objs, o)
 	return ObjID(len(ex.objs))
 }

@@ -1,0 +1,46 @@
+package sched
+
+// Pool amortizes the substrate's per-schedule allocations across the many
+// schedules of one session. A one-shot Run builds a fresh Execution every
+// time: thread structs and their gate channels, the path and object-name
+// maps, the object table and the enabled-set buffer. A Pool keeps one
+// Execution and recycles all of that — under a fixed program the second and
+// later schedules allocate almost nothing on the spawn/create path, because
+// thread paths and object names are interned from the first schedule.
+//
+// Determinism: Pool.Run(prog, alg, opts) returns a Result bit-identical to
+// sched.Run(prog, alg, opts). Resetting re-seeds the persistent random
+// streams (yielding exactly the stream a fresh source would produce) and
+// clears every piece of per-schedule state; the regression tests in
+// pool_test.go hold the two paths equal event-for-event.
+//
+// A Pool is single-goroutine: it must not be shared between concurrently
+// running sessions. The parallel runner gives each session its own Pool.
+type Pool struct {
+	ex Execution
+}
+
+// NewPool returns an empty pool. The zero value is also ready to use.
+func NewPool() *Pool { return &Pool{} }
+
+// Run executes one schedule like the package-level Run, reusing the pool's
+// buffers. The returned Result (including any recorded trace) is owned by
+// the caller and is never overwritten by later runs.
+func (p *Pool) Run(prog func(*Thread), alg Algorithm, opts Options) *Result {
+	return p.ex.run(prog, alg, opts)
+}
+
+// Reset drops the pooled schedule state while keeping allocated capacity,
+// leaving the pool as if freshly constructed but warm. It is not required
+// between runs — Run resets implicitly — but lets a long-lived pool be
+// repointed at a different program without carrying stale interned names.
+func (p *Pool) Reset() {
+	p.ex.names = nil
+	p.ex.byPath = nil
+	p.ex.objSeen = nil
+	p.ex.freeThreads = nil
+	p.ex.threads = nil
+	p.ex.objs = nil
+	p.ex.trace = nil
+	p.ex.state = nil
+}

@@ -1,0 +1,104 @@
+package workpool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 9} {
+		got, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapParallelMatchesSequential(t *testing.T) {
+	fn := func(i int) (string, error) { return fmt.Sprintf("item-%d", i*7), nil }
+	seq, err := Map(1, 37, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(8, 37, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("diverged at %d: %q vs %q", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	fn := func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, errB
+		case 1:
+			return 0, errA
+		}
+		return i, nil
+	}
+	for _, workers := range []int{1, 4} {
+		if _, err := Map(workers, 10, fn); !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: err = %v, want lowest-index error %v", workers, err, errA)
+		}
+	}
+}
+
+func TestMapRunsEveryItemOnce(t *testing.T) {
+	var ran [257]atomic.Int32
+	_, err := Map(16, len(ran), func(i int) (struct{}, error) {
+		ran[i].Add(1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if n := ran[i].Load(); n != 1 {
+			t.Fatalf("item %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestMapEmptyAndSequentialEarlyStop(t *testing.T) {
+	if got, err := Map(4, 0, func(int) (int, error) { return 0, nil }); err != nil || got != nil {
+		t.Fatalf("empty: %v %v", got, err)
+	}
+	// The one-worker path preserves the legacy stop-at-first-error loop.
+	calls := 0
+	_, err := Map(1, 10, func(i int) (int, error) {
+		calls++
+		if i == 2 {
+			return 0, errors.New("stop")
+		}
+		return 0, nil
+	})
+	if err == nil || calls != 3 {
+		t.Fatalf("sequential early stop: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if Normalize(0) != runtime.GOMAXPROCS(0) || Normalize(-3) != runtime.GOMAXPROCS(0) {
+		t.Fatal("non-positive should resolve to GOMAXPROCS")
+	}
+	if Normalize(1) != 1 || Normalize(7) != 7 {
+		t.Fatal("positive values should pass through")
+	}
+}
