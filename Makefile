@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet test race bench fuzz-smoke crosscheck ci
 
 all: ci
 
@@ -21,5 +22,16 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Short coverage-guided fuzz runs of the two native fuzz targets: the
+# end-to-end differential oracle over generated programs, and the channel
+# implementation under randomized scheduling. FUZZTIME=5m for a soak.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzGeneratedProgram -fuzztime=$(FUZZTIME) ./internal/crosscheck
+	$(GO) test -run='^$$' -fuzz=FuzzChannelOps -fuzztime=$(FUZZTIME) ./internal/sched
+
+# Framework self-verification soak (surwrun -crosscheck).
+crosscheck:
+	$(GO) run ./cmd/surwrun -crosscheck
 
 ci: vet build test race

@@ -1,11 +1,33 @@
 #!/bin/sh
-# CI gate: build + vet everything, run the full test suite, then re-run the
+# CI gate: build + vet everything, run the full test suite with per-package
+# coverage, enforce coverage floors on the core packages, re-run the
 # concurrency-bearing packages under the race detector (short mode keeps the
-# race pass under a minute; the parallel runner and the experiment grids are
-# still exercised with multi-worker configurations).
+# race pass under a minute), and finish with a short coverage-guided fuzz
+# smoke of the two native fuzz targets.
 set -eux
 
 go vet ./...
 go build ./...
-go test ./...
-go test -race -short ./internal/workpool ./internal/sched ./internal/runner ./internal/experiments
+# (no pipe: a pipeline would mask go test's exit status under plain sh)
+go test -cover ./... > /tmp/surw-cover.txt 2>&1 || { cat /tmp/surw-cover.txt; exit 1; }
+cat /tmp/surw-cover.txt
+
+# Coverage floors: current-minus-1% for the scheduler substrate and the
+# algorithm implementations. A drop below the floor means tests were lost
+# or new code landed untested; raise the floor when coverage climbs.
+awk '
+  /^ok/ && /coverage:/ {
+    pkg = $2
+    for (i = 1; i <= NF; i++) if ($i == "coverage:") { sub(/%/, "", $(i+1)); cov = $(i+1) + 0 }
+    printf "%-40s %5.1f%%\n", pkg, cov
+    if (pkg == "surw/internal/sched" && cov < 91.9) { printf "FAIL: %s coverage %.1f%% below floor 91.9%%\n", pkg, cov; bad = 1 }
+    if (pkg == "surw/internal/core"  && cov < 95.2) { printf "FAIL: %s coverage %.1f%% below floor 95.2%%\n", pkg, cov; bad = 1 }
+  }
+  END { exit bad }
+' /tmp/surw-cover.txt
+
+go test -race -short ./internal/workpool ./internal/sched ./internal/runner ./internal/experiments ./internal/crosscheck
+
+# Fuzz smoke: a short coverage-guided run of each native fuzz target (the
+# full checked-in seed corpora already ran as part of `go test` above).
+FUZZTIME=10s make fuzz-smoke

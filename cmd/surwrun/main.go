@@ -5,7 +5,13 @@
 // Usage:
 //
 //	surwrun -target CS/reorder_10 -alg SURW [-limit N] [-sessions K] [-seed S] [-trace]
+//	surwrun -crosscheck [-crosscheck-seeds N] [-seed S]
 //	surwrun -list
+//
+// -crosscheck soak-runs the framework's own differential and statistical
+// oracle (internal/crosscheck): the mutation-sensitivity self-test plus a
+// sweep of generated programs cross-checked against exhaustive
+// enumeration. It exits non-zero on the first framework bug found.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"os"
 
 	"surw/internal/core"
+	"surw/internal/crosscheck"
 	"surw/internal/ftp"
 	"surw/internal/profile"
 	"surw/internal/racebench"
@@ -33,9 +40,18 @@ func main() {
 		workers    = flag.Int("workers", 0, "parallel session workers (1 = sequential; 0 = one per CPU); results are identical at any setting")
 		trace      = flag.Bool("trace", false, "replay and print the first failing schedule's events")
 		list       = flag.Bool("list", false, "list available targets")
+		ccheck     = flag.Bool("crosscheck", false, "soak-run the framework self-verification oracle instead of a benchmark")
+		ccSeeds    = flag.Int("crosscheck-seeds", 10, "generator seeds swept per grammar in -crosscheck mode")
 	)
 	flag.Parse()
 
+	if *ccheck {
+		if err := runCrosscheck(*ccSeeds, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "surwrun: FRAMEWORK BUG: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, name := range allTargetNames() {
 			fmt.Println(name)
@@ -85,6 +101,39 @@ func main() {
 	if *trace {
 		printFailingTrace(tgt, *algName, *seed, *limit)
 	}
+}
+
+// runCrosscheck soak-runs the framework oracle: the statistical
+// mutation-sensitivity self-test once, then the differential check over
+// seeds generator seeds per grammar.
+func runCrosscheck(seeds int, seed int64) error {
+	fmt.Println("crosscheck: mutation-sensitivity self-test (bitshift, 252 classes)")
+	rep, err := crosscheck.MutationSensitivity(0, seed, 0.005)
+	if rep != nil {
+		fmt.Print(rep)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("crosscheck: differential sweep over %d seeds x 3 grammars, algorithms %v\n",
+		seeds, crosscheck.Algorithms())
+	checked := 0
+	for s := int64(0); s < int64(seeds); s++ {
+		// AllowPartial: over arbitrary seeds the occasional program outgrows
+		// the enumeration budget; it still gets the replay and identity
+		// checks, just not set membership.
+		reps, err := crosscheck.CheckGenerated(seed+s, crosscheck.Options{Seed: seed + s, AllowPartial: true})
+		for _, r := range reps {
+			fmt.Printf("  %-24s enumerated %6d schedules, %5d interleavings, %3d sampled schedules verified (deadlocky=%v)\n",
+				r.Program, r.Enumerated, r.Interleavings, r.Checked, r.Deadlocky)
+			checked += r.Checked
+		}
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("crosscheck: OK — %d sampled schedules legal, replayable, and pool/parallel-identical\n", checked)
+	return nil
 }
 
 // allTargetNames lists every runnable target across the suites.

@@ -1,0 +1,44 @@
+package crosscheck
+
+import (
+	"testing"
+
+	"surw/internal/progfuzz"
+)
+
+// FuzzGeneratedProgram feeds fuzzed (seed, grammar) pairs through the full
+// differential oracle: generate a program, enumerate its schedule space,
+// and require every sampler to stay inside it, replay bit-exactly, and
+// match pooled execution. The fuzzer's job is to find a generator seed
+// whose program breaks the framework; any crash here is a real bug in
+// either the generators or the scheduler substrate.
+func FuzzGeneratedProgram(f *testing.F) {
+	f.Add(int64(1), int64(0))
+	f.Add(int64(7), int64(1))
+	f.Add(int64(3), int64(2))
+	f.Add(int64(18), int64(2)) // historically the largest deadlock space
+	f.Add(int64(-9000), int64(1))
+	f.Fuzz(func(t *testing.T, seed, grammar int64) {
+		opts := Options{
+			Schedules:    3,
+			MaxSchedules: 50_000,
+			Seed:         seed ^ 0x9e3779b9,
+			Algorithms:   []string{"RW", "URW", "SURW", "POS"},
+			AllowPartial: true, // mutated seeds may outgrow the enumeration budget
+			SkipParallel: true, // keep per-input cost down for the fuzz engine
+		}
+		var err error
+		switch g := grammar % 3; g {
+		case 0:
+			_, err = CheckProgram("fuzz-gen", progfuzz.Gen(seed, genConfig).Prog(), false, opts)
+		case 1:
+			_, err = CheckProgram("fuzz-gensync", progfuzz.GenSync(seed, genSyncConfig).Prog(), false, opts)
+		default:
+			p, expect := progfuzz.GenDeadlock(seed, genConfig)
+			_, err = CheckProgram("fuzz-gendeadlock", p.Prog(), expect, opts)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}

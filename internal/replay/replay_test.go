@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -187,5 +188,130 @@ func TestRecorderForwardsSpawnObserver(t *testing.T) {
 		if bare.InterleavingHash != wrapped.InterleavingHash {
 			t.Fatalf("seed %d: recorder perturbed SURW", seed)
 		}
+	}
+}
+
+// chanProg exercises channel events (cond waits, wakelocks, signals behind
+// the Chan implementation): two producers race into a buffered channel and
+// one consumer drains it.
+func chanProg(t *sched.Thread) {
+	ch := sched.NewChan[int64](t, "ch", 2)
+	sum := t.NewVar("sum", 0)
+	p1 := t.Go(func(w *sched.Thread) { ch.Send(w, 1); ch.Send(w, 2) })
+	p2 := t.Go(func(w *sched.Thread) { ch.Send(w, 10) })
+	c := t.Go(func(w *sched.Thread) {
+		for i := 0; i < 3; i++ {
+			v, ok := ch.Recv(w)
+			w.Assert(ok, "chan-closed-early")
+			sum.Add(w, v)
+		}
+	})
+	t.JoinAll(p1, p2, c)
+	t.SetBehavior(fmt.Sprintf("%d", sum.Peek()))
+}
+
+// wgProg exercises waitgroup events: workers Done concurrently while a
+// waiter blocks on the counter.
+func wgProg(t *sched.Thread) {
+	wg := t.NewWaitGroup("wg")
+	x := t.NewVar("x", 0)
+	wg.Add(t, 2)
+	w1 := t.Go(func(w *sched.Thread) { x.Add(w, 1); wg.Done(w) })
+	w2 := t.Go(func(w *sched.Thread) { x.Add(w, 2); wg.Done(w) })
+	waiter := t.Go(func(w *sched.Thread) {
+		wg.Wait(w)
+		w.Assert(x.Load(w) == 3, "wg-early")
+	})
+	t.JoinAll(w1, w2, waiter)
+}
+
+// semProg exercises semaphore events: producers V, consumers P with
+// blocking.
+func semProg(t *sched.Thread) {
+	sem := t.NewSemaphore("sem", 0)
+	x := t.NewVar("x", 0)
+	p := t.Go(func(w *sched.Thread) { x.Add(w, 1); sem.V(w); x.Add(w, 1); sem.V(w) })
+	c := t.Go(func(w *sched.Thread) { sem.P(w); sem.P(w); x.Add(w, 10) })
+	t.JoinAll(p, c)
+	t.SetBehavior(fmt.Sprintf("%d", x.Peek()))
+}
+
+// TestSyncObjectRoundTrips closes the coverage gap on synchronization
+// events: recordings over channel, waitgroup, and semaphore programs must
+// replay bit-exactly (hash and behaviour), both via the lenient and the
+// strict player.
+func TestSyncObjectRoundTrips(t *testing.T) {
+	progs := map[string]func(*sched.Thread){
+		"chan": chanProg, "waitgroup": wgProg, "semaphore": semProg,
+	}
+	for name, prog := range progs {
+		for seed := int64(0); seed < 30; seed++ {
+			res, rec := Record(prog, core.NewRandomWalk(), sched.Options{Seed: seed})
+			if res.Buggy() {
+				t.Fatalf("%s seed %d: spurious failure %v", name, seed, res.Failure)
+			}
+			again := Replay(prog, rec, sched.Options{})
+			if again.InterleavingHash != res.InterleavingHash || again.Behavior != res.Behavior {
+				t.Fatalf("%s seed %d: replay diverged", name, seed)
+			}
+			strict, err := ReplayStrict(prog, rec, sched.Options{})
+			if err != nil {
+				t.Fatalf("%s seed %d: strict replay rejected its own recording: %v", name, seed, err)
+			}
+			if strict.InterleavingHash != res.InterleavingHash {
+				t.Fatalf("%s seed %d: strict replay diverged", name, seed)
+			}
+		}
+	}
+}
+
+// TestReplayStrictTruncatedRecording: a recording cut short must be
+// diagnosed, with the decision index in the message.
+func TestReplayStrictTruncatedRecording(t *testing.T) {
+	_, rec := Record(chanProg, core.NewRandomWalk(), sched.Options{Seed: 3})
+	if len(rec.Choices) < 4 {
+		t.Skip("recording too short to truncate meaningfully")
+	}
+	cut := Recording{Choices: rec.Choices[:2]}
+	res, err := ReplayStrict(chanProg, cut, sched.Options{})
+	if err == nil {
+		t.Fatal("truncated recording not diagnosed")
+	}
+	if !strings.Contains(err.Error(), "truncated") || !strings.Contains(err.Error(), "decision 2") {
+		t.Fatalf("unactionable truncation error: %v", err)
+	}
+	if res == nil {
+		t.Fatal("strict replay must still return the fallback result")
+	}
+}
+
+// TestReplayStrictDivergentRecording: an out-of-range recorded choice must
+// be diagnosed as a divergence (the lenient player silently picks 0).
+func TestReplayStrictDivergentRecording(t *testing.T) {
+	_, rec := Record(semProg, core.NewRandomWalk(), sched.Options{Seed: 1})
+	bad := Recording{Choices: append([]int(nil), rec.Choices...)}
+	bad.Choices[0] = 97 // no schedule ever has 98 enabled threads here
+	_, err := ReplayStrict(semProg, bad, sched.Options{})
+	if err == nil {
+		t.Fatal("divergent recording not diagnosed")
+	}
+	if !strings.Contains(err.Error(), "divergence at decision 0") ||
+		!strings.Contains(err.Error(), "recorded choice 97") {
+		t.Fatalf("unactionable divergence error: %v", err)
+	}
+}
+
+// TestReplayStrictLeftoverChoices: a recording with more choices than the
+// program consults (e.g. recorded on a longer program) is also a
+// divergence.
+func TestReplayStrictLeftoverChoices(t *testing.T) {
+	_, rec := Record(wgProg, core.NewRandomWalk(), sched.Options{Seed: 2})
+	long := Recording{Choices: append(append([]int(nil), rec.Choices...), 0, 0, 0, 0, 0, 0, 0, 0)}
+	_, err := ReplayStrict(wgProg, long, sched.Options{})
+	if err == nil {
+		t.Fatal("leftover recorded choices not diagnosed")
+	}
+	if !strings.Contains(err.Error(), "consulted only") {
+		t.Fatalf("unactionable leftover error: %v", err)
 	}
 }

@@ -131,6 +131,66 @@ func RunTarget(tgt Target, algName string, cfg Config) (*Result, error) {
 	return &Result{Target: tgt.Name, Algorithm: algName, Limit: cfg.Limit, Sessions: sessions}, nil
 }
 
+// Equal reports whether two results are observably identical: same target,
+// algorithm, limit, and per-session outcomes including bug tallies and
+// coverage curves. It backs the worker-count-invariance guarantee (results
+// are bit-identical under any Config.Workers setting).
+func (r *Result) Equal(o *Result) bool {
+	if r.Target != o.Target || r.Algorithm != o.Algorithm || r.Limit != o.Limit ||
+		len(r.Sessions) != len(o.Sessions) {
+		return false
+	}
+	for i := range r.Sessions {
+		if !r.Sessions[i].equal(&o.Sessions[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Session) equal(o *Session) bool {
+	if s.FirstBug != o.FirstBug || s.Schedules != o.Schedules ||
+		s.Truncated != o.Truncated || len(s.Bugs) != len(o.Bugs) {
+		return false
+	}
+	for id, n := range s.Bugs {
+		if o.Bugs[id] != n {
+			return false
+		}
+	}
+	if (s.Cov == nil) != (o.Cov == nil) {
+		return false
+	}
+	if s.Cov == nil {
+		return true
+	}
+	return s.Cov.equal(o.Cov)
+}
+
+func (c *Coverage) equal(o *Coverage) bool {
+	if len(c.Interleavings) != len(o.Interleavings) ||
+		len(c.Behaviors) != len(o.Behaviors) ||
+		len(c.Series) != len(o.Series) {
+		return false
+	}
+	for h, n := range c.Interleavings {
+		if o.Interleavings[h] != n {
+			return false
+		}
+	}
+	for b, n := range c.Behaviors {
+		if o.Behaviors[b] != n {
+			return false
+		}
+	}
+	for i, p := range c.Series {
+		if o.Series[i] != p {
+			return false
+		}
+	}
+	return true
+}
+
 // FirstBugObs converts the sessions to right-censored observations for the
 // log-rank test: censored at limit(+1 for profiled algorithms) when no bug
 // was found.

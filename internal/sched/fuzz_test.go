@@ -1,0 +1,95 @@
+package sched_test
+
+import (
+	"fmt"
+	"testing"
+
+	"surw/internal/core"
+	"surw/internal/replay"
+	"surw/internal/sched"
+)
+
+// FuzzChannelOps drives a producer/consumer pair over a fuzzed channel
+// shape (capacity, send count, receive count, scheduling seed) and checks
+// the channel invariants under randomized scheduling: no spurious failure
+// or deadlock, FIFO delivery, exact leftover count after close, and
+// deterministic, bit-exact record→replay. The parameters are folded so
+// that every input is deadlock-free by construction: the consumer takes
+// recvs <= sends items and the capacity covers the sends the consumer
+// never takes, so the producer cannot block forever.
+func FuzzChannelOps(f *testing.F) {
+	f.Add(int64(1), int64(2), int64(3), int64(2))
+	f.Add(int64(9), int64(0), int64(4), int64(4))  // rendezvous: unbuffered, fully drained
+	f.Add(int64(-3), int64(2), int64(6), int64(0)) // consumer-free: pure buffering
+	f.Add(int64(77), int64(1), int64(5), int64(3))
+	f.Fuzz(func(t *testing.T, seed, capRaw, sendsRaw, recvsRaw int64) {
+		sends := 1 + int(abs64(sendsRaw)%6)
+		recvs := int(abs64(recvsRaw) % int64(sends+1))
+		capacity := (sends - recvs) + int(abs64(capRaw)%3)
+		leftover := sends - recvs
+
+		prog := func(root *sched.Thread) {
+			ch := sched.NewChan[int64](root, "ch", capacity)
+			sum := root.NewVar("sum", 0)
+			p := root.Go(func(w *sched.Thread) {
+				for i := 1; i <= sends; i++ {
+					ch.Send(w, int64(i))
+				}
+				ch.Close(w)
+			})
+			c := root.Go(func(w *sched.Thread) {
+				prev := int64(0)
+				for i := 0; i < recvs; i++ {
+					v, ok := ch.Recv(w)
+					w.Assert(ok, "closed-before-budget")
+					w.Assert(v == prev+1, "fifo-order")
+					prev = v
+					sum.Add(w, v)
+				}
+			})
+			root.JoinAll(p, c)
+			// After both threads are done the channel must hold exactly the
+			// unconsumed suffix, in order, and then report drained.
+			prev := int64(recvs)
+			for i := 0; i < leftover; i++ {
+				v, ok := ch.TryRecv(root)
+				root.Assert(ok, "leftover-missing")
+				root.Assert(v == prev+1, "leftover-order")
+				prev = v
+			}
+			_, ok := ch.TryRecv(root)
+			root.Assert(!ok, "phantom-item")
+			root.SetBehavior(fmt.Sprintf("sum=%d", sum.Peek()))
+		}
+
+		opts := sched.Options{Seed: seed}
+		res, rec := replay.Record(prog, core.NewRandomWalk(), opts)
+		if res.Buggy() {
+			t.Fatalf("cap=%d sends=%d recvs=%d seed=%d: %v", capacity, sends, recvs, seed, res.Failure)
+		}
+		if res.Truncated {
+			t.Fatalf("cap=%d sends=%d recvs=%d seed=%d: truncated at %d steps", capacity, sends, recvs, seed, res.Steps)
+		}
+		again := sched.Run(prog, core.NewRandomWalk(), opts)
+		if again.InterleavingHash != res.InterleavingHash || again.Behavior != res.Behavior {
+			t.Fatalf("cap=%d sends=%d recvs=%d seed=%d: nondeterministic schedule", capacity, sends, recvs, seed)
+		}
+		replayed, err := replay.ReplayStrict(prog, rec, opts)
+		if err != nil {
+			t.Fatalf("cap=%d sends=%d recvs=%d seed=%d: %v", capacity, sends, recvs, seed, err)
+		}
+		if replayed.InterleavingHash != res.InterleavingHash || replayed.Behavior != res.Behavior {
+			t.Fatalf("cap=%d sends=%d recvs=%d seed=%d: replay diverged", capacity, sends, recvs, seed)
+		}
+	})
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		if x == -1<<63 {
+			return 0
+		}
+		return -x
+	}
+	return x
+}

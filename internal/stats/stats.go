@@ -69,12 +69,16 @@ func Entropy(counts []int) float64 {
 	return h
 }
 
-// EntropyOfMap is Entropy over a map's values.
+// EntropyOfMap is Entropy over a map's values. The counts are sorted
+// before summation: entropy is a function of the count multiset, and a
+// fixed summation order keeps the result bit-identical across runs
+// (float addition is not associative, and map iteration order is not).
 func EntropyOfMap[K comparable](counts map[K]int) float64 {
 	xs := make([]int, 0, len(counts))
 	for _, c := range counts {
 		xs = append(xs, c)
 	}
+	sort.Ints(xs)
 	return Entropy(xs)
 }
 
@@ -89,6 +93,78 @@ func ChiSquare1SF(x float64) float64 {
 		return 1
 	}
 	return math.Erfc(math.Sqrt(x / 2))
+}
+
+// ChiSquareSF returns the upper-tail probability P(X > x) of a chi-square
+// distribution with dof degrees of freedom: the p-value of a goodness-of-fit
+// statistic. It is the regularized upper incomplete gamma function
+// Q(dof/2, x/2). Non-positive x or dof returns 1.
+func ChiSquareSF(x float64, dof int) float64 {
+	if x <= 0 || dof <= 0 {
+		return 1
+	}
+	return gammaQ(float64(dof)/2, x/2)
+}
+
+// gammaQ computes the regularized upper incomplete gamma function Q(a, x)
+// by the standard series / continued-fraction split (Numerical Recipes
+// gammq): the series for P(a,x) converges fast for x < a+1, the Lentz
+// continued fraction for Q(a,x) elsewhere.
+func gammaQ(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return 1
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x)
+	}
+	return gammaQCF(a, x)
+}
+
+func gammaPSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 1000; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaQCF(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 1000; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
 }
 
 // ChiSquareUniform returns the chi-square statistic of observed counts

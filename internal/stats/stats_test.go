@@ -232,3 +232,32 @@ func TestDuplicatesBound(t *testing.T) {
 		t.Fatal("bound not monotone in pair count")
 	}
 }
+
+func TestChiSquareSF(t *testing.T) {
+	// dof=1 must agree with the closed-form erfc implementation.
+	for _, x := range []float64{0.1, 1, 2.5, 7, 20} {
+		approx(t, ChiSquareSF(x, 1), ChiSquare1SF(x), 1e-9, "dof=1")
+	}
+	// dof=2 is exponential: SF(x) = exp(-x/2).
+	for _, x := range []float64{0.5, 2, 4, 10} {
+		approx(t, ChiSquareSF(x, 2), math.Exp(-x/2), 1e-9, "dof=2")
+	}
+	// Standard critical values (statistical tables).
+	approx(t, ChiSquareSF(18.307, 10), 0.05, 5e-4, "chi2(0.95,10)")
+	approx(t, ChiSquareSF(15.086, 5), 0.01, 2e-4, "chi2(0.99,5)")
+	approx(t, ChiSquareSF(124.342, 100), 0.05, 5e-4, "chi2(0.95,100)")
+	// Degenerate inputs.
+	if ChiSquareSF(-1, 5) != 1 || ChiSquareSF(0, 5) != 1 || ChiSquareSF(3, 0) != 1 {
+		t.Fatal("degenerate inputs must yield 1")
+	}
+	// Monotone decreasing in x, for large dof too (both branches of the
+	// series/continued-fraction split).
+	prev := 1.0
+	for x := 1.0; x < 600; x += 7 {
+		p := ChiSquareSF(x, 251)
+		if p > prev+1e-12 {
+			t.Fatalf("SF not monotone at x=%v: %v > %v", x, p, prev)
+		}
+		prev = p
+	}
+}

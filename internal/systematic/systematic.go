@@ -26,6 +26,10 @@ type Options struct {
 	MaxSteps int
 	// ProgSeed fixes the program-input randomness.
 	ProgSeed int64
+	// TraceFilter restricts which events fold into the interleaving
+	// fingerprints (nil = all events), mirroring sched.Options.TraceFilter
+	// so enumerated class sets are comparable with filtered sampling runs.
+	TraceFilter func(sched.Event) bool
 }
 
 // Result summarizes an exploration.
@@ -128,8 +132,9 @@ func Explore(prog func(*sched.Thread), opts Options) *Result {
 		stack = stack[:len(stack)-1]
 		alg.prefix = f.prefix
 		r := sched.Run(prog, alg, sched.Options{
-			MaxSteps: opts.MaxSteps,
-			ProgSeed: opts.ProgSeed,
+			MaxSteps:    opts.MaxSteps,
+			ProgSeed:    opts.ProgSeed,
+			TraceFilter: opts.TraceFilter,
 		})
 		res.Schedules++
 		if r.Truncated {
