@@ -20,8 +20,13 @@ test:
 race:
 	$(GO) test -race -short ./internal/workpool ./internal/sched ./internal/runner ./internal/experiments
 
+# Benchmarks. The throughput-critical pair (pooled scheduling and parallel
+# sessions) is additionally parsed into BENCH_obs.json so regressions can be
+# gated on and reports can embed machine-readable numbers.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run=^$$ . | tee BENCH_obs.txt
+	$(GO) run ./cmd/surwobs -bench2json -in BENCH_obs.txt -out BENCH_obs.json \
+		-gate 'BenchmarkPooledSchedule/pooled.allocs/op<=11'
 
 # Short coverage-guided fuzz runs of the two native fuzz targets: the
 # end-to-end differential oracle over generated programs, and the channel

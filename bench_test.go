@@ -213,7 +213,10 @@ func BenchmarkParallelSessions(b *testing.B) {
 		counts = append(counts, p)
 	}
 	for _, w := range counts {
-		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+		// Underscore, not dash: `go test` appends -GOMAXPROCS to benchmark
+		// names, and obs.ParseBench strips that suffix; a dashed worker
+		// count would be indistinguishable from it.
+		b.Run(fmt.Sprintf("workers_%d", w), func(b *testing.B) {
 			var ms0, ms1 runtime.MemStats
 			runtime.ReadMemStats(&ms0)
 			schedules := 0

@@ -28,6 +28,24 @@ awk '
 
 go test -race -short ./internal/workpool ./internal/sched ./internal/runner ./internal/experiments ./internal/crosscheck
 
+# Observability overhead gate: with tracing disabled the pooled scheduler
+# must stay at its allocation floor — the Tracer hook is a nil-check, not a
+# cost. (No pipe, same reason as above.)
+go test -bench='^BenchmarkPooledSchedule$' -benchmem -benchtime=2000x -run='^$' . > /tmp/surw-bench.txt 2>&1 || { cat /tmp/surw-bench.txt; exit 1; }
+go run ./cmd/surwobs -in /tmp/surw-bench.txt -gate 'BenchmarkPooledSchedule/pooled.allocs/op<=11'
+
+# Observability smoke: export a Chrome trace and validate it, then dump a
+# flight record from a failing SCTBench target, validate it, and replay it
+# bit-exactly.
+rm -rf /tmp/surw-obs-smoke
+mkdir -p /tmp/surw-obs-smoke
+go run ./cmd/surwrun -target bitshift_5 -alg URW -limit 50 -trace /tmp/surw-obs-smoke/trace.json
+go run ./cmd/surwobs -check-trace /tmp/surw-obs-smoke/trace.json
+go run ./cmd/surwrun -target CS/reorder_4 -alg SURW -sessions 1 -limit 2000 -flight-dir /tmp/surw-obs-smoke
+FLIGHT=$(ls /tmp/surw-obs-smoke/flight_*.json)
+go run ./cmd/surwobs -check-flight "$FLIGHT"
+go run ./cmd/surwrun -replay-flight "$FLIGHT"
+
 # Fuzz smoke: a short coverage-guided run of each native fuzz target (the
 # full checked-in seed corpora already ran as part of `go test` above).
 FUZZTIME=10s make fuzz-smoke

@@ -14,37 +14,49 @@
 //
 // The default budgets reproduce the paper's result shapes in minutes;
 // -scale paper switches to the paper's full budgets (days of compute).
-// With -out DIR, each table is also written as .txt and .csv.
+// With -out DIR, each table is also written as .txt and .csv. -metrics FILE
+// attaches the observability aggregator (internal/obs) to every experiment
+// driver, prints its one-line summary under each table, and writes the
+// Prometheus-style page to FILE; -pprof ADDR serves net/http/pprof while
+// the experiments run. Neither changes any table or figure.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"surw/internal/experiments"
+	"surw/internal/obs"
 	"surw/internal/workpool"
 )
 
 func main() {
 	var (
-		scaleName = flag.String("scale", "default", `budget preset: "default" or "paper"`)
-		sessions  = flag.Int("sessions", 0, "override sessions for Tables 1/4")
-		limit     = flag.Int("limit", 0, "override schedule limit for Tables 1/4")
-		ssLimit   = flag.Int("safestack-limit", 0, "override the SafeStack budget")
-		rbLimit   = flag.Int("rb-limit", 0, "override RaceBench iterations")
-		ftpTrials = flag.Int("ftp-trials", 0, "override LightFTP trials")
-		ftpLimit  = flag.Int("ftp-limit", 0, "override LightFTP schedules per trial")
-		seed      = flag.Int64("seed", 0, "override the master seed")
-		workers   = flag.Int("workers", 0, "parallel workers (1 = sequential; 0 = one per CPU); results are identical at any setting")
-		outDir    = flag.String("out", "", "directory for .txt/.csv artifacts")
-		quiet     = flag.Bool("q", false, "suppress progress output")
-		full      = flag.Bool("full", false, "print full Figure 2 histograms")
+		scaleName  = flag.String("scale", "default", `budget preset: "default" or "paper"`)
+		sessions   = flag.Int("sessions", 0, "override sessions for Tables 1/4")
+		limit      = flag.Int("limit", 0, "override schedule limit for Tables 1/4")
+		ssLimit    = flag.Int("safestack-limit", 0, "override the SafeStack budget")
+		rbLimit    = flag.Int("rb-limit", 0, "override RaceBench iterations")
+		ftpTrials  = flag.Int("ftp-trials", 0, "override LightFTP trials")
+		ftpLimit   = flag.Int("ftp-limit", 0, "override LightFTP schedules per trial")
+		seed       = flag.Int64("seed", 0, "override the master seed")
+		workers    = flag.Int("workers", 0, "parallel workers (1 = sequential; 0 = one per CPU); results are identical at any setting")
+		outDir     = flag.String("out", "", "directory for .txt/.csv artifacts")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+		full       = flag.Bool("full", false, "print full Figure 2 histograms")
+		metricsOut = flag.String("metrics", "", "write a Prometheus-style metrics page to this file after the experiments")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address for the run's duration")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		go func() { _ = http.ListenAndServe(*pprofAddr, nil) }()
+	}
 
 	sc := experiments.DefaultScale()
 	switch *scaleName {
@@ -69,6 +81,9 @@ func main() {
 		sc.Seed = *seed
 	}
 	sc.Workers = *workers
+	if *metricsOut != "" {
+		sc.Metrics = obs.NewMetrics()
+	}
 
 	want := map[string]bool{}
 	args := flag.Args()
@@ -131,6 +146,20 @@ func main() {
 			emit(*outDir, "table3", t3.String(), t3.CSV())
 			emit(*outDir, "figure5", r.Figure5(), "")
 		})
+	}
+	if sc.Metrics != nil {
+		fmt.Println(sc.Metrics.Summary())
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := sc.Metrics.WritePrometheus(f); err != nil {
+			fatalf("write metrics: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("write metrics: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsOut)
 	}
 }
 

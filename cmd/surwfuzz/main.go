@@ -7,15 +7,19 @@
 // Usage:
 //
 //	surwfuzz [-programs N] [-schedules K] [-seed S] [-threads T] [-ops O]
+//	         [-metrics FILE] [-pprof ADDR]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"surw/internal/core"
+	"surw/internal/obs"
 	"surw/internal/profile"
 	"surw/internal/progfuzz"
 	"surw/internal/replay"
@@ -26,13 +30,24 @@ var algorithms = []string{"SURW", "URW", "POS", "RAPOS", "PCT-3", "PCT-10", "DB-
 
 func main() {
 	var (
-		programs  = flag.Int("programs", 200, "number of generated programs")
-		schedules = flag.Int("schedules", 20, "schedules per program per algorithm")
-		seed      = flag.Int64("seed", 1, "generation seed base")
-		threads   = flag.Int("threads", 5, "max threads per program")
-		ops       = flag.Int("ops", 10, "max straight-line ops per thread")
+		programs   = flag.Int("programs", 200, "number of generated programs")
+		schedules  = flag.Int("schedules", 20, "schedules per program per algorithm")
+		seed       = flag.Int64("seed", 1, "generation seed base")
+		threads    = flag.Int("threads", 5, "max threads per program")
+		ops        = flag.Int("ops", 10, "max straight-line ops per thread")
+		metricsOut = flag.String("metrics", "", "write a Prometheus-style metrics page to this file after the sweep")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address for the run's duration")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		go func() { _ = http.ListenAndServe(*pprofAddr, nil) }()
+	}
+	var metrics *obs.Metrics
+	var tracer sched.Tracer
+	if *metricsOut != "" {
+		metrics = obs.NewMetrics()
+		tracer = metrics.Tracer()
+	}
 
 	cfg := progfuzz.Config{MaxThreads: *threads, MaxOps: *ops}
 	defects := 0
@@ -55,8 +70,11 @@ func main() {
 			info := infoFor(name, prof, selRng)
 			for s := 0; s < *schedules; s++ {
 				runs++
-				opts := sched.Options{Seed: int64(s), Info: info, MaxSteps: 200_000}
+				opts := sched.Options{Seed: int64(s), Info: info, MaxSteps: 200_000, Tracer: tracer}
 				res, rec := replay.Record(prog, alg, opts)
+				if metrics != nil {
+					metrics.ObserveResult(name, res)
+				}
 				switch {
 				case res.Buggy():
 					report(&defects, "gen %d %s seed %d: spurious failure %v", genSeed, name, s, res.Failure)
@@ -76,6 +94,20 @@ func main() {
 	}
 	fmt.Printf("surwfuzz: %d programs x %d algorithms, %d runs, %d defects\n",
 		*programs, len(algorithms), runs, defects)
+	if metrics != nil {
+		fmt.Println(metrics.Summary())
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			err = metrics.WritePrometheus(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "surwfuzz: metrics: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	if defects > 0 {
 		os.Exit(1)
 	}

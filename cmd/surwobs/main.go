@@ -1,0 +1,117 @@
+// Command surwobs is the observability toolbelt that keeps ci.sh and the
+// Makefile plain shell: it converts `go test -bench` output into the
+// machine-readable BENCH_obs.json, enforces benchmark regression gates, and
+// validates trace and flight-recorder artifacts.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem . | surwobs -bench2json -out BENCH_obs.json
+//	surwobs -gate 'BenchmarkPooledSchedule/pooled.allocs/op<=11' -in bench.txt
+//	surwobs -check-trace results/trace.json
+//	surwobs -check-flight results/flight/flight_....json
+//
+// -gate may be repeated; gates read benchmark text from -in (or stdin) and
+// the command exits non-zero on the first violated gate. -check-trace
+// verifies a file is well-formed Chrome trace_event JSON as Perfetto
+// expects; -check-flight verifies a flight dump parses and is marked
+// reproduced.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"surw/internal/obs"
+)
+
+// gateList collects repeated -gate flags.
+type gateList []string
+
+func (g *gateList) String() string     { return fmt.Sprint(*g) }
+func (g *gateList) Set(s string) error { *g = append(*g, s); return nil }
+
+func main() {
+	var gates gateList
+	var (
+		bench2json = flag.Bool("bench2json", false, "parse `go test -bench` text from -in/stdin and emit JSON")
+		in         = flag.String("in", "", "input file for -bench2json/-gate (default stdin)")
+		out        = flag.String("out", "", "output file for -bench2json (default stdout)")
+		checkTrace = flag.String("check-trace", "", "validate a Chrome trace_event JSON file")
+		checkFl    = flag.String("check-flight", "", "validate a flight-recorder dump")
+	)
+	flag.Var(&gates, "gate", "benchmark regression gate 'name.metric<=value' (repeatable)")
+	flag.Parse()
+
+	switch {
+	case *checkTrace != "":
+		f, err := os.Open(*checkTrace)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := obs.ValidateChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("surwobs: %s is well-formed Chrome trace_event JSON\n", *checkTrace)
+
+	case *checkFl != "":
+		fr, err := obs.ReadFlight(*checkFl)
+		if err != nil {
+			fatal(err)
+		}
+		if !fr.Reproduced {
+			fatal(fmt.Errorf("flight %s was not reproduced at capture time (nondeterministic target?)", *checkFl))
+		}
+		fmt.Printf("surwobs: flight %s: target %s alg %s bug %s fingerprint %s, %d trailing decisions\n",
+			*checkFl, fr.Target, fr.Algorithm, fr.BugID, fr.Fingerprint, len(fr.LastDecisions))
+
+	case *bench2json || len(gates) > 0:
+		r := io.Reader(os.Stdin)
+		if *in != "" {
+			f, err := os.Open(*in)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			r = f
+		}
+		results, err := obs.ParseBench(r)
+		if err != nil {
+			fatal(err)
+		}
+		if len(results) == 0 {
+			fatal(fmt.Errorf("no benchmark result lines found in input"))
+		}
+		for _, g := range gates {
+			if err := obs.CheckGate(g, results); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("surwobs: gate ok: %s\n", g)
+		}
+		if *bench2json {
+			w := io.Writer(os.Stdout)
+			if *out != "" {
+				f, err := os.Create(*out)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := obs.WriteJSON(w, results); err != nil {
+				fatal(err)
+			}
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "surwobs: %v\n", err)
+	os.Exit(1)
+}

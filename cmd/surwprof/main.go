@@ -4,15 +4,21 @@
 //
 // Usage:
 //
-//	surwprof -target CS/wronglock [-runs N] [-seed S]
+//	surwprof -target CS/wronglock [-runs N] [-seed S] [-json] [-pprof ADDR]
+//
+// -json emits the full census as machine-readable JSON (the repository's
+// shared exporter encoding; see internal/obs) instead of tables.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
+	"surw/internal/obs"
 	"surw/internal/profile"
 	"surw/internal/race"
 	"surw/internal/report"
@@ -20,13 +26,42 @@ import (
 	"surw/internal/systematic"
 )
 
+// profileJSON is the -json wire form of the census.
+type profileJSON struct {
+	Target      string       `json:"target"`
+	Threads     int          `json:"threads"`
+	TotalEvents int          `json:"total_events"`
+	PerThread   []threadJSON `json:"per_thread"`
+	Objects     []objJSON    `json:"objects"`
+}
+
+type threadJSON struct {
+	Path   string `json:"path"`
+	Parent string `json:"parent,omitempty"`
+	Events int    `json:"events"`
+}
+
+type objJSON struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`
+	Accesses int    `json:"accesses"`
+	Writes   int    `json:"writes"`
+	Threads  int    `json:"threads"`
+	Birth    int    `json:"birth"`
+}
+
 func main() {
 	var (
 		targetName = flag.String("target", "", "benchmark target name (see surwrun -list)")
 		runs       = flag.Int("runs", 1, "census runs to average")
 		seed       = flag.Int64("seed", 1, "census scheduler seed")
+		asJSON     = flag.Bool("json", false, "emit the census as JSON instead of tables")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address for the run's duration")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		go func() { _ = http.ListenAndServe(*pprofAddr, nil) }()
+	}
 
 	tgt, ok := sctbench.ByName(*targetName)
 	if !ok {
@@ -38,6 +73,35 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "surwprof: %v (counts below are partial)\n", err)
+		if prof == nil {
+			os.Exit(1)
+		}
+	}
+
+	if *asJSON {
+		out := profileJSON{
+			Target:      tgt.Name,
+			Threads:     prof.Info.NumThreads(),
+			TotalEvents: prof.Info.TotalEvents,
+		}
+		for l, path := range prof.Info.Paths {
+			t := threadJSON{Path: path, Events: prof.Info.Events[l]}
+			if p := prof.Info.Parent[l]; p >= 0 {
+				t.Parent = prof.Info.Paths[p]
+			}
+			out.PerThread = append(out.PerThread, t)
+		}
+		for _, o := range prof.Objs {
+			out.Objects = append(out.Objects, objJSON{
+				Name: o.Name, Kind: o.Kind.String(),
+				Accesses: o.Accesses, Writes: o.Writes, Threads: o.Threads, Birth: o.Birth,
+			})
+		}
+		if err := obs.WriteJSON(os.Stdout, out); err != nil {
+			fmt.Fprintf(os.Stderr, "surwprof: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("target %s: %d logical threads, ~%d events per schedule\n\n",
@@ -53,35 +117,38 @@ func main() {
 	}
 	fmt.Println(tt.String())
 
-	ot := report.NewTable("Shared-object census", "Name", "Kind", "Accesses", "Writes", "Threads")
+	ot := report.NewTable("Shared-object census", "Name", "Kind", "Accesses", "Writes", "Threads", "Birth")
 	for _, o := range prof.Objs {
 		ot.AddRow(o.Name, o.Kind.String(),
-			fmt.Sprintf("%d", o.Accesses), fmt.Sprintf("%d", o.Writes), fmt.Sprintf("%d", o.Threads))
+			fmt.Sprintf("%d", o.Accesses), fmt.Sprintf("%d", o.Writes),
+			fmt.Sprintf("%d", o.Threads), fmt.Sprintf("%d", o.Birth))
 	}
 	fmt.Println(ot.String())
 
 	rng := rand.New(rand.NewSource(*seed))
-	fmt.Println("Example Δ selections:")
+	st := report.NewTable("Example Δ selections", "Strategy", "Selection")
 	for i := 0; i < 3; i++ {
 		if sel, ok := prof.SelectSingleVar(rng); ok {
 			info := prof.Instantiate(sel)
-			fmt.Printf("  single-var draw %d: %s, per-thread Δ counts %v\n", i+1, sel.Desc, info.InterestingEvents)
+			st.AddRow(fmt.Sprintf("single-var draw %d", i+1),
+				fmt.Sprintf("%s, per-thread Δ counts %v", sel.Desc, info.InterestingEvents))
 		}
 	}
 	if sel, ok := prof.SelectLockEntrances(); ok {
-		fmt.Printf("  lock entrances: %s\n", sel.Desc)
+		st.AddRow("lock entrances", sel.Desc)
 	}
 	if sel, ok := prof.SelectRegion(rng, 16); ok {
-		fmt.Printf("  region (threshold 16): %s\n", sel.Desc)
+		st.AddRow("region (threshold 16)", sel.Desc)
 	}
 	if sel, ok := race.SelectRacy(prof, tgt.Prog, 10, *seed, tgt.MaxSteps); ok {
-		fmt.Printf("  race-guided: %s\n", sel.Desc)
+		st.AddRow("race-guided", sel.Desc)
 	} else {
-		fmt.Println("  race-guided: no races observed in 10 sampled schedules")
+		st.AddRow("race-guided", "no races observed in 10 sampled schedules")
 	}
+	fmt.Println(st.String())
 
 	est := systematic.EstimateSchedules(tgt.Prog, 500, *seed, systematic.Options{
 		ProgSeed: tgt.ProgSeed, MaxSteps: tgt.MaxSteps,
 	})
-	fmt.Printf("\nKnuth estimate of the schedule-space size: ~%.3g\n", est)
+	fmt.Printf("Knuth estimate of the schedule-space size: ~%.3g\n", est)
 }

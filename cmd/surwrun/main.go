@@ -1,12 +1,23 @@
 // Command surwrun runs one benchmark target under one scheduling algorithm
-// and reports schedules-to-first-bug, optionally dumping the failing
-// schedule's event trace for inspection or replay.
+// and reports schedules-to-first-bug, with the observability layer wired
+// through: decision-trace export, metrics, the flight recorder, and
+// bit-exact flight replay.
 //
 // Usage:
 //
-//	surwrun -target CS/reorder_10 -alg SURW [-limit N] [-sessions K] [-seed S] [-trace]
+//	surwrun -target CS/reorder_10 -alg SURW [-limit N] [-sessions K] [-seed S]
+//	        [-trace out.json] [-metrics out.prom] [-flight-dir DIR]
+//	        [-print-failing] [-pprof ADDR]
+//	surwrun -replay-flight results/flight/flight_....json
 //	surwrun -crosscheck [-crosscheck-seeds N] [-seed S]
 //	surwrun -list
+//
+// -trace exports the decision trace of session 0's first failing schedule
+// (or, bug-free, its first schedule) as Chrome trace_event JSON that
+// Perfetto and chrome://tracing open directly. -flight-dir dumps a replay-
+// able flight record at each session's first failure; -replay-flight
+// re-executes such a dump through internal/replay and verifies the same bug
+// fires with the same interleaving fingerprint.
 //
 // -crosscheck soak-runs the framework's own differential and statistical
 // oracle (internal/crosscheck): the mutation-sensitivity self-test plus a
@@ -17,11 +28,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"strconv"
+	"strings"
 
 	"surw/internal/core"
 	"surw/internal/crosscheck"
+	"surw/internal/experiments"
 	"surw/internal/ftp"
+	"surw/internal/obs"
 	"surw/internal/profile"
 	"surw/internal/racebench"
 	"surw/internal/replay"
@@ -38,13 +55,26 @@ func main() {
 		sessions   = flag.Int("sessions", 1, "independent sessions")
 		seed       = flag.Int64("seed", 1, "master seed")
 		workers    = flag.Int("workers", 0, "parallel session workers (1 = sequential; 0 = one per CPU); results are identical at any setting")
-		trace      = flag.Bool("trace", false, "replay and print the first failing schedule's events")
+		traceOut   = flag.String("trace", "", "export a Chrome trace_event decision trace of session 0's first failing (else first) schedule to this file")
+		printFail  = flag.Bool("print-failing", false, "replay, minimize, and print the first failing schedule's events")
+		metricsOut = flag.String("metrics", "", "write a Prometheus-style metrics page to this file after the run")
+		flightDir  = flag.String("flight-dir", "", "dump a replayable flight record at each session's first failing schedule under this directory")
+		flightIn   = flag.String("replay-flight", "", "replay a flight record bit-exactly and verify bug ID + interleaving fingerprint")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
 		list       = flag.Bool("list", false, "list available targets")
 		ccheck     = flag.Bool("crosscheck", false, "soak-run the framework self-verification oracle instead of a benchmark")
 		ccSeeds    = flag.Int("crosscheck-seeds", 10, "generator seeds swept per grammar in -crosscheck mode")
 	)
 	flag.Parse()
+	startPprof(*pprofAddr)
 
+	if *flightIn != "" {
+		if err := replayFlight(*flightIn); err != nil {
+			fmt.Fprintf(os.Stderr, "surwrun: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *ccheck {
 		if err := runCrosscheck(*ccSeeds, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "surwrun: FRAMEWORK BUG: %v\n", err)
@@ -68,12 +98,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	var metrics *obs.Metrics
+	if *metricsOut != "" {
+		metrics = obs.NewMetrics()
+	}
 	res, err := runner.RunTarget(tgt, *algName, runner.Config{
 		Sessions:       *sessions,
 		Limit:          *limit,
 		Seed:           *seed,
 		StopAtFirstBug: true,
 		Workers:        *workers,
+		Metrics:        metrics,
+		FlightDir:      *flightDir,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "surwrun: %v\n", err)
@@ -86,21 +122,148 @@ func main() {
 	fmt.Printf("sessions  %d x %d schedules\n", *sessions, *limit)
 	if found == 0 {
 		fmt.Println("result    no bug found")
-		return
+	} else {
+		fmt.Printf("result    bug found in %d/%d sessions\n", found, *sessions)
+		fmt.Printf("schedules to first bug: mean %.1f ± %.1f (min %.0f, max %.0f)\n",
+			sum.Mean, sum.Std, sum.Min, sum.Max)
+		for id := range res.DistinctBugs() {
+			fmt.Printf("bug id    %s\n", id)
+		}
+		if obsN := res.FirstBugObs(); len(obsN) > 1 {
+			fmt.Printf("censored observations available for log-rank comparisons (%d)\n", len(obsN))
+		}
 	}
-	fmt.Printf("result    bug found in %d/%d sessions\n", found, *sessions)
-	fmt.Printf("schedules to first bug: mean %.1f ± %.1f (min %.0f, max %.0f)\n",
-		sum.Mean, sum.Std, sum.Min, sum.Max)
-	for id := range res.DistinctBugs() {
-		fmt.Printf("bug id    %s\n", id)
+	for _, s := range res.Sessions {
+		if s.Flight != "" {
+			fmt.Printf("flight    %s\n", s.Flight)
+		}
 	}
-	obs := res.FirstBugObs()
-	if len(obs) > 1 {
-		fmt.Printf("censored observations available for log-rank comparisons (%d)\n", len(obs))
+	if metrics != nil {
+		fmt.Println(metrics.Summary())
+		if err := writeMetrics(*metricsOut, metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "surwrun: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics   %s\n", *metricsOut)
 	}
-	if *trace {
+	if *traceOut != "" {
+		if err := exportTrace(*traceOut, tgt, *algName, *seed, *limit); err != nil {
+			fmt.Fprintf(os.Stderr, "surwrun: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace     %s\n", *traceOut)
+	}
+	if *printFail {
 		printFailingTrace(tgt, *algName, *seed, *limit)
 	}
+}
+
+// startPprof serves net/http/pprof for the process lifetime when addr is
+// set.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "surwrun: pprof: %v\n", err)
+		}
+	}()
+	fmt.Printf("pprof     http://%s/debug/pprof/\n", addr)
+}
+
+func writeMetrics(path string, m *obs.Metrics) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// exportTrace re-runs session 0's schedule sequence with a full-length
+// collector attached and writes the first failing schedule's decision trace
+// (bug-free: the first schedule's) as Chrome trace_event JSON. The re-run
+// uses the same Δ=Γ configuration as printFailingTrace, so it is a faithful
+// rendering of an actual schedule of the algorithm, not of the exact
+// session-0 schedules when the algorithm re-draws Δ per schedule.
+func exportTrace(path string, tgt runner.Target, algName string, seed int64, limit int) error {
+	alg, err := core.New(algName)
+	if err != nil {
+		return err
+	}
+	prof, _ := profile.Collect(tgt.Prog, profile.Options{Seed: seed + 17, ProgSeed: tgt.ProgSeed, MaxSteps: tgt.MaxSteps})
+	var info *sched.ProgramInfo
+	if prof != nil {
+		info = prof.Instantiate(prof.SelectAll())
+	}
+	col := obs.NewCollector(0) // keep every decision
+	opts := sched.Options{ProgSeed: tgt.ProgSeed, MaxSteps: tgt.MaxSteps, Info: info, Tracer: col, TraceFilter: tgt.TraceFilter}
+	for i := 0; i < limit; i++ {
+		opts.Seed = seed + int64(i)*2_000_033 + 1
+		if r := sched.Run(tgt.Prog, alg, opts); r.Buggy() {
+			break
+		}
+		if i == limit-1 {
+			// No failure: re-collect the first schedule so the export is
+			// deterministic rather than "whichever ran last".
+			opts.Seed = seed + 1
+			sched.Run(tgt.Prog, alg, opts)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, col); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// replayFlight re-executes a flight record through internal/replay and
+// verifies the replay is bit-exact: same bug ID, same interleaving
+// fingerprint under the target's trace filter.
+func replayFlight(path string) error {
+	fr, err := obs.ReadFlight(path)
+	if err != nil {
+		return err
+	}
+	tgt, ok := lookupTarget(fr.Target)
+	if !ok {
+		return fmt.Errorf("flight names unknown target %q", fr.Target)
+	}
+	rec, err := replay.Parse(fr.Recording)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("flight    %s\n", path)
+	fmt.Printf("target    %s  algorithm %s  session %d schedule %d\n",
+		fr.Target, fr.Algorithm, fr.Session, fr.Schedule)
+	fmt.Printf("expect    bug %s (%s at step %d), fingerprint %s\n",
+		fr.BugID, fr.FailKind, fr.FailStep, fr.Fingerprint)
+	res, err := replay.ReplayStrict(tgt.Prog, rec, sched.Options{
+		ProgSeed:    fr.ProgSeed,
+		MaxSteps:    fr.MaxSteps,
+		TraceFilter: tgt.TraceFilter,
+	})
+	if err != nil {
+		return fmt.Errorf("replay diverged: %w", err)
+	}
+	got := fmt.Sprintf("%016x", res.InterleavingHash)
+	if res.BugID() != fr.BugID {
+		return fmt.Errorf("replay reached bug %q, flight recorded %q", res.BugID(), fr.BugID)
+	}
+	if got != fr.Fingerprint {
+		return fmt.Errorf("replay fingerprint %s != recorded %s", got, fr.Fingerprint)
+	}
+	fmt.Printf("replayed  bit-exact: bug %s reproduced with fingerprint %s in %d steps\n",
+		res.BugID(), got, res.Steps)
+	return nil
 }
 
 // runCrosscheck soak-runs the framework oracle: the statistical
@@ -142,10 +305,12 @@ func allTargetNames() []string {
 	for _, b := range racebench.Suite() {
 		names = append(names, "RaceBench/"+b.Name)
 	}
-	return append(names, "LightFTP")
+	return append(names, "LightFTP", "bitshift_<k>")
 }
 
-// lookupTarget resolves a target from any suite.
+// lookupTarget resolves a target from any suite, plus the synthetic
+// "bitshift_<k>" family (the paper's Figure 1 program: C(2k,k) equally
+// interesting interleavings, ideal for eyeballing exported traces).
 func lookupTarget(name string) (runner.Target, bool) {
 	if tgt, ok := sctbench.ByName(name); ok {
 		return tgt, true
@@ -157,6 +322,11 @@ func lookupTarget(name string) (runner.Target, bool) {
 	}
 	if name == "LightFTP" {
 		return ftp.DefaultConfig().Target(1), true
+	}
+	if rest, ok := strings.CutPrefix(name, "bitshift_"); ok {
+		if k, err := strconv.Atoi(rest); err == nil && k > 0 && k <= 31 {
+			return runner.Target{Name: name, Prog: experiments.Bitshift(k)}, true
+		}
 	}
 	return runner.Target{}, false
 }

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"surw/internal/sched"
+)
+
+// annotCapture pulls the algorithm annotation at every decision.
+type annotCapture struct {
+	annots []string
+}
+
+func (a *annotCapture) BeginSchedule(string) {}
+func (a *annotCapture) Decide(_ sched.Decision, st *sched.State) {
+	a.annots = append(a.annots, string(st.AppendAlgAnnotation(nil)))
+}
+func (a *annotCapture) EndSchedule(*sched.Result) {}
+
+func annotProg(t *sched.Thread) {
+	x := t.NewVar("x", 0)
+	a := t.Go(func(w *sched.Thread) {
+		for i := 0; i < 3; i++ {
+			x.Add(w, 1)
+		}
+	})
+	b := t.Go(func(w *sched.Thread) {
+		for i := 0; i < 3; i++ {
+			x.Add(w, 2)
+		}
+	})
+	t.Join(a)
+	t.Join(b)
+}
+
+// TestAnnotationFormats pins the rendered annotation shapes: URW exposes
+// its remaining-event walk weights, SURW additionally its intended thread,
+// and both must render finished threads out of the weight vector by the
+// final decisions.
+func TestAnnotationFormats(t *testing.T) {
+	urw := &annotCapture{}
+	sched.Run(annotProg, NewURW(), sched.Options{Seed: 4, Tracer: urw})
+	if len(urw.annots) == 0 {
+		t.Fatal("no decisions traced")
+	}
+	for i, a := range urw.annots {
+		if !strings.HasPrefix(a, "w=[T0:") || !strings.HasSuffix(a, "]") {
+			t.Fatalf("URW annotation %d = %q, want w=[T0:...]", i, a)
+		}
+	}
+	// All workers are finished at the last decision (the root's final Join
+	// grant), so only the root remains in the weight vector.
+	last := urw.annots[len(urw.annots)-1]
+	if strings.Contains(last, "T1:") || strings.Contains(last, "T2:") {
+		t.Fatalf("finished workers still rendered: %q", last)
+	}
+
+	// SURW only commits to an intended thread when it has profiled counts.
+	info := sched.NewProgramInfo()
+	for _, p := range []string{"0", "0.0", "0.1"} {
+		info.AddThread(p, parentPath(p))
+	}
+	for p, c := range map[string]int{"0": 2, "0.0": 3, "0.1": 3} {
+		l := info.LID(p)
+		info.Events[l] = c
+		info.InterestingEvents[l] = c
+		info.TotalEvents += c
+	}
+	surw := &annotCapture{}
+	sched.Run(annotProg, NewSURW(), sched.Options{Seed: 4, Tracer: surw, Info: info})
+	sawIntended := false
+	for i, a := range surw.annots {
+		if !strings.HasPrefix(a, "intended=") || !strings.Contains(a, " Δw=[") {
+			t.Fatalf("SURW annotation %d = %q, want intended=... Δw=[...]", i, a)
+		}
+		if strings.Contains(a, "intended=T") {
+			sawIntended = true
+		}
+	}
+	if !sawIntended {
+		t.Fatal("SURW never rendered a committed intended thread")
+	}
+	// By the last decision only the root is live (Δ=Γ, so the root's final
+	// Join is itself the intended event): the weight vector must have
+	// dropped the finished workers.
+	if last := surw.annots[len(surw.annots)-1]; last != "intended=T0 Δw=[T0:1]" {
+		t.Fatalf("final SURW annotation %q, want the lone live root", last)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"strconv"
 
 	"surw/internal/sched"
 )
@@ -182,6 +183,20 @@ func (a *SURW) Observe(ev sched.Event, st *sched.State) {
 	if a.intended != -1 && st.Finished(a.intended) {
 		a.reselect(st, nil)
 	}
+}
+
+// AppendAnnotation implements sched.Annotator: the currently intended
+// thread for the next Δ event and the per-live-thread remaining Δ-weights
+// the intended choice is drawn from.
+func (a *SURW) AppendAnnotation(buf []byte, st *sched.State) []byte {
+	buf = append(buf, "intended="...)
+	if !a.havePicked || a.intended == -1 {
+		buf = append(buf, '-')
+	} else {
+		buf = append(buf, 'T')
+		buf = strconv.AppendInt(buf, int64(a.intended), 10)
+	}
+	return appendWeights(append(buf, " Δw="...), st, &a.rw)
 }
 
 // ObserveSpawn implements sched.SpawnObserver: apply the §3.5 spawn weight

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"strconv"
 
 	"surw/internal/sched"
 )
@@ -149,4 +150,29 @@ func (a *URW) Observe(ev sched.Event, st *sched.State) {
 // weight off its ancestors (§3.5 thread-creation correction).
 func (a *URW) ObserveSpawn(_, child sched.ThreadID, st *sched.State) {
 	a.rw.onSpawn(st, child)
+}
+
+// AppendAnnotation implements sched.Annotator: the per-live-thread
+// remaining-event weights the next pick samples from.
+func (a *URW) AppendAnnotation(buf []byte, st *sched.State) []byte {
+	return appendWeights(append(buf, "w="...), st, &a.rw)
+}
+
+// appendWeights renders the live threads' sampling weights as
+// "[T0:3 T2:7]" without allocating beyond buf's growth.
+func appendWeights(buf []byte, st *sched.State, rw *remWeights) []byte {
+	buf = append(buf, '[')
+	for tid := 0; tid < st.NumThreads(); tid++ {
+		if st.Finished(tid) {
+			continue
+		}
+		if buf[len(buf)-1] != '[' {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, 'T')
+		buf = strconv.AppendInt(buf, int64(tid), 10)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, int64(rw.weight(st, tid)), 10)
+	}
+	return append(buf, ']')
 }

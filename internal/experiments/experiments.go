@@ -8,6 +8,7 @@ package experiments
 import (
 	"sync"
 
+	"surw/internal/obs"
 	"surw/internal/sched"
 )
 
@@ -42,6 +43,12 @@ type Scale struct {
 	// is bit-identical under any setting — cells and sessions derive their
 	// seeds from their own indices and results are collected by index.
 	Workers int
+
+	// Metrics, when non-nil, aggregates observability counters (schedule
+	// throughput, per-algorithm decision histograms, worker utilization)
+	// across every RunTarget the drivers issue. Purely observational:
+	// attaching it never changes any table or figure. See internal/obs.
+	Metrics *obs.Metrics
 }
 
 // DefaultScale is the laptop-scale configuration.

@@ -53,6 +53,7 @@ func LightFTP(sc Scale, progress Progress) *FTPResult {
 			Coverage:      true,
 			CoverageEvery: maxInt(sc.FTPLimit/25, 1),
 			Workers:       sc.Workers,
+			Metrics:       sc.Metrics,
 		})
 		if err != nil {
 			return nil, err
@@ -106,6 +107,9 @@ func (r *FTPResult) Table3() *report.Table {
 	tb.AddRow(ilvRow...)
 	tb.AddRow(behRow...)
 	tb.AddFooter("larger entropy = more even sampling; interleavings are the fs mutations of two clients")
+	if r.Scale.Metrics != nil {
+		tb.AddFooter(r.Scale.Metrics.Summary())
+	}
 	return tb
 }
 

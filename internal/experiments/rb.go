@@ -51,6 +51,7 @@ func RaceBench(sc Scale, progress Progress) *RBResult {
 			Limit:    sc.RaceBenchLimit,
 			Seed:     sc.Seed,
 			Workers:  sc.Workers,
+			Metrics:  sc.Metrics,
 		})
 		if err != nil {
 			return 0, err
@@ -104,6 +105,9 @@ func (r *RBResult) Table2() *report.Table {
 	}
 	tb.AddRow(totalRow...)
 	tb.AddFooter("* selectively instrumented base; [x] most bugs on the row")
+	if r.Scale.Metrics != nil {
+		tb.AddFooter(r.Scale.Metrics.Summary())
+	}
 	return tb
 }
 

@@ -55,6 +55,7 @@ func SCTBench(sc Scale, progress Progress) *SCTResult {
 			Seed:           sc.Seed,
 			StopAtFirstBug: true,
 			Workers:        sc.Workers,
+			Metrics:        sc.Metrics,
 		})
 		if err != nil {
 			return nil, err
@@ -110,6 +111,9 @@ func (r *SCTResult) Table1() *report.Table {
 		tb.AddFooter("no target's bug was found by a baseline but missed by SURW")
 	} else {
 		tb.AddFooter(fmt.Sprintf("targets missed by SURW but found by a baseline: %v", missed))
+	}
+	if r.Scale.Metrics != nil {
+		tb.AddFooter(r.Scale.Metrics.Summary())
 	}
 	return tb
 }

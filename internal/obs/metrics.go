@@ -1,0 +1,298 @@
+package obs
+
+// Metrics: a concurrency-safe aggregator for everything the runner and the
+// workpool can observe without changing results — schedule throughput,
+// steps/allocs per schedule, truncation rate, per-algorithm decision
+// histograms (branching factor and pick position, with the pick entropy
+// derived from the latter), and worker utilization. Rendered as a
+// Prometheus-style text page (WritePrometheus) and as one-line summaries
+// embedded in experiment reports (Summary).
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"surw/internal/sched"
+)
+
+// histBuckets is the number of exact histogram buckets; index 0 is unused
+// for branching (an enabled set is never empty) and the last bucket
+// accumulates everything >= histBuckets-1.
+const histBuckets = 17
+
+// AlgStats accumulates per-algorithm decision histograms. All fields are
+// atomically updated; read them through Metrics.Snapshot.
+type AlgStats struct {
+	decisions atomic.Int64              // consulted decisions
+	branch    [histBuckets]atomic.Int64 // enabled-set size at consulted decisions
+	pick      [histBuckets]atomic.Int64 // position of the chosen thread in Enabled()
+}
+
+func bucket(n int) int {
+	if n >= histBuckets {
+		return histBuckets - 1
+	}
+	return n
+}
+
+// Metrics aggregates observability counters across the sessions of any
+// number of RunTarget batches. The zero value is not ready: use NewMetrics,
+// which snapshots the process allocation counter so allocs/schedule can be
+// reported as a delta. All methods are safe for concurrent use.
+type Metrics struct {
+	start    time.Time
+	mallocs0 uint64
+
+	schedules atomic.Int64
+	steps     atomic.Int64
+	truncated atomic.Int64
+	buggy     atomic.Int64
+
+	busy  atomic.Int64 // meter: summed item execution nanos
+	items atomic.Int64
+	cap_  atomic.Int64 // meter: summed workers*wall nanos
+
+	mu   sync.Mutex
+	algs map[string]*AlgStats
+}
+
+// NewMetrics returns an empty aggregator anchored at the current time and
+// allocation count.
+func NewMetrics() *Metrics {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &Metrics{start: time.Now(), mallocs0: ms.Mallocs, algs: make(map[string]*AlgStats)}
+}
+
+// ObserveResult folds one finished schedule into the aggregate.
+func (m *Metrics) ObserveResult(alg string, r *sched.Result) {
+	m.schedules.Add(1)
+	m.steps.Add(int64(r.Steps))
+	if r.Truncated {
+		m.truncated.Add(1)
+	}
+	if r.Buggy() {
+		m.buggy.Add(1)
+	}
+}
+
+// algStats returns (creating if needed) the histogram block for alg.
+func (m *Metrics) algStats(alg string) *AlgStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.algs[alg]
+	if s == nil {
+		s = &AlgStats{}
+		m.algs[alg] = s
+	}
+	return s
+}
+
+// Tracer returns a sched.Tracer that feeds this aggregator's per-algorithm
+// decision histograms. Each concurrent session needs its own tracer (the
+// scheduler contract); all of them fold into the shared Metrics.
+func (m *Metrics) Tracer() *MetricsTracer { return &MetricsTracer{m: m} }
+
+// MetricsTracer is the per-session decision observer handed out by
+// Metrics.Tracer.
+type MetricsTracer struct {
+	m     *Metrics
+	stats *AlgStats
+}
+
+// BeginSchedule implements sched.Tracer.
+func (t *MetricsTracer) BeginSchedule(alg string) { t.stats = t.m.algStats(alg) }
+
+// Decide implements sched.Tracer: consulted decisions feed the branching
+// histogram (how many threads were enabled) and the pick histogram (the
+// position of the chosen thread within the sorted enabled set — under an
+// unbiased policy on a symmetric workload, positions are hit uniformly).
+func (t *MetricsTracer) Decide(d sched.Decision, st *sched.State) {
+	if !d.Consulted || t.stats == nil {
+		return
+	}
+	t.stats.decisions.Add(1)
+	t.stats.branch[bucket(d.Enabled)].Add(1)
+	for pos, tid := range st.Enabled() {
+		if tid == d.Chosen {
+			t.stats.pick[bucket(pos)].Add(1)
+			break
+		}
+	}
+}
+
+// EndSchedule implements sched.Tracer.
+func (t *MetricsTracer) EndSchedule(*sched.Result) {}
+
+// ItemDone implements workpool.Meter: one work item ran for d.
+func (m *Metrics) ItemDone(d time.Duration) {
+	m.items.Add(1)
+	m.busy.Add(int64(d))
+}
+
+// BatchDone implements workpool.Meter: a Map call over `workers` workers
+// finished after `wall` of wall-clock time.
+func (m *Metrics) BatchDone(workers int, wall time.Duration) {
+	m.cap_.Add(int64(workers) * int64(wall))
+}
+
+// AlgSnapshot is the per-algorithm slice of a Snapshot.
+type AlgSnapshot struct {
+	Algorithm   string
+	Decisions   int64
+	Branch      [histBuckets]int64
+	Pick        [histBuckets]int64
+	PickEntropy float64 // bits; entropy of the pick-position distribution
+	MeanBranch  float64 // mean enabled-set size at consulted decisions
+}
+
+// Snapshot is a consistent-enough copy of the aggregate with the derived
+// rates computed.
+type Snapshot struct {
+	Schedules       int64
+	Steps           int64
+	Truncated       int64
+	Buggy           int64
+	Elapsed         time.Duration
+	SchedulesPerSec float64
+	StepsPerSched   float64
+	AllocsPerSched  float64 // process-wide Mallocs delta / schedules
+	TruncationRate  float64
+	WorkerBusy      time.Duration
+	WorkerItems     int64
+	Utilization     float64 // busy time / (workers x wall) over metered Map calls
+	Algorithms      []AlgSnapshot
+}
+
+// Snapshot computes the current aggregate.
+func (m *Metrics) Snapshot() Snapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := Snapshot{
+		Schedules:   m.schedules.Load(),
+		Steps:       m.steps.Load(),
+		Truncated:   m.truncated.Load(),
+		Buggy:       m.buggy.Load(),
+		Elapsed:     time.Since(m.start),
+		WorkerBusy:  time.Duration(m.busy.Load()),
+		WorkerItems: m.items.Load(),
+	}
+	if sec := s.Elapsed.Seconds(); sec > 0 {
+		s.SchedulesPerSec = float64(s.Schedules) / sec
+	}
+	if s.Schedules > 0 {
+		s.StepsPerSched = float64(s.Steps) / float64(s.Schedules)
+		s.AllocsPerSched = float64(ms.Mallocs-m.mallocs0) / float64(s.Schedules)
+		s.TruncationRate = float64(s.Truncated) / float64(s.Schedules)
+	}
+	if c := m.cap_.Load(); c > 0 {
+		s.Utilization = float64(m.busy.Load()) / float64(c)
+	}
+	m.mu.Lock()
+	names := make([]string, 0, len(m.algs))
+	for name := range m.algs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := m.algs[name]
+		as := AlgSnapshot{Algorithm: name, Decisions: a.decisions.Load()}
+		var total, weighted int64
+		for i := 0; i < histBuckets; i++ {
+			as.Branch[i] = a.branch[i].Load()
+			as.Pick[i] = a.pick[i].Load()
+			total += as.Pick[i]
+			weighted += int64(i) * as.Branch[i]
+		}
+		if as.Decisions > 0 {
+			as.MeanBranch = float64(weighted) / float64(as.Decisions)
+		}
+		if total > 0 {
+			h := 0.0
+			for i := 0; i < histBuckets; i++ {
+				if as.Pick[i] == 0 {
+					continue
+				}
+				p := float64(as.Pick[i]) / float64(total)
+				h -= p * math.Log2(p)
+			}
+			as.PickEntropy = h
+		}
+		s.Algorithms = append(s.Algorithms, as)
+	}
+	m.mu.Unlock()
+	return s
+}
+
+// Summary renders a one-line digest for embedding in report footers.
+func (m *Metrics) Summary() string {
+	s := m.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "obs: %d schedules (%.0f/s), %.1f steps/schedule, %.1f allocs/schedule, %.2f%% truncated",
+		s.Schedules, s.SchedulesPerSec, s.StepsPerSched, s.AllocsPerSched, 100*s.TruncationRate)
+	if s.Utilization > 0 {
+		fmt.Fprintf(&b, ", %.0f%% worker utilization", 100*s.Utilization)
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the aggregate as a Prometheus text-format page.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	s := m.Snapshot()
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("surw_schedules_total", "Schedules executed.", s.Schedules)
+	counter("surw_steps_total", "Scheduler events executed.", s.Steps)
+	counter("surw_truncated_total", "Schedules that hit the step budget.", s.Truncated)
+	counter("surw_buggy_total", "Schedules that exposed a bug.", s.Buggy)
+	gauge("surw_schedules_per_second", "Schedule throughput since NewMetrics.", s.SchedulesPerSec)
+	gauge("surw_steps_per_schedule", "Mean events per schedule.", s.StepsPerSched)
+	gauge("surw_allocs_per_schedule", "Process-wide heap allocations per schedule.", s.AllocsPerSched)
+	gauge("surw_truncation_rate", "Fraction of schedules truncated by the step budget.", s.TruncationRate)
+	gauge("surw_worker_busy_seconds_total", "Summed worker busy time across metered Map calls.", s.WorkerBusy.Seconds())
+	gauge("surw_worker_utilization", "Busy time over workers x wall across metered Map calls.", s.Utilization)
+	if len(s.Algorithms) > 0 {
+		fmt.Fprintf(&b, "# HELP surw_decisions_total Consulted scheduling decisions.\n# TYPE surw_decisions_total counter\n")
+		for _, a := range s.Algorithms {
+			fmt.Fprintf(&b, "surw_decisions_total{alg=%q} %d\n", a.Algorithm, a.Decisions)
+		}
+		fmt.Fprintf(&b, "# HELP surw_pick_entropy_bits Entropy of the pick-position distribution.\n# TYPE surw_pick_entropy_bits gauge\n")
+		for _, a := range s.Algorithms {
+			fmt.Fprintf(&b, "surw_pick_entropy_bits{alg=%q} %g\n", a.Algorithm, a.PickEntropy)
+		}
+		fmt.Fprintf(&b, "# HELP surw_mean_branching Mean enabled-set size at consulted decisions.\n# TYPE surw_mean_branching gauge\n")
+		for _, a := range s.Algorithms {
+			fmt.Fprintf(&b, "surw_mean_branching{alg=%q} %g\n", a.Algorithm, a.MeanBranch)
+		}
+		fmt.Fprintf(&b, "# HELP surw_branching_decisions Consulted decisions by enabled-set size (last bucket is %d+).\n# TYPE surw_branching_decisions counter\n", histBuckets-1)
+		for _, a := range s.Algorithms {
+			for i := 1; i < histBuckets; i++ {
+				if a.Branch[i] > 0 {
+					fmt.Fprintf(&b, "surw_branching_decisions{alg=%q,enabled=\"%d\"} %d\n", a.Algorithm, i, a.Branch[i])
+				}
+			}
+		}
+		fmt.Fprintf(&b, "# HELP surw_pick_position Consulted decisions by chosen position in the enabled set.\n# TYPE surw_pick_position counter\n")
+		for _, a := range s.Algorithms {
+			for i := 0; i < histBuckets; i++ {
+				if a.Pick[i] > 0 {
+					fmt.Fprintf(&b, "surw_pick_position{alg=%q,pos=\"%d\"} %d\n", a.Algorithm, i, a.Pick[i])
+				}
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -228,3 +228,140 @@ func TestSelectionEmptyProfile(t *testing.T) {
 		t.Fatal("lock selection on empty profile should fail")
 	}
 }
+
+// regionProg creates three shared vars with creation order a, b, c and
+// unequal access counts, so region selections have a meaningful order to
+// grow through.
+func regionProg(t *sched.Thread) {
+	a := t.NewVar("a", 0)
+	b := t.NewVar("b", 0)
+	c := t.NewVar("c", 0)
+	w1 := t.Go(func(w *sched.Thread) {
+		for i := 0; i < 4; i++ {
+			a.Add(w, 1)
+		}
+		b.Add(w, 1)
+		c.Add(w, 1)
+	})
+	w2 := t.Go(func(w *sched.Thread) {
+		for i := 0; i < 4; i++ {
+			a.Add(w, 1)
+		}
+		b.Add(w, 1)
+		c.Add(w, 1)
+	})
+	t.Join(w1)
+	t.Join(w2)
+}
+
+// TestSelectRegionBackwardGrowth pins the branch that grows the region
+// toward earlier-created vars when the forward walk exhausts the list
+// before reaching minAccesses.
+func TestSelectRegionBackwardGrowth(t *testing.T) {
+	p, err := Collect(regionProg, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(p.sharedVars()); n != 3 {
+		t.Fatalf("%d shared vars, want 3", n)
+	}
+	// Find a seed whose first Intn(3) lands on the last var, so forward
+	// growth contributes only "c" (2 accesses) and the threshold forces the
+	// backward loop to pull in b, then a.
+	seed := int64(-1)
+	for s := int64(0); s < 100; s++ {
+		if rand.New(rand.NewSource(s)).Intn(3) == 2 {
+			seed = s
+			break
+		}
+	}
+	if seed < 0 {
+		t.Fatal("no seed starts the region at the last var")
+	}
+	sel, ok := p.SelectRegion(rand.New(rand.NewSource(seed)), 5)
+	if !ok {
+		t.Fatal("region selection failed")
+	}
+	// c (2) + b (2) < 5, so the region must have grown back to a.
+	if len(sel.Objects) != 3 {
+		t.Fatalf("backward growth stopped early: %v", sel.Objects)
+	}
+	got := map[string]bool{}
+	for _, n := range sel.Objects {
+		got[n] = true
+	}
+	if !got["a"] || !got["b"] || !got["c"] {
+		t.Fatalf("region %v does not span the var list", sel.Objects)
+	}
+	if !sel.Interesting(sched.Event{Kind: sched.OpRead, ObjHash: sched.HashName("a")}) {
+		t.Fatal("backward-grown var not in predicate")
+	}
+}
+
+// TestCollectAllTruncatedKeepsPartialProfile: when every census run hits the
+// step budget, Collect must report the error AND still hand back the partial
+// counts (callers use them for best-effort Δ selection).
+func TestCollectAllTruncatedKeepsPartialProfile(t *testing.T) {
+	spin := func(t *sched.Thread) {
+		x := t.NewVar("x", 0)
+		t.Go(func(w *sched.Thread) {
+			for {
+				x.Add(w, 1)
+			}
+		})
+		for {
+			x.Add(t, 1)
+		}
+	}
+	p, err := Collect(spin, Options{Runs: 3, MaxSteps: 40, Seed: 4})
+	if err == nil {
+		t.Fatal("expected every-run-truncated error")
+	}
+	if p == nil {
+		t.Fatal("partial profile discarded on truncation")
+	}
+	if p.Info.TotalEvents == 0 {
+		t.Fatal("partial profile holds no counts")
+	}
+	found := false
+	for _, o := range p.Objs {
+		if o.Name == "x" && o.Accesses > 0 && o.Threads == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("census lost the contended var: %+v", p.Objs)
+	}
+}
+
+// TestThreadsCountsSameLidOnceAcrossKinds: ObjStat.Threads counts distinct
+// logical threads, so a var one thread both reads and writes is one thread,
+// not two (the thread-touch key must drop the event kind).
+func TestThreadsCountsSameLidOnceAcrossKinds(t *testing.T) {
+	readWrite := func(t *sched.Thread) {
+		v := t.NewVar("v", 0)
+		w := t.Go(func(w *sched.Thread) {
+			x := v.Load(w)
+			v.Store(w, x+1)
+			v.Store(w, v.Load(w)+1)
+		})
+		t.Join(w)
+	}
+	p, err := Collect(readWrite, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range p.Objs {
+		if o.Name != "v" {
+			continue
+		}
+		if o.Threads != 1 {
+			t.Fatalf("v touched by one thread under read and write kinds, Threads = %d", o.Threads)
+		}
+		if o.Accesses != 4 || o.Writes != 2 {
+			t.Fatalf("v stats %+v, want 4 accesses / 2 writes", o)
+		}
+		return
+	}
+	t.Fatal("var v missing from census")
+}

@@ -102,6 +102,16 @@ func (r *Recorder) ObserveSpawn(parent, child sched.ThreadID, st *sched.State) {
 	}
 }
 
+// AppendAnnotation forwards the inner algorithm's tracer annotation
+// (sched.Annotator), so decision traces captured through a Recorder — the
+// flight-recorder path — keep the algorithm's internal state visible.
+func (r *Recorder) AppendAnnotation(buf []byte, st *sched.State) []byte {
+	if an, ok := r.Inner.(sched.Annotator); ok {
+		return an.AppendAnnotation(buf, st)
+	}
+	return buf
+}
+
 // Recording returns the choices of the last completed schedule.
 func (r *Recorder) Recording() Recording {
 	return Recording{Choices: append([]int(nil), r.choices...)}

@@ -1,0 +1,152 @@
+package runner_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"surw/internal/obs"
+	"surw/internal/replay"
+	"surw/internal/runner"
+	"surw/internal/sched"
+	"surw/internal/sctbench"
+)
+
+// TestMetricsAttachmentIsObservationOnly holds the layer's core promise at
+// the runner level: a batch with Metrics and FlightDir attached produces a
+// Result byte-identical to the plain batch.
+func TestMetricsAttachmentIsObservationOnly(t *testing.T) {
+	tgt, ok := sctbench.ByName("CS/reorder_4")
+	if !ok {
+		t.Fatal("missing target")
+	}
+	for _, alg := range []string{"SURW", "URW", "RW", "PCT-3"} {
+		cfg := runner.Config{Sessions: 3, Limit: 300, Seed: 11, Coverage: true}
+		plain, err := runner.RunTarget(tgt, alg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Metrics = obs.NewMetrics()
+		cfg.FlightDir = t.TempDir()
+		cfg.Workers = 2
+		observed, err := runner.RunTarget(tgt, alg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plain.Equal(observed) {
+			t.Fatalf("%s: attaching metrics+flight changed the result", alg)
+		}
+		s := cfg.Metrics.Snapshot()
+		if s.Schedules == 0 || s.Steps == 0 {
+			t.Fatalf("%s: metrics saw nothing: %+v", alg, s)
+		}
+		if alg != "RW" && len(s.Algorithms) == 0 {
+			t.Fatalf("%s: no per-algorithm histograms", alg)
+		}
+		if s.Utilization <= 0 || s.Utilization > 1.0001 {
+			t.Fatalf("%s: utilization %v out of range", alg, s.Utilization)
+		}
+	}
+}
+
+// TestFlightRecorderEndToEnd drives the full loop the ci.sh smoke stage
+// scripts: run a failing SCTBench target with the flight recorder on, load
+// the dump, replay its recording through internal/replay, and demand the
+// same bug with the same interleaving fingerprint.
+func TestFlightRecorderEndToEnd(t *testing.T) {
+	tgt, ok := sctbench.ByName("CS/reorder_4")
+	if !ok {
+		t.Fatal("missing target")
+	}
+	dir := t.TempDir()
+	res, err := runner.RunTarget(tgt, "SURW", runner.Config{
+		Sessions: 2, Limit: 2000, Seed: 1, StopAtFirstBug: true, FlightDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FoundAll() {
+		t.Fatal("SURW did not find the reorder bug; flight recorder untestable")
+	}
+	for i, sess := range res.Sessions {
+		if sess.Flight == "" {
+			t.Fatalf("session %d found a bug but dumped no flight", i)
+		}
+		fr, err := obs.ReadFlight(sess.Flight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fr.Reproduced {
+			t.Fatalf("session %d: capture re-run did not reproduce", i)
+		}
+		if fr.Session != i || fr.BugID != "reorder" {
+			t.Fatalf("session %d: flight coordinates %+v", i, fr)
+		}
+		if len(fr.LastDecisions) == 0 || fr.Delta == "" {
+			t.Fatalf("session %d: missing decisions or Δ description", i)
+		}
+		last := fr.LastDecisions[len(fr.LastDecisions)-1]
+		if !strings.Contains(last.Annot, "intended=") {
+			t.Fatalf("session %d: SURW annotation missing from decisions: %+v", i, last)
+		}
+
+		rec, err := replay.Parse(fr.Recording)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := replay.ReplayStrict(tgt.Prog, rec, sched.Options{
+			ProgSeed:    fr.ProgSeed,
+			MaxSteps:    fr.MaxSteps,
+			TraceFilter: tgt.TraceFilter,
+		})
+		if err != nil {
+			t.Fatalf("session %d: replay diverged: %v", i, err)
+		}
+		if rp.BugID() != fr.BugID {
+			t.Fatalf("session %d: replay bug %q, want %q", i, rp.BugID(), fr.BugID)
+		}
+		if got := hexHash(rp.InterleavingHash); got != fr.Fingerprint {
+			t.Fatalf("session %d: replay fingerprint %s, want %s", i, got, fr.Fingerprint)
+		}
+	}
+	// Dumps land under the directory with sanitized names.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != len(res.Sessions) {
+		t.Fatalf("%d dumps for %d sessions", len(ents), len(res.Sessions))
+	}
+	for _, e := range ents {
+		if !strings.HasPrefix(e.Name(), "flight_CS_reorder_4_") ||
+			filepath.Ext(e.Name()) != ".json" {
+			t.Fatalf("unexpected dump name %q", e.Name())
+		}
+	}
+}
+
+func hexHash(h uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[h&0xf]
+		h >>= 4
+	}
+	return string(b[:])
+}
+
+// TestFlightDisabledWritesNothing guards the default path: without
+// FlightDir no files appear and Session.Flight stays empty.
+func TestFlightDisabledWritesNothing(t *testing.T) {
+	tgt, _ := sctbench.ByName("CS/reorder_4")
+	res, err := runner.RunTarget(tgt, "RW", runner.Config{Sessions: 1, Limit: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Sessions {
+		if s.Flight != "" {
+			t.Fatalf("flight %q dumped without FlightDir", s.Flight)
+		}
+	}
+}

@@ -24,11 +24,14 @@
 package runner
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 
 	"surw/internal/core"
+	"surw/internal/obs"
 	"surw/internal/profile"
+	"surw/internal/replay"
 	"surw/internal/sched"
 )
 
@@ -85,6 +88,14 @@ func runSession(tgt Target, algName string, cfg Config, session int) (*Session, 
 		every = cfg.Limit/50 + 1
 	}
 
+	// Observability hooks are strictly per-session: a shared aggregator
+	// hands each session its own tracer (the scheduler contract), and the
+	// tracer feeds the shared atomic counters.
+	var tracer sched.Tracer
+	if cfg.Metrics != nil {
+		tracer = cfg.Metrics.Tracer()
+	}
+
 	// One pool per session: all schedules of the session share (and
 	// recycle) one set of execution buffers.
 	pool := sched.NewPool()
@@ -98,13 +109,18 @@ func runSession(tgt Target, algName string, cfg Config, session int) (*Session, 
 				info = prof.Instantiate(prof.SelectAll())
 			}
 		}
-		r := pool.Run(tgt.Prog, alg, sched.Options{
+		opts := sched.Options{
 			Seed:        base + int64(i)*2_000_033 + 1,
 			ProgSeed:    tgt.ProgSeed,
 			MaxSteps:    tgt.MaxSteps,
 			Info:        info,
 			TraceFilter: tgt.TraceFilter,
-		})
+			Tracer:      tracer,
+		}
+		r := pool.Run(tgt.Prog, alg, opts)
+		if cfg.Metrics != nil {
+			cfg.Metrics.ObserveResult(alg.Name(), r)
+		}
 		sess.Schedules++
 		if r.Truncated {
 			sess.Truncated++
@@ -126,6 +142,13 @@ func runSession(tgt Target, algName string, cfg Config, session int) (*Session, 
 			sess.Bugs[r.BugID()]++
 			if sess.FirstBug == -1 {
 				sess.FirstBug = i + 1 + plusOne
+				if cfg.FlightDir != "" {
+					path, err := dumpFlight(tgt, algName, cfg, session, i, opts, r)
+					if err != nil {
+						return nil, err
+					}
+					sess.Flight = path
+				}
 				if cfg.StopAtFirstBug {
 					break
 				}
@@ -133,6 +156,49 @@ func runSession(tgt Target, algName string, cfg Config, session int) (*Session, 
 		}
 	}
 	return sess, nil
+}
+
+// dumpFlight re-executes the session's first failing schedule with a replay
+// recorder and a ring collector attached — schedules are deterministic
+// given (program, algorithm, Options), so the re-run witnesses the same
+// interleaving while capturing the choice sequence and the last decisions —
+// and writes the flight record under cfg.FlightDir.
+func dumpFlight(tgt Target, algName string, cfg Config, session, schedule int,
+	opts sched.Options, orig *sched.Result) (string, error) {
+	alg, err := core.New(algName)
+	if err != nil {
+		return "", err
+	}
+	rec := replay.NewRecorder(alg)
+	col := obs.NewCollector(obs.FlightRingSize)
+	opts.Tracer = col
+	res := sched.Run(tgt.Prog, rec, opts)
+
+	fr := &obs.FlightRecord{
+		Version:     obs.FlightVersion,
+		Target:      tgt.Name,
+		Algorithm:   alg.Name(),
+		Session:     session,
+		Schedule:    schedule,
+		Seed:        opts.Seed,
+		ProgSeed:    opts.ProgSeed,
+		MaxSteps:    opts.MaxSteps,
+		Recording:   rec.Recording().String(),
+		BugID:       orig.BugID(),
+		FailStep:    orig.Failure.Step,
+		FailKind:    orig.Failure.Kind.String(),
+		FailMsg:     orig.Failure.Msg,
+		Steps:       orig.Steps,
+		Threads:     orig.Threads,
+		Fingerprint: fmt.Sprintf("%016x", orig.InterleavingHash),
+		Reproduced: res.BugID() == orig.BugID() &&
+			res.InterleavingHash == orig.InterleavingHash,
+		LastDecisions: obs.CollectorRecords(col),
+	}
+	if opts.Info != nil {
+		fr.Delta = opts.Info.DeltaDesc
+	}
+	return obs.WriteFlight(cfg.FlightDir, fr)
 }
 
 func selectDelta(tgt Target, prof *profile.Profile, rng *rand.Rand) (profile.Selection, bool) {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"surw/internal/obs"
 	"surw/internal/profile"
 	"surw/internal/sched"
 	"surw/internal/stats"
@@ -60,6 +61,15 @@ type Config struct {
 	// workers, and <= 0 means one worker per CPU (runtime.GOMAXPROCS(0)).
 	// Results are bit-identical under every setting; see parallel.go.
 	Workers int
+	// Metrics, when non-nil, aggregates observability counters (schedule
+	// throughput, decision histograms, worker utilization) across the batch.
+	// Attaching it never changes results; see internal/obs.
+	Metrics *obs.Metrics
+	// FlightDir, when non-empty, enables the flight recorder: each session's
+	// first failing schedule is re-executed with a replay recorder attached
+	// and dumped as a JSON flight record under this directory (replayable
+	// with `surwrun -replay-flight`). See internal/obs/flight.go.
+	FlightDir string
 }
 
 // CovPoint is one point of a coverage curve.
@@ -99,6 +109,11 @@ type Session struct {
 	Truncated int
 	// Cov is non-nil when Config.Coverage was set.
 	Cov *Coverage
+	// Flight is the path of the flight record dumped for this session's
+	// first failing schedule ("" when Config.FlightDir is unset or the
+	// session found no bug). Excluded from Equal: it describes where a
+	// diagnostic artifact landed, not what the session observed.
+	Flight string
 }
 
 // Result aggregates the sessions of one (target, algorithm) pair.
@@ -118,7 +133,12 @@ func RunTarget(tgt Target, algName string, cfg Config) (*Result, error) {
 	if cfg.Limit <= 0 {
 		cfg.Limit = 1000
 	}
-	sessions, err := workpool.Map(cfg.Workers, cfg.Sessions, func(s int) (Session, error) {
+	// A typed-nil *obs.Metrics must not become a non-nil Meter interface.
+	var meter workpool.Meter
+	if cfg.Metrics != nil {
+		meter = cfg.Metrics
+	}
+	sessions, err := workpool.MapMetered(cfg.Workers, cfg.Sessions, meter, func(s int) (Session, error) {
 		sess, err := runSession(tgt, algName, cfg, s)
 		if err != nil {
 			return Session{}, fmt.Errorf("runner: %s/%s session %d: %w", tgt.Name, algName, s, err)

@@ -48,6 +48,7 @@ type Execution struct {
 	deltaHash   uint64
 	interesting func(Event) bool
 	filter      func(Event) bool
+	tracer      Tracer
 
 	state *State
 
@@ -152,6 +153,7 @@ func (ex *Execution) reset(opts Options, alg Algorithm) {
 	ex.deltaHash = 0
 	ex.interesting = nil
 	ex.filter = opts.TraceFilter
+	ex.tracer = opts.Tracer
 	if opts.Info != nil && opts.Info.Interesting != nil {
 		ex.interesting = opts.Info.Interesting
 		ex.deltaHash = fnvOffset
@@ -172,6 +174,13 @@ func (ex *Execution) run(prog func(*Thread), alg Algorithm, opts Options) *Resul
 			ex.algRand.Seed(opts.Seed + 1)
 		}
 		alg.Begin(opts.Info, ex.algRand)
+	}
+	if ex.tracer != nil {
+		name := ""
+		if alg != nil {
+			name = alg.Name()
+		}
+		ex.tracer.BeginSchedule(name)
 	}
 
 	root := ex.addThread(nil, prog)
@@ -199,6 +208,9 @@ func (ex *Execution) run(prog func(*Thread), alg Algorithm, opts Options) *Resul
 			res.ThreadPaths[i] = t.path
 		}
 	}
+	if ex.tracer != nil {
+		ex.tracer.EndSchedule(res)
+	}
 	return res
 }
 
@@ -219,10 +231,12 @@ func (ex *Execution) loop() {
 			return
 		}
 		var tid ThreadID
+		consulted := false
 		switch {
 		case len(enabled) == 1:
 			tid = enabled[0]
 		case ex.alg != nil:
+			consulted = true
 			tid = ex.alg.Next(ex.state)
 			if !containsTID(enabled, tid) {
 				panic(fmt.Sprintf("sched: algorithm %s chose disabled thread T%d", ex.alg.Name(), tid))
@@ -234,6 +248,13 @@ func (ex *Execution) loop() {
 		ev := t.next
 		ex.steps++
 		ex.recordEvent(ev)
+		if ex.tracer != nil {
+			// Before grant: st still reflects the pre-event state, so the
+			// tracer sees the enabled set the decision was drawn from.
+			ex.tracer.Decide(Decision{
+				Step: ex.steps - 1, Chosen: tid, Enabled: len(enabled), Consulted: consulted, Event: ev,
+			}, ex.state)
+		}
 		nThreads := len(ex.threads)
 		ex.grant(t)
 		ex.primeNew()

@@ -251,6 +251,11 @@ type Options struct {
 	// TraceFilter restricts which events fold into Result.InterleavingHash;
 	// nil includes every event.
 	TraceFilter func(Event) bool
+	// Tracer, when non-nil, observes every scheduling decision (see the
+	// Decision type and internal/obs for ready-made collectors). A nil
+	// Tracer costs one predictable branch per event and nothing else, and
+	// an installed Tracer never changes which threads are scheduled.
+	Tracer Tracer
 }
 
 // DefaultMaxSteps is the schedule step budget when Options.MaxSteps is 0.

@@ -1,0 +1,178 @@
+package sched_test
+
+import (
+	"testing"
+
+	"surw/internal/core"
+	"surw/internal/sched"
+)
+
+// countingTracer counts hook firings and checks per-call invariants.
+type countingTracer struct {
+	t       *testing.T
+	begins  int
+	decides int
+	ends    int
+	alg     string
+	steps   int // from EndSchedule
+}
+
+func (c *countingTracer) BeginSchedule(alg string) {
+	c.begins++
+	c.alg = alg
+	c.decides = 0
+}
+
+func (c *countingTracer) Decide(d sched.Decision, st *sched.State) {
+	if d.Step != c.decides {
+		c.t.Errorf("decision %d reported step %d", c.decides, d.Step)
+	}
+	c.decides++
+	if d.Enabled < 1 {
+		c.t.Errorf("step %d: enabled %d < 1", d.Step, d.Enabled)
+	}
+	if d.Enabled != len(st.Enabled()) {
+		c.t.Errorf("step %d: Decision.Enabled %d != len(st.Enabled()) %d",
+			d.Step, d.Enabled, len(st.Enabled()))
+	}
+	found := false
+	for _, tid := range st.Enabled() {
+		if tid == d.Chosen {
+			found = true
+		}
+	}
+	if !found {
+		c.t.Errorf("step %d: chosen T%d not in enabled set %v", d.Step, d.Chosen, st.Enabled())
+	}
+	if d.Event.TID != d.Chosen {
+		c.t.Errorf("step %d: event TID %d != chosen %d", d.Step, d.Event.TID, d.Chosen)
+	}
+	if d.Consulted && d.Enabled == 1 {
+		c.t.Errorf("step %d: singleton enabled set reported consulted", d.Step)
+	}
+}
+
+func (c *countingTracer) EndSchedule(r *sched.Result) {
+	c.ends++
+	c.steps = r.Steps
+}
+
+// twoThreads is a small racy program with real scheduling choice.
+func twoThreads(t *sched.Thread) {
+	x := t.NewVar("x", 0)
+	a := t.Go(func(w *sched.Thread) {
+		for i := 0; i < 4; i++ {
+			x.Add(w, 1)
+		}
+	})
+	b := t.Go(func(w *sched.Thread) {
+		for i := 0; i < 4; i++ {
+			x.Add(w, 2)
+		}
+	})
+	t.Join(a)
+	t.Join(b)
+}
+
+func TestTracerSeesEveryDecision(t *testing.T) {
+	tr := &countingTracer{t: t}
+	alg := core.NewRandomWalk()
+	r := sched.Run(twoThreads, alg, sched.Options{Seed: 7, Tracer: tr})
+	if tr.begins != 1 || tr.ends != 1 {
+		t.Fatalf("begins=%d ends=%d, want 1/1", tr.begins, tr.ends)
+	}
+	if tr.alg != alg.Name() {
+		t.Fatalf("BeginSchedule saw alg %q, want %q", tr.alg, alg.Name())
+	}
+	if tr.decides != r.Steps {
+		t.Fatalf("Decide fired %d times for %d steps", tr.decides, r.Steps)
+	}
+	if tr.steps != r.Steps {
+		t.Fatalf("EndSchedule saw %d steps, result has %d", tr.steps, r.Steps)
+	}
+}
+
+// TestTracerDoesNotPerturbSchedule is the core observability contract:
+// attaching a tracer never changes which threads are scheduled.
+func TestTracerDoesNotPerturbSchedule(t *testing.T) {
+	for _, name := range []string{"SURW", "URW", "POS", "RW", "PCT-3"} {
+		for seed := int64(0); seed < 20; seed++ {
+			algA, err := core.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain := sched.Run(twoThreads, algA, sched.Options{Seed: seed})
+			algB, _ := core.New(name)
+			traced := sched.Run(twoThreads, algB, sched.Options{
+				Seed: seed, Tracer: &countingTracer{t: t},
+			})
+			if plain.InterleavingHash != traced.InterleavingHash {
+				t.Fatalf("%s seed %d: tracer changed the interleaving (%x vs %x)",
+					name, seed, plain.InterleavingHash, traced.InterleavingHash)
+			}
+		}
+	}
+}
+
+// annotTracer captures the algorithm annotation at each decision.
+type annotTracer struct {
+	annots []string
+	buf    []byte
+}
+
+func (a *annotTracer) BeginSchedule(string) {}
+func (a *annotTracer) Decide(_ sched.Decision, st *sched.State) {
+	a.buf = st.AppendAlgAnnotation(a.buf[:0])
+	a.annots = append(a.annots, string(a.buf))
+}
+func (a *annotTracer) EndSchedule(*sched.Result) {}
+
+func TestAlgorithmAnnotations(t *testing.T) {
+	for _, name := range []string{"URW", "SURW"} {
+		alg, err := core.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := &annotTracer{}
+		sched.Run(twoThreads, alg, sched.Options{Seed: 3, Tracer: tr})
+		if len(tr.annots) == 0 {
+			t.Fatalf("%s: no decisions traced", name)
+		}
+		nonEmpty := 0
+		for _, a := range tr.annots {
+			if a != "" {
+				nonEmpty++
+			}
+		}
+		if nonEmpty == 0 {
+			t.Errorf("%s exposes no annotations; want weight summaries", name)
+		}
+	}
+	// RW is deliberately annotation-free.
+	tr := &annotTracer{}
+	sched.Run(twoThreads, core.NewRandomWalk(), sched.Options{Seed: 3, Tracer: tr})
+	for _, a := range tr.annots {
+		if a != "" {
+			t.Fatalf("RW produced annotation %q; want none", a)
+		}
+	}
+}
+
+// TestTracerAcrossPooledRuns checks the hook fires per schedule with pooled
+// executions too (the runner's configuration), and that omitting the tracer
+// on a later pooled run leaves it silent.
+func TestTracerAcrossPooledRuns(t *testing.T) {
+	pool := sched.NewPool()
+	tr := &countingTracer{t: t}
+	alg := core.NewRandomWalk()
+	for i := 0; i < 3; i++ {
+		pool.Run(twoThreads, alg, sched.Options{Seed: int64(i), Tracer: tr})
+	}
+	if tr.begins != 3 || tr.ends != 3 {
+		t.Fatalf("begins=%d ends=%d after 3 pooled runs", tr.begins, tr.ends)
+	}
+	pool.Run(twoThreads, alg, sched.Options{Seed: 99})
+	if tr.begins != 3 {
+		t.Fatalf("tracer fired on a run without Options.Tracer")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Normalize resolves a worker-count setting: values <= 0 mean "one worker
@@ -35,18 +36,50 @@ func Normalize(workers int) int {
 // the failing item with the lowest index (deterministic regardless of
 // completion order), in which case the results are discarded.
 func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
+	return MapMetered[T](workers, n, nil, fn)
+}
+
+// Meter observes a MapMetered call: ItemDone fires once per work item with
+// the item's execution time (from the worker that ran it), and BatchDone
+// fires once when the whole call finishes, with the worker count actually
+// used and the wall-clock duration. Implementations must be safe for
+// concurrent ItemDone calls. Metering is strictly observational — item
+// order, results, and errors are identical to the unmetered Map.
+type Meter interface {
+	ItemDone(d time.Duration)
+	BatchDone(workers int, wall time.Duration)
+}
+
+// MapMetered is Map with an optional Meter (nil meters exactly like Map —
+// the sequential fast path stays allocation- and goroutine-free and skips
+// the clock entirely).
+func MapMetered[T any](workers, n int, meter Meter, fn func(int) (T, error)) ([]T, error) {
 	workers = Normalize(workers)
 	if n <= 0 {
 		return nil, nil
 	}
+	var batchStart time.Time
+	if meter != nil {
+		batchStart = time.Now()
+	}
 	results := make([]T, n)
 	if workers == 1 || n == 1 {
 		for i := 0; i < n; i++ {
+			var itemStart time.Time
+			if meter != nil {
+				itemStart = time.Now()
+			}
 			r, err := fn(i)
+			if meter != nil {
+				meter.ItemDone(time.Since(itemStart))
+			}
 			if err != nil {
 				return nil, err
 			}
 			results[i] = r
+		}
+		if meter != nil {
+			meter.BatchDone(1, time.Since(batchStart))
 		}
 		return results, nil
 	}
@@ -65,11 +98,21 @@ func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 				if i >= n {
 					return
 				}
+				var itemStart time.Time
+				if meter != nil {
+					itemStart = time.Now()
+				}
 				results[i], errs[i] = fn(i)
+				if meter != nil {
+					meter.ItemDone(time.Since(itemStart))
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if meter != nil {
+		meter.BatchDone(workers, time.Since(batchStart))
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
