@@ -1,12 +1,19 @@
 GO ?= go
 FUZZTIME ?= 30s
 
+# Version stamp: release binaries report `git describe` through
+# surw/internal/buildinfo (every command's -version flag and the
+# dashboard's /buildinfo endpoint); builds outside a git checkout fall back
+# to "dev".
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS = -ldflags "-X surw/internal/buildinfo.Version=$(VERSION)"
+
 .PHONY: all build vet test race bench fuzz-smoke crosscheck ci
 
 all: ci
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 vet:
 	$(GO) vet ./...
@@ -18,7 +25,7 @@ test:
 # pool, the cooperative scheduler, the parallel session runner, and the
 # parallel experiment grids.
 race:
-	$(GO) test -race -short ./internal/workpool ./internal/sched ./internal/runner ./internal/experiments
+	$(GO) test -race -short ./internal/workpool ./internal/sched ./internal/runner ./internal/experiments ./internal/campaign
 
 # Benchmarks. The throughput-critical pair (pooled scheduling and parallel
 # sessions) is additionally parsed into BENCH_obs.json so regressions can be

@@ -26,13 +26,22 @@ awk '
   END { exit bad }
 ' /tmp/surw-cover.txt
 
-go test -race -short ./internal/workpool ./internal/sched ./internal/runner ./internal/experiments ./internal/crosscheck
+go test -race -short ./internal/workpool ./internal/sched ./internal/runner ./internal/experiments ./internal/crosscheck ./internal/campaign
 
 # Observability overhead gate: with tracing disabled the pooled scheduler
 # must stay at its allocation floor — the Tracer hook is a nil-check, not a
 # cost. (No pipe, same reason as above.)
 go test -bench='^BenchmarkPooledSchedule$' -benchmem -benchtime=2000x -run='^$' . > /tmp/surw-bench.txt 2>&1 || { cat /tmp/surw-bench.txt; exit 1; }
 go run ./cmd/surwobs -in /tmp/surw-bench.txt -gate 'BenchmarkPooledSchedule/pooled.allocs/op<=11'
+
+# Allocation gate for the parallel session engine, against the committed
+# BENCH_obs.json baseline (51.3 allocs/schedule on the reference machine;
+# the gate allows small noise, not a regression). The baseline JSON itself
+# must parse — it is the machine-readable record reports embed.
+go test -bench='^BenchmarkParallelSessions$/^workers_1$' -benchmem -benchtime=2x -run='^$' . > /tmp/surw-bench-par.txt 2>&1 || { cat /tmp/surw-bench-par.txt; exit 1; }
+go run ./cmd/surwobs -in /tmp/surw-bench-par.txt -gate 'BenchmarkParallelSessions/workers_1.allocs/schedule<=55'
+test -s BENCH_obs.json
+go run ./cmd/surwobs -bench2json -in /tmp/surw-bench-par.txt -out /dev/null
 
 # Observability smoke: export a Chrome trace and validate it, then dump a
 # flight record from a failing SCTBench target, validate it, and replay it
@@ -45,6 +54,49 @@ go run ./cmd/surwrun -target CS/reorder_4 -alg SURW -sessions 1 -limit 2000 -fli
 FLIGHT=$(ls /tmp/surw-obs-smoke/flight_*.json)
 go run ./cmd/surwobs -check-flight "$FLIGHT"
 go run ./cmd/surwrun -replay-flight "$FLIGHT"
+
+# Campaign persistence smoke: a tiny two-cell campaign killed after its
+# first cell must, on resume at a different worker count, produce
+# byte-identical aggregates to an uninterrupted run (crash-safe run-store;
+# see internal/campaign).
+rm -rf /tmp/surw-campaign
+mkdir -p /tmp/surw-campaign
+go build -ldflags "-X surw/internal/buildinfo.Version=ci-smoke" -o /tmp/surw-campaign/surwbench ./cmd/surwbench
+go build -ldflags "-X surw/internal/buildinfo.Version=ci-smoke" -o /tmp/surw-campaign/surwdash ./cmd/surwdash
+/tmp/surw-campaign/surwbench -version | grep -q 'ci-smoke'
+CELLS='-sct-targets CS/reorder_4 -sct-algs SURW,RW -sessions 3 -limit 300'
+# Uninterrupted reference at 2 workers.
+/tmp/surw-campaign/surwbench -campaign /tmp/surw-campaign/ref -workers 2 $CELLS -q sct > /dev/null
+# Interrupted run: the crash-injection flag kills the process (exit 3)
+# after the first completed cell.
+if /tmp/surw-campaign/surwbench -campaign /tmp/surw-campaign/res -workers 1 $CELLS -stop-after-cells 1 -q sct > /dev/null 2>&1; then
+    echo "FAIL: -stop-after-cells did not kill the campaign"
+    exit 1
+fi
+test ! -f /tmp/surw-campaign/res/aggregates.json
+# Resume at 4 workers: completed sessions are skipped, the rest execute,
+# and the final aggregates must be byte-identical to the reference.
+/tmp/surw-campaign/surwbench -campaign /tmp/surw-campaign/res -workers 4 $CELLS -q sct > /dev/null
+cmp /tmp/surw-campaign/ref/aggregates.json /tmp/surw-campaign/res/aggregates.json
+
+# Dashboard smoke: serve the finished campaign read-only and validate every
+# endpoint — Prometheus content type, JSON aggregates, one SSE event, build
+# identity.
+/tmp/surw-campaign/surwdash -store /tmp/surw-campaign/ref -addr 127.0.0.1:18099 > /tmp/surw-campaign/dash.log 2>&1 &
+DASH_PID=$!
+trap 'kill $DASH_PID 2>/dev/null || true' EXIT
+for i in $(seq 1 50); do
+    curl -sf http://127.0.0.1:18099/buildinfo > /dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -si http://127.0.0.1:18099/metrics | grep -i '^content-type: text/plain; version=0.0.4'
+curl -s http://127.0.0.1:18099/metrics | grep -q '^surw_campaign_sessions_stored 6$'
+curl -s http://127.0.0.1:18099/api/campaign | grep -q '"sessions": 6'
+curl -s http://127.0.0.1:18099/buildinfo | grep -q '"version": "ci-smoke"'
+curl -sN --max-time 2 http://127.0.0.1:18099/events > /tmp/surw-campaign/sse.txt || true
+grep -q '^event: snapshot' /tmp/surw-campaign/sse.txt
+kill $DASH_PID 2>/dev/null || true
+trap - EXIT
 
 # Fuzz smoke: a short coverage-guided run of each native fuzz target (the
 # full checked-in seed corpora already ran as part of `go test` above).

@@ -19,6 +19,17 @@
 // driver, prints its one-line summary under each table, and writes the
 // Prometheus-style page to FILE; -pprof ADDR serves net/http/pprof while
 // the experiments run. Neither changes any table or figure.
+//
+// Long campaigns persist with -campaign DIR: every completed session is
+// appended to the crash-safe run-store (internal/campaign) and skipped on
+// restart, and DIR/aggregates.json is (re)written when the run completes —
+// byte-identical whether the campaign ran through or was killed and
+// resumed, at any -workers setting. -serve ADDR exposes the live dashboard
+// (/, /api/campaign, /metrics, /events, /buildinfo) while the campaign
+// runs. -sct-targets and -sct-algs narrow the sct experiment to a subset of
+// cells; -stop-after-cells N kills the process (exit 3) after N completed
+// cells, simulating a crash for the ci.sh resume smoke. Attaching the store
+// or dashboard never changes any table, figure, or schedule.
 package main
 
 import (
@@ -31,6 +42,8 @@ import (
 	"strings"
 	"time"
 
+	"surw/internal/buildinfo"
+	"surw/internal/campaign"
 	"surw/internal/experiments"
 	"surw/internal/obs"
 	"surw/internal/workpool"
@@ -52,8 +65,18 @@ func main() {
 		full       = flag.Bool("full", false, "print full Figure 2 histograms")
 		metricsOut = flag.String("metrics", "", "write a Prometheus-style metrics page to this file after the experiments")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address for the run's duration")
+		campDir    = flag.String("campaign", "", "persist per-session results to this run-store directory (resumable)")
+		serveAddr  = flag.String("serve", "", "serve the live campaign dashboard on this address (requires -campaign)")
+		stopCells  = flag.Int("stop-after-cells", 0, "exit(3) after N completed cells (crash injection for resume tests)")
+		sctTargets = flag.String("sct-targets", "", "comma-separated target names to restrict the sct experiment to")
+		sctAlgs    = flag.String("sct-algs", "", "comma-separated algorithms to restrict the sct experiment to")
+		version    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("surwbench %s\n", buildinfo.Get())
+		return
+	}
 	if *pprofAddr != "" {
 		go func() { _ = http.ListenAndServe(*pprofAddr, nil) }()
 	}
@@ -81,8 +104,46 @@ func main() {
 		sc.Seed = *seed
 	}
 	sc.Workers = *workers
-	if *metricsOut != "" {
+	if *metricsOut != "" || *serveAddr != "" {
 		sc.Metrics = obs.NewMetrics()
+	}
+	if *sctTargets != "" {
+		sc.SCTTargets = splitList(*sctTargets)
+	}
+	if *sctAlgs != "" {
+		sc.SCTAlgs = splitList(*sctAlgs)
+	}
+
+	var store *campaign.Store
+	if *campDir != "" {
+		var err error
+		store, err = campaign.Open(*campDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer store.Close()
+		sc.Store = store
+		if *stopCells > 0 {
+			n := *stopCells
+			store.CellHook = func(ev campaign.Event) {
+				if ev.Cells >= n {
+					fmt.Fprintf(os.Stderr, "surwbench: crash injection: exiting after %d cells\n", ev.Cells)
+					os.Exit(3)
+				}
+			}
+		}
+	}
+	if *serveAddr != "" {
+		if store == nil {
+			fatalf("-serve requires -campaign DIR")
+		}
+		srv := campaign.NewServer(store, sc.Metrics)
+		go func() {
+			if err := http.ListenAndServe(*serveAddr, srv); err != nil {
+				fmt.Fprintf(os.Stderr, "surwbench: dashboard: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "dashboard serving on %s\n", *serveAddr)
 	}
 
 	want := map[string]bool{}
@@ -149,18 +210,45 @@ func main() {
 	}
 	if sc.Metrics != nil {
 		fmt.Println(sc.Metrics.Summary())
-		f, err := os.Create(*metricsOut)
+		if *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if err := sc.Metrics.WritePrometheus(f); err != nil {
+				fatalf("write metrics: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("write metrics: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsOut)
+		}
+	}
+	if store != nil {
+		path := filepath.Join(store.Dir(), "aggregates.json")
+		f, err := os.Create(path)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		if err := sc.Metrics.WritePrometheus(f); err != nil {
-			fatalf("write metrics: %v", err)
+		if err := campaign.WriteAggregates(f, store); err != nil {
+			fatalf("write aggregates: %v", err)
 		}
 		if err := f.Close(); err != nil {
-			fatalf("write metrics: %v", err)
+			fatalf("write aggregates: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsOut)
+		fmt.Fprintf(os.Stderr, "campaign aggregates written to %s\n", path)
 	}
+}
+
+// splitList parses a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 func timed(name string, workers int, f func()) {

@@ -1,0 +1,73 @@
+// Command surwdash serves the campaign dashboard over an existing
+// run-store, read-only: it never appends, never truncates, and follows a
+// store some campaign process (surwbench -campaign / surwrun -campaign) is
+// actively writing by tailing runs.jsonl on a poll interval.
+//
+// Usage:
+//
+//	surwdash -store DIR [-addr :8090] [-poll 1s]
+//
+// Endpoints:
+//
+//	/              HTML dashboard (inline-SVG survival and coverage curves)
+//	/api/campaign  campaign aggregates as JSON
+//	/metrics       Prometheus text page (content type version=0.0.4)
+//	/events        SSE stream: one snapshot on connect, then live events
+//	/buildinfo     build identity JSON
+//
+// To embed the same dashboard in a live campaign process instead, pass
+// -serve to surwbench or surwrun.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"surw/internal/buildinfo"
+	"surw/internal/campaign"
+)
+
+func main() {
+	var (
+		storeDir = flag.String("store", "", "campaign run-store directory (required)")
+		addr     = flag.String("addr", "localhost:8090", "HTTP listen address")
+		poll     = flag.Duration("poll", time.Second, "interval for tailing new records from the store")
+		version  = flag.Bool("version", false, "print the build version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Printf("surwdash %s\n", buildinfo.Get())
+		return
+	}
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "surwdash: -store DIR is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	store, err := campaign.OpenRead(*storeDir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	go func() {
+		for range time.Tick(*poll) {
+			if _, err := store.Poll(); err != nil {
+				fmt.Fprintf(os.Stderr, "surwdash: poll: %v\n", err)
+			}
+		}
+	}()
+
+	fmt.Printf("surwdash %s serving %s (%d sessions) on http://%s/\n",
+		buildinfo.Version, *storeDir, store.Len(), *addr)
+	if err := http.ListenAndServe(*addr, campaign.NewServer(store, nil)); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "surwdash: "+format+"\n", a...)
+	os.Exit(2)
+}

@@ -18,6 +18,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 
+	"surw/internal/buildinfo"
 	"surw/internal/core"
 	"surw/internal/obs"
 	"surw/internal/profile"
@@ -37,8 +38,13 @@ func main() {
 		ops        = flag.Int("ops", 10, "max straight-line ops per thread")
 		metricsOut = flag.String("metrics", "", "write a Prometheus-style metrics page to this file after the sweep")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address for the run's duration")
+		version    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("surwfuzz %s\n", buildinfo.Get())
+		return
+	}
 	if *pprofAddr != "" {
 		go func() { _ = http.ListenAndServe(*pprofAddr, nil) }()
 	}

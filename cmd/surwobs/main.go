@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 
+	"surw/internal/buildinfo"
 	"surw/internal/obs"
 )
 
@@ -40,9 +41,14 @@ func main() {
 		out        = flag.String("out", "", "output file for -bench2json (default stdout)")
 		checkTrace = flag.String("check-trace", "", "validate a Chrome trace_event JSON file")
 		checkFl    = flag.String("check-flight", "", "validate a flight-recorder dump")
+		version    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Var(&gates, "gate", "benchmark regression gate 'name.metric<=value' (repeatable)")
 	flag.Parse()
+	if *version {
+		fmt.Printf("surwobs %s\n", buildinfo.Get())
+		return
+	}
 
 	switch {
 	case *checkTrace != "":

@@ -18,6 +18,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 
+	"surw/internal/buildinfo"
 	"surw/internal/obs"
 	"surw/internal/profile"
 	"surw/internal/race"
@@ -57,8 +58,13 @@ func main() {
 		seed       = flag.Int64("seed", 1, "census scheduler seed")
 		asJSON     = flag.Bool("json", false, "emit the census as JSON instead of tables")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address for the run's duration")
+		version    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("surwprof %s\n", buildinfo.Get())
+		return
+	}
 	if *pprofAddr != "" {
 		go func() { _ = http.ListenAndServe(*pprofAddr, nil) }()
 	}

@@ -23,6 +23,11 @@
 // oracle (internal/crosscheck): the mutation-sensitivity self-test plus a
 // sweep of generated programs cross-checked against exhaustive
 // enumeration. It exits non-zero on the first framework bug found.
+//
+// -campaign DIR persists per-session results to a crash-safe run-store
+// (internal/campaign); an interrupted run resumes from the store and the
+// final aggregates are byte-identical to an uninterrupted run's. -serve
+// ADDR exposes the live campaign dashboard while the run executes.
 package main
 
 import (
@@ -31,9 +36,12 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
+	"surw/internal/buildinfo"
+	"surw/internal/campaign"
 	"surw/internal/core"
 	"surw/internal/crosscheck"
 	"surw/internal/experiments"
@@ -64,8 +72,15 @@ func main() {
 		list       = flag.Bool("list", false, "list available targets")
 		ccheck     = flag.Bool("crosscheck", false, "soak-run the framework self-verification oracle instead of a benchmark")
 		ccSeeds    = flag.Int("crosscheck-seeds", 10, "generator seeds swept per grammar in -crosscheck mode")
+		campDir    = flag.String("campaign", "", "persist per-session results to this run-store directory (resumable)")
+		serveAddr  = flag.String("serve", "", "serve the live campaign dashboard on this address (requires -campaign)")
+		version    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("surwrun %s\n", buildinfo.Get())
+		return
+	}
 	startPprof(*pprofAddr)
 
 	if *flightIn != "" {
@@ -99,10 +114,33 @@ func main() {
 	}
 
 	var metrics *obs.Metrics
-	if *metricsOut != "" {
+	if *metricsOut != "" || *serveAddr != "" {
 		metrics = obs.NewMetrics()
 	}
-	res, err := runner.RunTarget(tgt, *algName, runner.Config{
+	var store *campaign.Store
+	if *campDir != "" {
+		var err error
+		store, err = campaign.Open(*campDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "surwrun: %v\n", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+	}
+	if *serveAddr != "" {
+		if store == nil {
+			fmt.Fprintln(os.Stderr, "surwrun: -serve requires -campaign DIR")
+			os.Exit(2)
+		}
+		srv := campaign.NewServer(store, metrics)
+		go func() {
+			if err := http.ListenAndServe(*serveAddr, srv); err != nil {
+				fmt.Fprintf(os.Stderr, "surwrun: dashboard: %v\n", err)
+			}
+		}()
+		fmt.Printf("dashboard http://%s/\n", *serveAddr)
+	}
+	cfg := runner.Config{
 		Sessions:       *sessions,
 		Limit:          *limit,
 		Seed:           *seed,
@@ -110,7 +148,13 @@ func main() {
 		Workers:        *workers,
 		Metrics:        metrics,
 		FlightDir:      *flightDir,
-	})
+	}
+	if store != nil {
+		// Assign only when non-nil: a typed-nil interface would make the
+		// runner consult a nil store.
+		cfg.Store = store
+	}
+	res, err := runner.RunTarget(tgt, *algName, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "surwrun: %v\n", err)
 		os.Exit(1)
@@ -145,6 +189,21 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("metrics   %s\n", *metricsOut)
+	}
+	if store != nil {
+		path := filepath.Join(store.Dir(), "aggregates.json")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "surwrun: %v\n", err)
+			os.Exit(1)
+		}
+		if err := campaign.WriteAggregates(f, store); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "surwrun: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("campaign  %s (%d sessions stored)\n", store.Dir(), store.Len())
 	}
 	if *traceOut != "" {
 		if err := exportTrace(*traceOut, tgt, *algName, *seed, *limit); err != nil {

@@ -1,0 +1,59 @@
+// Package buildinfo carries the version stamp shared by every surw command.
+// Release builds inject the version with
+//
+//	go build -ldflags "-X surw/internal/buildinfo.Version=v1.2.3"
+//
+// (the Makefile derives it from `git describe`); unstamped builds report
+// "dev". The same information backs each command's -version flag and the
+// dashboard's /buildinfo endpoint.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the stamped release version, overridden at link time.
+var Version = "dev"
+
+// Info is the build identity reported by -version and /buildinfo.
+type Info struct {
+	Version  string `json:"version"`
+	Go       string `json:"go"`
+	OS       string `json:"os"`
+	Arch     string `json:"arch"`
+	Revision string `json:"revision,omitempty"` // VCS commit, when the build recorded one
+}
+
+// Get assembles the build identity, pulling the VCS revision from the
+// build-info block when the toolchain embedded one.
+func Get() Info {
+	info := Info{
+		Version: Version,
+		Go:      runtime.Version(),
+		OS:      runtime.GOOS,
+		Arch:    runtime.GOARCH,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				info.Revision = s.Value
+			}
+		}
+	}
+	return info
+}
+
+// String renders the one-line form printed by -version.
+func (i Info) String() string {
+	s := fmt.Sprintf("%s (%s %s/%s)", i.Version, i.Go, i.OS, i.Arch)
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " commit " + rev
+	}
+	return s
+}

@@ -1,0 +1,27 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGetAndString(t *testing.T) {
+	info := Get()
+	if info.Version != Version {
+		t.Fatalf("Version = %q, want %q", info.Version, Version)
+	}
+	if !strings.HasPrefix(info.Go, "go") || info.OS == "" || info.Arch == "" {
+		t.Fatalf("incomplete build info: %+v", info)
+	}
+	s := info.String()
+	if !strings.Contains(s, info.Version) || !strings.Contains(s, info.Go) {
+		t.Fatalf("String() = %q misses version or toolchain", s)
+	}
+
+	long := Info{Version: "v1", Go: "go1.24", OS: "linux", Arch: "amd64",
+		Revision: "0123456789abcdef0123456789abcdef"}
+	if got := long.String(); !strings.Contains(got, "commit 0123456789ab") ||
+		strings.Contains(got, "0123456789abc") {
+		t.Fatalf("revision not truncated to 12 chars: %q", got)
+	}
+}

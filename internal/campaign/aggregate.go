@@ -1,0 +1,240 @@
+package campaign
+
+// Campaign-level aggregation: everything the dashboard and aggregates.json
+// derive from the run-store. The computation reads only the indexed wire
+// records in canonical (cell, session) order, so its output is a pure
+// function of the record set — byte-identical whether the campaign ran
+// uninterrupted or was killed and resumed, at any worker count.
+
+import (
+	"io"
+	"sort"
+
+	"surw/internal/obs"
+	"surw/internal/runner"
+	"surw/internal/stats"
+)
+
+// Aggregates is the campaign-wide rollup served at /api/campaign and
+// written to aggregates.json.
+type Aggregates struct {
+	Version  int              `json:"version"`
+	Sessions int              `json:"sessions"` // session records aggregated
+	Cells    []CellAggregate  `json:"cells"`
+	Metrics  *MetricsSnapshot `json:"metrics,omitempty"` // live only, see Serve
+}
+
+// MetricsSnapshot is the JSON form of the obs.Metrics aggregate attached to
+// a live campaign (never part of aggregates.json: throughput is a property
+// of one run, not of the stored results).
+type MetricsSnapshot struct {
+	Schedules       int64   `json:"schedules"`
+	SchedulesPerSec float64 `json:"schedules_per_sec"`
+	StepsPerSched   float64 `json:"steps_per_schedule"`
+	TruncationRate  float64 `json:"truncation_rate"`
+	Utilization     float64 `json:"worker_utilization"`
+}
+
+// CellAggregate is the rollup of one (target, algorithm) cell.
+type CellAggregate struct {
+	CellKey
+	// SessionsStored counts the session records present (a partially
+	// completed cell shows fewer than the campaign's session budget).
+	SessionsStored int `json:"sessions_stored"`
+	// Found counts sessions whose bug was exposed.
+	Found int `json:"found"`
+	// FirstBug summarizes schedules-to-first-bug over the finding sessions.
+	FirstBug *SummaryJSON `json:"first_bug,omitempty"`
+	// Survival is the schedules-to-first-bug survival curve (the paper's
+	// Figure 5 shape, here for every cell): the fraction of sessions still
+	// bug-free after x schedules, stepping down at each distinct first-bug
+	// time. Sessions that never found the bug censor at the limit.
+	Survival []SurvivalPoint `json:"survival,omitempty"`
+	// DistinctBugs is the sorted union of bug IDs across sessions.
+	DistinctBugs []string `json:"distinct_bugs,omitempty"`
+	// BugAccumulation tracks distinct-bug growth over sessions in session
+	// order: one point per session that grew the set.
+	BugAccumulation []AccumPoint `json:"bug_accumulation,omitempty"`
+	// Coverage holds the interleaving-class tallies and schedule-space
+	// coverage estimates (present only for coverage-recording cells).
+	Coverage *CoverageAggregate `json:"coverage,omitempty"`
+}
+
+// SummaryJSON is the wire form of stats.Summary.
+type SummaryJSON struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// SurvivalPoint is one step of a survival curve.
+type SurvivalPoint struct {
+	Schedules int     `json:"schedules"`
+	Surviving float64 `json:"surviving"` // fraction of sessions still bug-free
+}
+
+// AccumPoint is one step of an accumulation curve over sessions.
+type AccumPoint struct {
+	Session  int `json:"session"` // 1-based count of sessions folded in
+	Distinct int `json:"distinct"`
+}
+
+// CoverageAggregate pools the interleaving-fingerprint frequency counts of
+// a cell's sessions and estimates how much of the schedule space the cell
+// has explored.
+type CoverageAggregate struct {
+	// Samples is the number of coverage-recorded schedules pooled.
+	Samples int `json:"samples"`
+	// DistinctInterleavings / DistinctBehaviors are the observed class
+	// counts (the union across sessions).
+	DistinctInterleavings int `json:"distinct_interleavings"`
+	DistinctBehaviors     int `json:"distinct_behaviors,omitempty"`
+	// GoodTuringUnseen is the estimated probability the next schedule
+	// witnesses a never-seen interleaving class (f1/n); GoodTuringCoverage
+	// is its complement, the sample coverage.
+	GoodTuringUnseen   float64 `json:"good_turing_unseen"`
+	GoodTuringCoverage float64 `json:"good_turing_coverage"`
+	// Chao1 is the estimated total number of reachable interleaving
+	// classes; ClassCoverage = observed/Chao1 is the dashboard's "covered
+	// an estimated N% of reachable classes".
+	Chao1         float64 `json:"chao1"`
+	ClassCoverage float64 `json:"class_coverage"`
+	// Growth is the interleaving-class union size after each session, in
+	// session order: the campaign-level class-growth curve.
+	Growth []AccumPoint `json:"growth,omitempty"`
+}
+
+// Aggregate computes the campaign rollup from the store's current index.
+func (s *Store) Aggregate() *Aggregates {
+	recs := s.snapshot()
+	agg := &Aggregates{Version: Version, Sessions: len(recs)}
+	keys := sortedKeys(recs)
+	for start := 0; start < len(keys); {
+		end := start
+		cell := cellOf(keys[start])
+		for end < len(keys) && cellOf(keys[end]) == cell {
+			end++
+		}
+		agg.Cells = append(agg.Cells, aggregateCell(cell, keys[start:end], recs))
+		start = end
+	}
+	return agg
+}
+
+// aggregateCell rolls up one cell's session records (already in session
+// order).
+func aggregateCell(cell CellKey, keys []runner.SessionKey, recs map[runner.SessionKey]sessionWire) CellAggregate {
+	ca := CellAggregate{CellKey: cell, SessionsStored: len(keys)}
+
+	var firstBugs []float64
+	bugSet := make(map[string]bool)
+	pooled := make(map[string]int)
+	behaviors := make(map[string]bool)
+	covSamples, covSessions := 0, 0
+	for _, k := range keys {
+		w := recs[k]
+		if w.FirstBug >= 0 {
+			ca.Found++
+			firstBugs = append(firstBugs, float64(w.FirstBug))
+		}
+		for id := range w.Bugs {
+			bugSet[id] = true
+		}
+		if len(bugSet) > lastDistinct(ca.BugAccumulation) {
+			ca.BugAccumulation = append(ca.BugAccumulation, AccumPoint{Session: k.Session + 1, Distinct: len(bugSet)})
+		}
+		if w.Cov != nil {
+			covSessions++
+			for fp, n := range w.Cov.Interleavings {
+				pooled[fp] += n
+				covSamples += n
+			}
+			for b := range w.Cov.Behaviors {
+				behaviors[b] = true
+			}
+			cov := ensureCoverage(&ca)
+			cov.Growth = append(cov.Growth, AccumPoint{Session: k.Session + 1, Distinct: len(pooled)})
+		}
+	}
+	if len(firstBugs) > 0 {
+		sum := stats.Summarize(firstBugs)
+		ca.FirstBug = &SummaryJSON{N: sum.N, Mean: sum.Mean, Std: sum.Std, Min: sum.Min, Max: sum.Max}
+	}
+	ca.Survival = survivalCurve(keys, recs, cell.Limit)
+	for id := range bugSet {
+		ca.DistinctBugs = append(ca.DistinctBugs, id)
+	}
+	sort.Strings(ca.DistinctBugs)
+	if covSessions > 0 {
+		cov := ensureCoverage(&ca)
+		cov.Samples = covSamples
+		cov.DistinctInterleavings = len(pooled)
+		cov.DistinctBehaviors = len(behaviors)
+		counts := stats.CountsOfMap(pooled)
+		cov.GoodTuringUnseen = stats.GoodTuringUnseen(counts)
+		cov.GoodTuringCoverage = stats.GoodTuringCoverage(counts)
+		cov.Chao1 = stats.Chao1(counts)
+		cov.ClassCoverage = stats.Chao1Coverage(counts)
+	}
+	return ca
+}
+
+func ensureCoverage(ca *CellAggregate) *CoverageAggregate {
+	if ca.Coverage == nil {
+		ca.Coverage = &CoverageAggregate{}
+	}
+	return ca.Coverage
+}
+
+func lastDistinct(pts []AccumPoint) int {
+	if len(pts) == 0 {
+		return 0
+	}
+	return pts[len(pts)-1].Distinct
+}
+
+// survivalCurve builds the empirical survival function of
+// schedules-to-first-bug: S(0) = 1, stepping down at each distinct
+// first-bug time; sessions that never found the bug survive past the
+// limit (right-censoring, rendered as a flat tail).
+func survivalCurve(keys []runner.SessionKey, recs map[runner.SessionKey]sessionWire, limit int) []SurvivalPoint {
+	n := len(keys)
+	if n == 0 {
+		return nil
+	}
+	var times []int
+	for _, k := range keys {
+		if fb := recs[k].FirstBug; fb >= 0 {
+			times = append(times, fb)
+		}
+	}
+	if len(times) == 0 {
+		return []SurvivalPoint{{Schedules: 0, Surviving: 1}, {Schedules: limit, Surviving: 1}}
+	}
+	sort.Ints(times)
+	out := []SurvivalPoint{{Schedules: 0, Surviving: 1}}
+	dead := 0
+	for i := 0; i < len(times); {
+		j := i
+		for j < len(times) && times[j] == times[i] {
+			j++
+		}
+		dead += j - i
+		out = append(out, SurvivalPoint{Schedules: times[i], Surviving: float64(n-dead) / float64(n)})
+		i = j
+	}
+	if last := out[len(out)-1]; last.Schedules < limit {
+		out = append(out, SurvivalPoint{Schedules: limit, Surviving: last.Surviving})
+	}
+	return out
+}
+
+// WriteAggregates renders the store's aggregates as the repository's
+// canonical pretty-printed JSON. The bytes are a pure function of the
+// record set: an interrupted-and-resumed campaign writes the same file as
+// an uninterrupted one, at any worker count.
+func WriteAggregates(w io.Writer, s *Store) error {
+	return obs.WriteJSON(w, s.Aggregate())
+}

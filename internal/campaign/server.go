@@ -1,0 +1,334 @@
+package campaign
+
+// The campaign dashboard: a stdlib-only HTTP server over a run-store.
+// Served standalone by cmd/surwdash (read-only, tailing a store some
+// campaign process writes) or embedded in a live campaign via
+// `surwbench -serve` / `surwrun -serve`. Endpoints:
+//
+//	/              HTML dashboard with inline-SVG survival and coverage curves
+//	/api/campaign  the Aggregates rollup as JSON
+//	/metrics       Prometheus text page (campaign counters + obs.Metrics)
+//	/events        SSE stream of session/cell events, snapshot-first
+//	/buildinfo     build identity JSON
+//
+// The server only reads the store's index and subscribes to its broker; it
+// shares no state with the scheduler, so serving a live campaign cannot
+// perturb a schedule any more than attaching the store can.
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strings"
+
+	"surw/internal/buildinfo"
+	"surw/internal/obs"
+)
+
+// Server serves the campaign dashboard for one store.
+type Server struct {
+	store   *Store
+	metrics *obs.Metrics // optional: live-campaign throughput
+	mux     *http.ServeMux
+}
+
+// NewServer builds the dashboard handler. metrics may be nil (standalone
+// dashboards have no live run to meter).
+func NewServer(store *Store, metrics *obs.Metrics) *Server {
+	s := &Server{store: store, metrics: metrics, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/api/campaign", s.handleAPI)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/buildinfo", s.handleBuildinfo)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// aggregates builds the rollup, attaching the live metrics snapshot when
+// the server is embedded in a running campaign.
+func (s *Server) aggregates() *Aggregates {
+	agg := s.store.Aggregate()
+	if s.metrics != nil {
+		snap := s.metrics.Snapshot()
+		agg.Metrics = &MetricsSnapshot{
+			Schedules:       snap.Schedules,
+			SchedulesPerSec: snap.SchedulesPerSec,
+			StepsPerSched:   snap.StepsPerSched,
+			TruncationRate:  snap.TruncationRate,
+			Utilization:     snap.Utilization,
+		}
+	}
+	return agg
+}
+
+func (s *Server) handleAPI(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = obs.WriteJSON(w, s.aggregates())
+}
+
+func (s *Server) handleBuildinfo(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = obs.WriteJSON(w, buildinfo.Get())
+}
+
+// handleMetrics serves the Prometheus text page: the campaign counters
+// always, the obs.Metrics aggregate when one is attached.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	fmt.Fprintf(w, "# HELP surw_campaign_sessions_stored Session records in the run-store.\n# TYPE surw_campaign_sessions_stored gauge\nsurw_campaign_sessions_stored %d\n", s.store.Len())
+	fmt.Fprintf(w, "# HELP surw_campaign_cells_total Cells completed by this process.\n# TYPE surw_campaign_cells_total counter\nsurw_campaign_cells_total %d\n", s.store.Cells())
+	if s.metrics != nil {
+		_ = s.metrics.WritePrometheus(w)
+	}
+}
+
+// handleEvents streams campaign events as server-sent events. The first
+// event is always a "snapshot" with the store's current totals, so a
+// subscriber (or the ci.sh curl smoke) sees one event immediately even on
+// an idle campaign.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+
+	ch := s.store.Events().Subscribe()
+	defer s.store.Events().Unsubscribe(ch)
+
+	writeSSE(w, Event{Type: "snapshot", Stored: s.store.Len(), Cells: s.store.Cells()})
+	fl.Flush()
+
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			writeSSE(w, ev)
+			fl.Flush()
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, ev Event) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+}
+
+// --- HTML dashboard -------------------------------------------------------
+
+type dashData struct {
+	Dir     string
+	Build   buildinfo.Info
+	Agg     *Aggregates
+	Cells   []dashCell
+	Targets int
+}
+
+type dashCell struct {
+	CellAggregate
+	MeanFirstBug string
+	GTCoverage   string
+	Chao1Pct     string
+	SurvivalSVG  template.HTML
+	GrowthSVG    template.HTML
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	agg := s.aggregates()
+	data := dashData{Dir: s.store.Dir(), Build: buildinfo.Get(), Agg: agg}
+	targets := make(map[string]bool)
+	for _, c := range agg.Cells {
+		targets[c.Target] = true
+		dc := dashCell{CellAggregate: c, MeanFirstBug: "—", GTCoverage: "—", Chao1Pct: "—"}
+		if c.FirstBug != nil {
+			dc.MeanFirstBug = fmt.Sprintf("%.1f", c.FirstBug.Mean)
+		}
+		if cov := c.Coverage; cov != nil {
+			dc.GTCoverage = fmt.Sprintf("%.1f%%", 100*cov.GoodTuringCoverage)
+			dc.Chao1Pct = fmt.Sprintf("%.1f%%", 100*cov.ClassCoverage)
+			dc.GrowthSVG = growthSVG(cov.Growth)
+		}
+		dc.SurvivalSVG = survivalSVG(c.Survival, c.Limit)
+		data.Cells = append(data.Cells, dc)
+	}
+	data.Targets = len(targets)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = dashTemplate.Execute(w, data)
+}
+
+// Chart geometry: a fixed viewBox with margins for axis labels. Charts are
+// rendered server-side as inline SVG so the page needs no script to show
+// data (the only script is the SSE live-refresh hook).
+const (
+	chartW, chartH   = 320.0, 170.0
+	marginL, marginB = 42.0, 24.0
+	marginT, marginR = 10.0, 12.0
+)
+
+func xScale(v, max float64) float64 {
+	if max <= 0 {
+		return marginL
+	}
+	return marginL + (chartW-marginL-marginR)*v/max
+}
+
+func yScale(v, max float64) float64 {
+	if max <= 0 {
+		return chartH - marginB
+	}
+	return chartH - marginB - (chartH-marginT-marginB)*v/max
+}
+
+func fmtCoord(v float64) string { return strings.TrimSuffix(fmt.Sprintf("%.1f", v), ".0") }
+
+// chartFrame opens an SVG with axes and y/x captions; the caller appends
+// the data path and closes it.
+func chartFrame(b *strings.Builder, title, xLabel, yLabel string) {
+	fmt.Fprintf(b, `<svg viewBox="0 0 %g %g" class="chart" role="img" aria-label="%s">`, chartW, chartH, template.HTMLEscapeString(title))
+	fmt.Fprintf(b, `<line class="axis" x1="%g" y1="%g" x2="%g" y2="%g"/>`, marginL, marginT, marginL, chartH-marginB)
+	fmt.Fprintf(b, `<line class="axis" x1="%g" y1="%g" x2="%g" y2="%g"/>`, marginL, chartH-marginB, chartW-marginR, chartH-marginB)
+	fmt.Fprintf(b, `<text class="lbl" x="%g" y="%g" text-anchor="middle">%s</text>`,
+		(marginL+chartW-marginR)/2, chartH-4, template.HTMLEscapeString(xLabel))
+	fmt.Fprintf(b, `<text class="lbl" x="12" y="%g" text-anchor="middle" transform="rotate(-90 12 %g)">%s</text>`,
+		(marginT+chartH-marginB)/2, (marginT+chartH-marginB)/2, template.HTMLEscapeString(yLabel))
+}
+
+// survivalSVG renders the schedules-to-first-bug survival step function.
+func survivalSVG(pts []SurvivalPoint, limit int) template.HTML {
+	if len(pts) == 0 {
+		return ""
+	}
+	maxX := float64(limit)
+	if last := float64(pts[len(pts)-1].Schedules); last > maxX {
+		maxX = last
+	}
+	var b strings.Builder
+	chartFrame(&b, "survival curve", "schedules", "surviving")
+	// y tick labels at 0 and 1
+	fmt.Fprintf(&b, `<text class="tick" x="%g" y="%g" text-anchor="end">1</text>`, marginL-4, yScale(1, 1)+4)
+	fmt.Fprintf(&b, `<text class="tick" x="%g" y="%g" text-anchor="end">0</text>`, marginL-4, yScale(0, 1)+4)
+	fmt.Fprintf(&b, `<text class="tick" x="%g" y="%g" text-anchor="end">%d</text>`, chartW-marginR, chartH-marginB+14, int(maxX))
+	// Step path: horizontal to each event time, then vertical drop.
+	var p strings.Builder
+	fmt.Fprintf(&p, "M%s %s", fmtCoord(xScale(0, maxX)), fmtCoord(yScale(pts[0].Surviving, 1)))
+	prev := pts[0].Surviving
+	for _, pt := range pts[1:] {
+		fmt.Fprintf(&p, " H%s", fmtCoord(xScale(float64(pt.Schedules), maxX)))
+		if pt.Surviving != prev {
+			fmt.Fprintf(&p, " V%s", fmtCoord(yScale(pt.Surviving, 1)))
+			prev = pt.Surviving
+		}
+	}
+	fmt.Fprintf(&b, `<path class="line survival" d="%s"/>`, p.String())
+	b.WriteString(`</svg>`)
+	return template.HTML(b.String())
+}
+
+// growthSVG renders the interleaving-class union size per session.
+func growthSVG(pts []AccumPoint) template.HTML {
+	if len(pts) == 0 {
+		return ""
+	}
+	maxX := float64(pts[len(pts)-1].Session)
+	maxY := 0.0
+	for _, pt := range pts {
+		if y := float64(pt.Distinct); y > maxY {
+			maxY = y
+		}
+	}
+	var b strings.Builder
+	chartFrame(&b, "interleaving-class growth", "sessions", "classes")
+	fmt.Fprintf(&b, `<text class="tick" x="%g" y="%g" text-anchor="end">%d</text>`, marginL-4, yScale(maxY, maxY)+4, int(maxY))
+	fmt.Fprintf(&b, `<text class="tick" x="%g" y="%g" text-anchor="end">%d</text>`, chartW-marginR, chartH-marginB+14, int(maxX))
+	var coords []string
+	// Anchor the curve at the origin: zero sessions, zero classes.
+	coords = append(coords, fmtCoord(xScale(0, maxX))+","+fmtCoord(yScale(0, maxY)))
+	for _, pt := range pts {
+		coords = append(coords, fmtCoord(xScale(float64(pt.Session), maxX))+","+fmtCoord(yScale(float64(pt.Distinct), maxY)))
+	}
+	fmt.Fprintf(&b, `<polyline class="line growth" points="%s"/>`, strings.Join(coords, " "))
+	b.WriteString(`</svg>`)
+	return template.HTML(b.String())
+}
+
+var dashTemplate = template.Must(template.New("dash").Parse(`<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>surw campaign</title>
+<style>
+ body { font: 14px/1.45 system-ui, sans-serif; margin: 1.5rem; color: #1a1d21; }
+ h1 { font-size: 1.25rem; margin: 0 0 .25rem; }
+ .meta { color: #5a6068; margin-bottom: 1rem; }
+ .meta code { background: #f2f4f6; padding: 0 .3em; border-radius: 3px; }
+ table { border-collapse: collapse; margin-bottom: 1.5rem; }
+ th, td { padding: .3rem .7rem; border-bottom: 1px solid #e3e6ea; text-align: right; }
+ th:first-child, td:first-child, th:nth-child(2), td:nth-child(2) { text-align: left; }
+ th { color: #5a6068; font-weight: 600; }
+ .cells { display: flex; flex-wrap: wrap; gap: 1.25rem; }
+ .cell { border: 1px solid #e3e6ea; border-radius: 6px; padding: .75rem 1rem; }
+ .cell h2 { font-size: 1rem; margin: 0 0 .5rem; }
+ .chart { width: 320px; height: 170px; display: block; }
+ .axis { stroke: #9aa1a9; stroke-width: 1; }
+ .line { fill: none; stroke-width: 1.8; }
+ .survival { stroke: #c0392b; }
+ .growth { stroke: #2471a3; }
+ .lbl { font-size: 10px; fill: #5a6068; }
+ .tick { font-size: 9px; fill: #8a9098; }
+ #live { color: #5a6068; font-size: .85rem; }
+</style>
+</head>
+<body>
+<h1>surw campaign</h1>
+<p class="meta">store <code>{{.Dir}}</code> · {{.Agg.Sessions}} sessions across {{len .Agg.Cells}} cells ({{.Targets}} targets) · build {{.Build.Version}}
+{{- with .Agg.Metrics}} · {{printf "%.0f" .SchedulesPerSec}} schedules/s live{{end}}
+ · <span id="live">stored <span id="stored">{{.Agg.Sessions}}</span></span></p>
+
+<table>
+<tr><th>target</th><th>algorithm</th><th>sessions</th><th>found</th><th>mean first-bug</th><th>classes</th><th>GT coverage</th><th>Chao1 coverage</th></tr>
+{{range .Cells}}<tr>
+ <td>{{.Target}}</td><td>{{.Algorithm}}</td>
+ <td>{{.SessionsStored}}</td><td>{{.Found}}</td><td>{{.MeanFirstBug}}</td>
+ <td>{{with .Coverage}}{{.DistinctInterleavings}}{{else}}—{{end}}</td>
+ <td>{{.GTCoverage}}</td><td>{{.Chao1Pct}}</td>
+</tr>{{end}}
+</table>
+
+<div class="cells">
+{{range .Cells}}<div class="cell">
+ <h2>{{.Target}} · {{.Algorithm}}</h2>
+ {{.SurvivalSVG}}
+ {{.GrowthSVG}}
+</div>{{end}}
+</div>
+
+<script>
+(function () {
+  var es = new EventSource('/events');
+  es.addEventListener('session', function (e) {
+    document.getElementById('stored').textContent = JSON.parse(e.data).stored;
+  });
+  es.addEventListener('cell', function () { location.reload(); });
+})();
+</script>
+</body>
+</html>
+`))

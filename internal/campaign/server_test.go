@@ -1,0 +1,174 @@
+package campaign_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"surw/internal/campaign"
+	"surw/internal/obs"
+)
+
+func testServer(t *testing.T) (*campaign.Store, *httptest.Server) {
+	t.Helper()
+	st, err := campaign.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaignCells(t, st, 2, 1)
+	srv := httptest.NewServer(campaign.NewServer(st, obs.NewMetrics()))
+	t.Cleanup(func() { srv.Close(); st.Close() })
+	return st, srv
+}
+
+func TestServerAPICampaign(t *testing.T) {
+	_, srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/api/campaign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var agg campaign.Aggregates
+	if err := json.NewDecoder(resp.Body).Decode(&agg); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Sessions != 4 || len(agg.Cells) != 2 {
+		t.Fatalf("api reports %d sessions / %d cells, want 4 / 2", agg.Sessions, len(agg.Cells))
+	}
+	if agg.Metrics == nil {
+		t.Fatal("live server omitted the metrics snapshot")
+	}
+}
+
+func TestServerMetricsPage(t *testing.T) {
+	_, srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+		t.Fatalf("content type = %q, want %q", ct, obs.PrometheusContentType)
+	}
+	var body strings.Builder
+	if _, err := bufio.NewReader(resp.Body).WriteTo(&body); err != nil {
+		t.Fatal(err)
+	}
+	page := body.String()
+	for _, want := range []string{
+		"surw_campaign_sessions_stored 4",
+		"surw_campaign_cells_total 2",
+		"surw_schedules_total",
+	} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("metrics page missing %q:\n%s", want, page)
+		}
+	}
+}
+
+func TestServerEventsSSE(t *testing.T) {
+	st, srv := testServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	r := bufio.NewReader(resp.Body)
+	readEvent := func() (string, campaign.Event) {
+		t.Helper()
+		var typ string
+		var ev campaign.Event
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				t.Fatalf("sse read: %v", err)
+			}
+			line = strings.TrimRight(line, "\n")
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				typ = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+					t.Fatalf("sse data: %v", err)
+				}
+			case line == "" && typ != "":
+				return typ, ev
+			}
+		}
+	}
+
+	typ, ev := readEvent()
+	if typ != "snapshot" || ev.Stored != 4 || ev.Cells != 2 {
+		t.Fatalf("first event = %s %+v, want snapshot with 4 stored / 2 cells", typ, ev)
+	}
+	// A live append must stream through.
+	go func() {
+		if _, err := st.Store(key(90), session(3)); err != nil {
+			t.Error(err)
+		}
+	}()
+	typ, ev = readEvent()
+	if typ != "session" || ev.Session != 90 || ev.Stored != 5 {
+		t.Fatalf("second event = %s %+v, want the appended session", typ, ev)
+	}
+}
+
+func TestServerIndexAndBuildinfo(t *testing.T) {
+	_, srv := testServer(t)
+
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body strings.Builder
+	if _, err := bufio.NewReader(resp.Body).WriteTo(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	page := body.String()
+	for _, want := range []string{"surw campaign", "CS/reorder_4", "<svg", "class=\"line survival\"", "EventSource"} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("dashboard page missing %q", want)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/buildinfo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info struct {
+		Version string `json:"version"`
+		Go      string `json:"go"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Version == "" || !strings.HasPrefix(info.Go, "go") {
+		t.Fatalf("buildinfo = %+v", info)
+	}
+
+	// Unknown paths 404 rather than serving the dashboard.
+	resp, err = http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /nope = %d, want 404", resp.StatusCode)
+	}
+}

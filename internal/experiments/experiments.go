@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"surw/internal/obs"
+	"surw/internal/runner"
 	"surw/internal/sched"
 )
 
@@ -49,6 +50,22 @@ type Scale struct {
 	// across every RunTarget the drivers issue. Purely observational:
 	// attaching it never changes any table or figure. See internal/obs.
 	Metrics *obs.Metrics
+
+	// Store, when non-nil, makes every RunTarget-backed driver (sct, rb,
+	// ftp) crash-safe and resumable: completed sessions are persisted as
+	// they finish and skipped on restart, and the tables a resumed run
+	// renders are byte-identical to an uninterrupted run's at any Workers
+	// setting. internal/campaign provides the JSONL-backed implementation.
+	// Figure 2 samples schedules directly (no RunTarget), so it is rerun
+	// from scratch on resume.
+	Store runner.SessionStore
+
+	// SCTTargets, when non-empty, restricts the SCTBench driver to the
+	// named targets; SCTAlgs likewise overrides its algorithm columns.
+	// Both exist so a tiny campaign (two cells) can exercise the full
+	// store/resume/dashboard path in CI; the full grids remain the default.
+	SCTTargets []string
+	SCTAlgs    []string
 }
 
 // DefaultScale is the laptop-scale configuration.

@@ -54,6 +54,7 @@ func LightFTP(sc Scale, progress Progress) *FTPResult {
 			CoverageEvery: maxInt(sc.FTPLimit/25, 1),
 			Workers:       sc.Workers,
 			Metrics:       sc.Metrics,
+			Store:         sc.Store,
 		})
 		if err != nil {
 			return nil, err

@@ -52,6 +52,7 @@ func RaceBench(sc Scale, progress Progress) *RBResult {
 			Seed:     sc.Seed,
 			Workers:  sc.Workers,
 			Metrics:  sc.Metrics,
+			Store:    sc.Store,
 		})
 		if err != nil {
 			return 0, err

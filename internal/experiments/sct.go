@@ -18,6 +18,9 @@ var SCTAlgorithms = []string{"SURW", "PCT-3", "PCT-10", "POS", "RW", "N-U", "N-S
 type SCTResult struct {
 	Scale   Scale
 	Targets []string
+	// Algs is the algorithm column order actually run (SCTAlgorithms
+	// unless Scale.SCTAlgs narrowed it).
+	Algs []string
 	// Results[target][alg]
 	Results map[string]map[string]*runner.Result
 }
@@ -32,19 +35,36 @@ type Progress func(format string, args ...any)
 // index, so the tables are bit-identical at any worker count.
 func SCTBench(sc Scale, progress Progress) *SCTResult {
 	progress = syncProgress(progress)
-	out := &SCTResult{Scale: sc, Results: make(map[string]map[string]*runner.Result)}
+	algs := SCTAlgorithms
+	if len(sc.SCTAlgs) > 0 {
+		algs = sc.SCTAlgs
+	}
+	out := &SCTResult{Scale: sc, Algs: algs, Results: make(map[string]map[string]*runner.Result)}
 	targets := sctbench.Targets()
+	if len(sc.SCTTargets) > 0 {
+		keep := make(map[string]bool, len(sc.SCTTargets))
+		for _, name := range sc.SCTTargets {
+			keep[name] = true
+		}
+		filtered := targets[:0:0]
+		for _, tgt := range targets {
+			if keep[tgt.Name] {
+				filtered = append(filtered, tgt)
+			}
+		}
+		targets = filtered
+	}
 	type cell struct{ ti, ai int }
-	cells := make([]cell, 0, len(targets)*len(SCTAlgorithms))
+	cells := make([]cell, 0, len(targets)*len(algs))
 	for ti, tgt := range targets {
 		out.Targets = append(out.Targets, tgt.Name)
-		out.Results[tgt.Name] = make(map[string]*runner.Result, len(SCTAlgorithms))
-		for ai := range SCTAlgorithms {
+		out.Results[tgt.Name] = make(map[string]*runner.Result, len(algs))
+		for ai := range algs {
 			cells = append(cells, cell{ti, ai})
 		}
 	}
 	results, err := workpool.Map(sc.Workers, len(cells), func(i int) (*runner.Result, error) {
-		tgt, alg := targets[cells[i].ti], SCTAlgorithms[cells[i].ai]
+		tgt, alg := targets[cells[i].ti], algs[cells[i].ai]
 		limit := sc.Limit
 		if tgt.Name == "SafeStack" {
 			limit = sc.SafeStackLimit
@@ -56,6 +76,7 @@ func SCTBench(sc Scale, progress Progress) *SCTResult {
 			StopAtFirstBug: true,
 			Workers:        sc.Workers,
 			Metrics:        sc.Metrics,
+			Store:          sc.Store,
 		})
 		if err != nil {
 			return nil, err
@@ -69,7 +90,7 @@ func SCTBench(sc Scale, progress Progress) *SCTResult {
 		panic(err)
 	}
 	for i, c := range cells {
-		out.Results[targets[c.ti].Name][SCTAlgorithms[c.ai]] = results[i]
+		out.Results[targets[c.ti].Name][algs[c.ai]] = results[i]
 	}
 	return out
 }
@@ -82,13 +103,13 @@ func (r *SCTResult) Table1() *report.Table {
 	tb := report.NewTable(
 		fmt.Sprintf("Table 1: bugs found on SCTBench+ConVul (max %d; %d sessions x %d schedules)",
 			len(r.Targets), r.Scale.Sessions, r.Scale.Limit),
-		append([]string{"Metric"}, SCTAlgorithms...)...)
+		append([]string{"Metric"}, r.Algs...)...)
 	perSession := r.perSessionCounts()
 
 	total := []string{"Total"}
 	mean := []string{"Mean"}
 	pvals := []string{"p vs SURW"}
-	for _, alg := range SCTAlgorithms {
+	for _, alg := range r.Algs {
 		found := 0
 		for _, tname := range r.Targets {
 			if r.Results[tname][alg].FoundEver() {
@@ -97,7 +118,7 @@ func (r *SCTResult) Table1() *report.Table {
 		}
 		total = append(total, fmt.Sprintf("%d", found))
 		mean = append(mean, fmt.Sprintf("%.2f", stats.Summarize(perSession[alg]).Mean))
-		if alg == "SURW" {
+		if alg == "SURW" || len(perSession["SURW"]) == 0 {
 			pvals = append(pvals, "-")
 		} else {
 			_, p := stats.MannWhitneyU(perSession["SURW"], perSession[alg])
@@ -122,7 +143,7 @@ func (r *SCTResult) Table1() *report.Table {
 // each session exposed.
 func (r *SCTResult) perSessionCounts() map[string][]float64 {
 	out := make(map[string][]float64)
-	for _, alg := range SCTAlgorithms {
+	for _, alg := range r.Algs {
 		counts := make([]float64, r.Scale.Sessions)
 		for _, tname := range r.Targets {
 			for s, sess := range r.Results[tname][alg].Sessions {
@@ -139,11 +160,11 @@ func (r *SCTResult) perSessionCounts() map[string][]float64 {
 func (r *SCTResult) bugsMissedBySURW() []string {
 	var missed []string
 	for _, tname := range r.Targets {
-		if r.Results[tname]["SURW"].FoundEver() {
+		if surw, ok := r.Results[tname]["SURW"]; !ok || surw.FoundEver() {
 			continue
 		}
-		for _, alg := range SCTAlgorithms[1:] {
-			if r.Results[tname][alg].FoundEver() {
+		for _, alg := range r.Algs {
+			if alg != "SURW" && r.Results[tname][alg].FoundEver() {
 				missed = append(missed, tname)
 				break
 			}
@@ -160,11 +181,11 @@ func (r *SCTResult) Table4() *report.Table {
 	tb := report.NewTable(
 		fmt.Sprintf("Table 4: schedules to first bug, mean ± std over %d sessions (limit %d)",
 			r.Scale.Sessions, r.Scale.Limit),
-		append([]string{"Target"}, SCTAlgorithms...)...)
+		append([]string{"Target"}, r.Algs...)...)
 	for _, tname := range r.Targets {
 		row := []string{tname}
 		best := r.bestAlgorithm(tname)
-		for _, alg := range SCTAlgorithms {
+		for _, alg := range r.Algs {
 			res := r.Results[tname][alg]
 			sum, found := res.FirstBugSummary()
 			cell := report.MeanStd(sum.Mean, sum.Std, found, r.Scale.Sessions)
@@ -189,7 +210,7 @@ func (r *SCTResult) bestAlgorithm(tname string) string {
 		mean float64
 	}
 	var cands []cand
-	for _, alg := range SCTAlgorithms {
+	for _, alg := range r.Algs {
 		res := r.Results[tname][alg]
 		sum, found := res.FirstBugSummary()
 		if found == 0 {

@@ -1,0 +1,78 @@
+package obs
+
+// White-box tests for the entropy helper and the metrics HTTP handler: the
+// exporters must stay finite (JSON cannot carry NaN) and the Prometheus
+// page must declare the exposition-format content type.
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestEntropyBits(t *testing.T) {
+	cases := []struct {
+		name string
+		hist []int64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"all zero", []int64{0, 0, 0}, 0},
+		{"single bucket", []int64{0, 100, 0}, 0}, // degenerate: must be exactly 0, not NaN
+		{"two equal", []int64{5, 5}, 1},
+		{"four equal", []int64{3, 3, 3, 3}, 2},
+		{"quarter split", []int64{3, 1}, -0.75*math.Log2(0.75) - 0.25*math.Log2(0.25)},
+	}
+	for _, tc := range cases {
+		got := entropyBits(tc.hist)
+		if math.IsNaN(got) {
+			t.Errorf("%s: entropy is NaN", tc.name)
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: entropy = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// A snapshot with a single-position pick histogram (an algorithm that
+// always picks position 0) must survive json.Marshal — Marshal rejects NaN
+// outright, so this is the regression test for the NaN hazard.
+func TestSnapshotSinglePickBucketMarshals(t *testing.T) {
+	m := NewMetrics()
+	st := m.algStats("always-first")
+	st.decisions.Add(100)
+	st.pick[0].Add(100)
+	st.branch[2].Add(100)
+
+	s := m.Snapshot()
+	if len(s.Algorithms) != 1 {
+		t.Fatalf("snapshot has %d algorithms", len(s.Algorithms))
+	}
+	if e := s.Algorithms[0].PickEntropy; e != 0 {
+		t.Fatalf("single-bucket pick entropy = %v, want exactly 0", e)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("snapshot does not marshal: %v", err)
+	}
+}
+
+func TestMetricsHandlerContentType(t *testing.T) {
+	m := NewMetrics()
+	m.algStats("always-first").pick[0].Add(7)
+
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != PrometheusContentType {
+		t.Fatalf("content type = %q, want %q", ct, PrometheusContentType)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, `surw_pick_entropy_bits{alg="always-first"} 0`) {
+		t.Fatalf("prometheus page does not report the degenerate entropy as 0:\n%s", body)
+	}
+	if strings.Contains(body, "NaN") {
+		t.Fatal("prometheus page contains NaN")
+	}
+}

@@ -1,0 +1,145 @@
+package obs_test
+
+// Degenerate-input coverage for the exporters: collectors that never ran,
+// rings that overflowed, and collectors recycled between schedules must all
+// export well-formed artifacts (or be rejected by the validator for the
+// right reason), never panic or emit garbage.
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"surw/internal/core"
+	"surw/internal/obs"
+	"surw/internal/sched"
+)
+
+// decodeJSONL splits exporter output into the meta object and the decision
+// records.
+func decodeJSONL(t *testing.T, data []byte) (meta struct {
+	Meta struct {
+		Algorithm string `json:"algorithm"`
+		Steps     int    `json:"steps"`
+		Decisions int    `json:"decisions"`
+		Dropped   int    `json:"dropped"`
+	} `json:"meta"`
+}, recs []obs.RecordJSON) {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if err := json.Unmarshal([]byte(lines[0]), &meta); err != nil {
+		t.Fatalf("meta line: %v", err)
+	}
+	for _, line := range lines[1:] {
+		if line == "" {
+			continue
+		}
+		var r obs.RecordJSON
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("record line %q: %v", line, err)
+		}
+		recs = append(recs, r)
+	}
+	return meta, recs
+}
+
+// A collector that never saw a schedule still exports: the Chrome trace is
+// valid JSON holding only the process metadata (and the validator rejects
+// it, because a trace with no slices is useless), and the JSONL is a lone
+// meta line.
+func TestExportEmptyCollector(t *testing.T) {
+	col := obs.NewCollector(0)
+
+	var trace bytes.Buffer
+	if err := obs.WriteChromeTrace(&trace, col); err != nil {
+		t.Fatalf("chrome trace of empty collector: %v", err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &tr); err != nil {
+		t.Fatalf("empty trace is not JSON: %v", err)
+	}
+	if len(tr.TraceEvents) != 1 || tr.TraceEvents[0].Ph != "M" {
+		t.Fatalf("empty trace events = %+v, want exactly the process metadata", tr.TraceEvents)
+	}
+	if err := obs.ValidateChromeTrace(&trace); err == nil {
+		t.Fatal("validator accepted a trace with no complete events")
+	}
+
+	var jsonl bytes.Buffer
+	if err := obs.WriteJSONL(&jsonl, col); err != nil {
+		t.Fatalf("jsonl of empty collector: %v", err)
+	}
+	meta, recs := decodeJSONL(t, jsonl.Bytes())
+	if meta.Meta.Decisions != 0 || meta.Meta.Steps != 0 || len(recs) != 0 {
+		t.Fatalf("empty collector exported %d decisions / %d records", meta.Meta.Decisions, len(recs))
+	}
+}
+
+// A ring that overflowed exports only the held tail, in decision order,
+// with the drop count in the meta line.
+func TestExportOverflowedRing(t *testing.T) {
+	const ring = 4
+	col := obs.NewCollector(ring)
+	r := sched.Run(pingpong(8), core.NewRandomWalk(), sched.Options{Seed: 5, Tracer: col})
+	if r.Steps <= ring {
+		t.Fatalf("schedule too short (%d steps) to overflow the ring", r.Steps)
+	}
+
+	var jsonl bytes.Buffer
+	if err := obs.WriteJSONL(&jsonl, col); err != nil {
+		t.Fatal(err)
+	}
+	meta, recs := decodeJSONL(t, jsonl.Bytes())
+	if meta.Meta.Decisions != ring || meta.Meta.Dropped != r.Steps-ring {
+		t.Fatalf("meta = %+v, want %d held / %d dropped", meta.Meta, ring, r.Steps-ring)
+	}
+	if len(recs) != ring {
+		t.Fatalf("exported %d records, want %d", len(recs), ring)
+	}
+	for i, rec := range recs {
+		if want := r.Steps - ring + i; rec.Step != want {
+			t.Fatalf("record %d holds step %d, want %d (tail order broken)", i, rec.Step, want)
+		}
+	}
+}
+
+// A collector recycled across schedules exports only the latest schedule:
+// no stale records from the longer previous run may leak into the output.
+func TestExportRecycledCollector(t *testing.T) {
+	col := obs.NewCollector(0)
+	long := sched.Run(pingpong(10), core.NewRandomWalk(), sched.Options{Seed: 5, Tracer: col})
+	short := sched.Run(pingpong(2), core.NewRandomWalk(), sched.Options{Seed: 6, Tracer: col})
+	if short.Steps >= long.Steps {
+		t.Fatalf("want a shorter second schedule, got %d then %d steps", long.Steps, short.Steps)
+	}
+
+	var jsonl bytes.Buffer
+	if err := obs.WriteJSONL(&jsonl, col); err != nil {
+		t.Fatal(err)
+	}
+	meta, recs := decodeJSONL(t, jsonl.Bytes())
+	if meta.Meta.Steps != short.Steps || meta.Meta.Decisions != short.Steps {
+		t.Fatalf("meta = %+v, want the recycled schedule's %d steps", meta.Meta, short.Steps)
+	}
+	if len(recs) != short.Steps {
+		t.Fatalf("exported %d records, want %d", len(recs), short.Steps)
+	}
+	for i, rec := range recs {
+		if rec.Step != i {
+			t.Fatalf("record %d holds step %d; stale data leaked across recycling", i, rec.Step)
+		}
+	}
+
+	var trace bytes.Buffer
+	if err := obs.WriteChromeTrace(&trace, col); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateChromeTrace(bytes.NewReader(trace.Bytes())); err != nil {
+		t.Fatalf("recycled collector's trace invalid: %v", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 	"runtime"
 	"sort"
 	"strings"
@@ -214,21 +215,41 @@ func (m *Metrics) Snapshot() Snapshot {
 		if as.Decisions > 0 {
 			as.MeanBranch = float64(weighted) / float64(as.Decisions)
 		}
-		if total > 0 {
-			h := 0.0
-			for i := 0; i < histBuckets; i++ {
-				if as.Pick[i] == 0 {
-					continue
-				}
-				p := float64(as.Pick[i]) / float64(total)
-				h -= p * math.Log2(p)
-			}
-			as.PickEntropy = h
-		}
+		as.PickEntropy = entropyBits(as.Pick[:])
 		s.Algorithms = append(s.Algorithms, as)
 	}
 	m.mu.Unlock()
 	return s
+}
+
+// entropyBits returns the Shannon entropy of a count histogram in bits.
+// Degenerate inputs stay finite: an empty histogram and a single-nonzero-
+// bucket histogram (an algorithm that always picks position 0) both report
+// exactly 0 — never NaN — so snapshots stay JSON-marshalable and the
+// Prometheus page never emits a non-numeric sample.
+func entropyBits(hist []int64) float64 {
+	var total int64
+	nonzero := 0
+	for _, v := range hist {
+		if v > 0 {
+			total += v
+			nonzero++
+		}
+	}
+	if total == 0 || nonzero == 1 {
+		return 0
+	}
+	h := 0.0
+	for _, v := range hist {
+		if v > 0 {
+			p := float64(v) / float64(total)
+			h -= p * math.Log2(p)
+		}
+	}
+	if math.IsNaN(h) || h < 0 {
+		return 0
+	}
+	return h
 }
 
 // Summary renders a one-line digest for embedding in report footers.
@@ -241,6 +262,20 @@ func (m *Metrics) Summary() string {
 		fmt.Fprintf(&b, ", %.0f%% worker utilization", 100*s.Utilization)
 	}
 	return b.String()
+}
+
+// PrometheusContentType is the content type of the Prometheus text
+// exposition format emitted by WritePrometheus; scrapers key their parser
+// on the version parameter.
+const PrometheusContentType = "text/plain; version=0.0.4"
+
+// Handler returns an http.Handler serving the Prometheus text page with the
+// exposition-format content type.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", PrometheusContentType)
+		_ = m.WritePrometheus(w)
+	})
 }
 
 // WritePrometheus renders the aggregate as a Prometheus text-format page.

@@ -51,6 +51,16 @@ func usesDelta(alg string) bool {
 }
 
 func runSession(tgt Target, algName string, cfg Config, session int) (*Session, error) {
+	// The store is consulted strictly between sessions — a hit skips the
+	// session wholesale, a miss runs it untouched — so attaching one can
+	// never perturb a schedule (campaign_test.go holds the invariant).
+	var key SessionKey
+	if cfg.Store != nil {
+		key = sessionKey(tgt, algName, cfg, session)
+		if s, ok := cfg.Store.Lookup(key); ok {
+			return s, nil
+		}
+	}
 	alg, err := core.New(algName)
 	if err != nil {
 		return nil, err
@@ -83,10 +93,7 @@ func runSession(tgt Target, algName string, cfg Config, session int) (*Session, 
 			Behaviors:     make(map[string]int),
 		}
 	}
-	every := cfg.CoverageEvery
-	if every <= 0 {
-		every = cfg.Limit/50 + 1
-	}
+	every := effectiveEvery(cfg)
 
 	// Observability hooks are strictly per-session: a shared aggregator
 	// hands each session its own tracer (the scheduler contract), and the
@@ -154,6 +161,9 @@ func runSession(tgt Target, algName string, cfg Config, session int) (*Session, 
 				}
 			}
 		}
+	}
+	if cfg.Store != nil {
+		return cfg.Store.Store(key, sess)
 	}
 	return sess, nil
 }

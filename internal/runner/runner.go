@@ -70,6 +70,80 @@ type Config struct {
 	// and dumped as a JSON flight record under this directory (replayable
 	// with `surwrun -replay-flight`). See internal/obs/flight.go.
 	FlightDir string
+	// Store, when non-nil, makes the batch resumable: each session's key is
+	// looked up before it runs (a hit is returned without executing a single
+	// schedule) and every freshly executed session is persisted on
+	// completion. Both paths return the store's canonical (wire round-trip)
+	// form, so a resumed batch is byte-identical to an uninterrupted one at
+	// any Workers setting. Attaching a store never changes which threads are
+	// scheduled: it is consulted strictly between sessions (see
+	// internal/campaign). Resumed sessions do not re-run, so they feed
+	// neither Metrics nor the flight recorder.
+	Store SessionStore
+}
+
+// SessionKey identifies one session's work deterministically: everything
+// that feeds the session's seeds and its observable outcome, independent of
+// Config.Sessions and Config.Workers (a session's result depends only on
+// its own index). CoverageEvery is the effective cadence (0 when Coverage
+// is off), so equivalent configs share keys.
+type SessionKey struct {
+	Target         string
+	Algorithm      string
+	Limit          int
+	Seed           int64
+	Session        int
+	StopAtFirstBug bool
+	Coverage       bool
+	CoverageEvery  int
+	ProfileRuns    int
+}
+
+// SessionStore persists per-session results for crash-safe, resumable
+// batches. internal/campaign provides the JSONL-backed implementation; the
+// indirection keeps the runner free of storage concerns (and of an import
+// cycle). Implementations must be safe for concurrent use: parallel
+// sessions look up and store concurrently.
+type SessionStore interface {
+	// Lookup returns the previously stored session for the key, if any.
+	Lookup(SessionKey) (*Session, bool)
+	// Store persists a freshly executed session and returns its canonical
+	// form (the wire round-trip), which the runner reports in place of the
+	// in-memory one so fresh and resumed batches are bit-identical.
+	Store(SessionKey, *Session) (*Session, error)
+}
+
+// BatchObserver is an optional extension of SessionStore: when the store
+// implements it, RunTarget reports each completed (target, algorithm) cell,
+// which the campaign layer turns into live dashboard events.
+type BatchObserver interface {
+	CellDone(target, alg string, limit int, seed int64, res *Result)
+}
+
+// sessionKey builds the normalized key for one session of the batch.
+func sessionKey(tgt Target, algName string, cfg Config, session int) SessionKey {
+	k := SessionKey{
+		Target:         tgt.Name,
+		Algorithm:      algName,
+		Limit:          cfg.Limit,
+		Seed:           cfg.Seed,
+		Session:        session,
+		StopAtFirstBug: cfg.StopAtFirstBug,
+		Coverage:       cfg.Coverage,
+		ProfileRuns:    cfg.ProfileRuns,
+	}
+	if cfg.Coverage {
+		k.CoverageEvery = effectiveEvery(cfg)
+	}
+	return k
+}
+
+// effectiveEvery resolves the coverage-series cadence default.
+func effectiveEvery(cfg Config) int {
+	if cfg.CoverageEvery > 0 {
+		return cfg.CoverageEvery
+	}
+	return cfg.Limit/50 + 1
 }
 
 // CovPoint is one point of a coverage curve.
@@ -148,7 +222,11 @@ func RunTarget(tgt Target, algName string, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Target: tgt.Name, Algorithm: algName, Limit: cfg.Limit, Sessions: sessions}, nil
+	res := &Result{Target: tgt.Name, Algorithm: algName, Limit: cfg.Limit, Sessions: sessions}
+	if bo, ok := cfg.Store.(BatchObserver); ok {
+		bo.CellDone(tgt.Name, algName, cfg.Limit, cfg.Seed, res)
+	}
+	return res, nil
 }
 
 // Equal reports whether two results are observably identical: same target,

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+// Closed-form fixtures, hand-computed:
+//
+//	counts [1 1 2 3]: n=7, f1=2, f2=1, Sobs=4
+//	  GT unseen  = 2/7
+//	  GT coverage = 5/7
+//	  Chao1 = 4 + 2²/(2·1) = 6
+//	  Chao1 coverage = 4/6
+func TestEstimatorsClosedForm(t *testing.T) {
+	counts := []int{1, 1, 2, 3}
+	if n, f1, f2 := FreqOfFreq(counts); n != 7 || f1 != 2 || f2 != 1 {
+		t.Fatalf("FreqOfFreq = (%d,%d,%d), want (7,2,1)", n, f1, f2)
+	}
+	if got := GoodTuringUnseen(counts); !almost(got, 2.0/7) {
+		t.Fatalf("GoodTuringUnseen = %v, want 2/7", got)
+	}
+	if got := GoodTuringCoverage(counts); !almost(got, 5.0/7) {
+		t.Fatalf("GoodTuringCoverage = %v, want 5/7", got)
+	}
+	if got := Chao1(counts); !almost(got, 6) {
+		t.Fatalf("Chao1 = %v, want 6", got)
+	}
+	if got := Chao1Coverage(counts); !almost(got, 4.0/6) {
+		t.Fatalf("Chao1Coverage = %v, want 2/3", got)
+	}
+}
+
+// No doubletons: the bias-corrected form Sobs + f1(f1−1)/2 applies.
+//
+//	counts [1 1 1]: Sobs=3, f1=3, f2=0 → Chao1 = 3 + 3·2/2 = 6
+func TestChao1NoDoubletons(t *testing.T) {
+	if got := Chao1([]int{1, 1, 1}); !almost(got, 6) {
+		t.Fatalf("Chao1([1 1 1]) = %v, want 6", got)
+	}
+	// A single singleton: 1 + 1·0/2 = 1.
+	if got := Chao1([]int{1}); !almost(got, 1) {
+		t.Fatalf("Chao1([1]) = %v, want 1", got)
+	}
+}
+
+// No singletons at all: the estimators declare the space exhausted.
+//
+//	counts [2 3]: f1=0 → unseen 0, coverage 1, Chao1 = Sobs = 2
+func TestEstimatorsSaturated(t *testing.T) {
+	counts := []int{2, 3}
+	if got := GoodTuringUnseen(counts); got != 0 {
+		t.Fatalf("unseen = %v, want 0", got)
+	}
+	if got := GoodTuringCoverage(counts); got != 1 {
+		t.Fatalf("coverage = %v, want 1", got)
+	}
+	if got := Chao1(counts); !almost(got, 2) {
+		t.Fatalf("Chao1 = %v, want 2", got)
+	}
+	if got := Chao1Coverage(counts); !almost(got, 1) {
+		t.Fatalf("Chao1Coverage = %v, want 1", got)
+	}
+}
+
+// Degenerate inputs must stay finite and sensible.
+func TestEstimatorsEmpty(t *testing.T) {
+	for _, counts := range [][]int{nil, {}, {0, -1}} {
+		if got := GoodTuringUnseen(counts); got != 1 {
+			t.Fatalf("unseen(%v) = %v, want 1", counts, got)
+		}
+		if got := GoodTuringCoverage(counts); got != 0 {
+			t.Fatalf("coverage(%v) = %v, want 0", counts, got)
+		}
+		if got := Chao1(counts); got != 0 {
+			t.Fatalf("Chao1(%v) = %v, want 0", counts, got)
+		}
+		if got := Chao1Coverage(counts); got != 0 {
+			t.Fatalf("Chao1Coverage(%v) = %v, want 0", counts, got)
+		}
+	}
+}
+
+// The estimators are functions of the count multiset only: shuffling and
+// map extraction change nothing.
+func TestEstimatorsOrderIndependent(t *testing.T) {
+	a := []int{3, 1, 2, 1}
+	b := []int{1, 1, 2, 3}
+	if Chao1(a) != Chao1(b) || GoodTuringUnseen(a) != GoodTuringUnseen(b) {
+		t.Fatal("estimators depend on count order")
+	}
+	m := map[uint64]int{7: 3, 9: 1, 11: 2, 13: 1}
+	if got := Chao1(CountsOfMap(m)); got != Chao1(a) {
+		t.Fatalf("CountsOfMap route = %v, want %v", got, Chao1(a))
+	}
+}
