@@ -25,7 +25,7 @@ test:
 # pool, the cooperative scheduler, the parallel session runner, and the
 # parallel experiment grids.
 race:
-	$(GO) test -race -short ./internal/workpool ./internal/sched ./internal/runner ./internal/experiments ./internal/campaign
+	$(GO) test -race -short ./internal/workpool ./internal/sched ./internal/runner ./internal/experiments ./internal/campaign ./internal/remote
 
 # Benchmarks. The throughput-critical pair (pooled scheduling and parallel
 # sessions) is additionally parsed into BENCH_obs.json so regressions can be

@@ -26,7 +26,7 @@ awk '
   END { exit bad }
 ' /tmp/surw-cover.txt
 
-go test -race -short ./internal/workpool ./internal/sched ./internal/runner ./internal/experiments ./internal/crosscheck ./internal/campaign
+go test -race -short ./internal/workpool ./internal/sched ./internal/runner ./internal/experiments ./internal/crosscheck ./internal/campaign ./internal/remote
 
 # Observability overhead gate: with tracing disabled the pooled scheduler
 # must stay at its allocation floor — the Tracer hook is a nil-check, not a
@@ -97,6 +97,36 @@ curl -sN --max-time 2 http://127.0.0.1:18099/events > /tmp/surw-campaign/sse.txt
 grep -q '^event: snapshot' /tmp/surw-campaign/sse.txt
 kill $DASH_PID 2>/dev/null || true
 trap - EXIT
+
+# Distributed campaign smoke: shard a campaign over a coordinator and two
+# loopback workers, kill one worker mid-run (its leases expire and requeue
+# on the survivor), and require the final aggregates to be byte-identical
+# to a single-process run of the same campaign — distribution, like
+# crash/resume, must be an execution-order change only. The grid is larger
+# than the resume smoke's (200 sessions, batched one per lease) so the
+# kill reliably lands while leases are in flight.
+go build -ldflags "-X surw/internal/buildinfo.Version=ci-smoke" -o /tmp/surw-campaign/surwworker ./cmd/surwworker
+DCELLS='-sct-targets CS/reorder_4 -sct-algs SURW,RW -sessions 100 -limit 300'
+/tmp/surw-campaign/surwbench -campaign /tmp/surw-campaign/dref -workers 4 $DCELLS -q sct > /dev/null
+/tmp/surw-campaign/surwbench -coordinate 127.0.0.1:18071 -campaign /tmp/surw-campaign/dist \
+    -lease-ttl 2s -lease-batch 1 $DCELLS -q sct > /dev/null &
+COORD_PID=$!
+trap 'kill $COORD_PID 2>/dev/null || true' EXIT
+for i in $(seq 1 50); do
+    curl -sf http://127.0.0.1:18071/v1/status > /dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -s http://127.0.0.1:18071/metrics | grep -q '^surw_remote_sessions_planned 200$'
+/tmp/surw-campaign/surwworker -coordinator http://127.0.0.1:18071 -name doomed -workers 1 -q &
+DOOMED_PID=$!
+/tmp/surw-campaign/surwworker -coordinator http://127.0.0.1:18071 -name survivor -workers 2 -q &
+SURVIVOR_PID=$!
+sleep 0.3
+kill -9 $DOOMED_PID 2>/dev/null || true
+wait $SURVIVOR_PID
+wait $COORD_PID
+trap - EXIT
+cmp /tmp/surw-campaign/dref/aggregates.json /tmp/surw-campaign/dist/aggregates.json
 
 # Fuzz smoke: a short coverage-guided run of each native fuzz target (the
 # full checked-in seed corpora already ran as part of `go test` above).

@@ -30,11 +30,20 @@
 // cells; -stop-after-cells N kills the process (exit 3) after N completed
 // cells, simulating a crash for the ci.sh resume smoke. Attaching the store
 // or dashboard never changes any table, figure, or schedule.
+//
+// Distributed campaigns: -coordinate ADDR serves the internal/remote lease
+// queue for the sct experiment's (target, algorithm, session) cells and
+// waits for surwworker fleets to execute them. When the plan is complete
+// the normal sct path renders the tables from the store, so a distributed
+// run's tables and aggregates.json are byte-identical to a local run's.
+// -lease-ttl and -lease-batch tune the queue; with -serve, the dashboard
+// additionally shows the worker fleet and /metrics gains surw_remote_*.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -46,6 +55,7 @@ import (
 	"surw/internal/campaign"
 	"surw/internal/experiments"
 	"surw/internal/obs"
+	"surw/internal/remote"
 	"surw/internal/workpool"
 )
 
@@ -70,6 +80,9 @@ func main() {
 		stopCells  = flag.Int("stop-after-cells", 0, "exit(3) after N completed cells (crash injection for resume tests)")
 		sctTargets = flag.String("sct-targets", "", "comma-separated target names to restrict the sct experiment to")
 		sctAlgs    = flag.String("sct-algs", "", "comma-separated algorithms to restrict the sct experiment to")
+		coordAddr  = flag.String("coordinate", "", "serve the distributed-campaign coordinator on this address and wait for surwworker fleets (requires -campaign; sct only)")
+		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "coordinator: lease time-to-live between worker heartbeats")
+		leaseBatch = flag.Int("lease-batch", 4, "coordinator: sessions per lease")
 		version    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -133,17 +146,13 @@ func main() {
 			}
 		}
 	}
+	var dashSrv *campaign.Server
 	if *serveAddr != "" {
 		if store == nil {
 			fatalf("-serve requires -campaign DIR")
 		}
-		srv := campaign.NewServer(store, sc.Metrics)
-		go func() {
-			if err := http.ListenAndServe(*serveAddr, srv); err != nil {
-				fmt.Fprintf(os.Stderr, "surwbench: dashboard: %v\n", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "dashboard serving on %s\n", *serveAddr)
+		// Served below, once the coordinator (if any) exists to attach.
+		dashSrv = campaign.NewServer(store, sc.Metrics)
 	}
 
 	want := map[string]bool{}
@@ -176,6 +185,58 @@ func main() {
 		progress = func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
 		}
+	}
+
+	// Distributed mode: serve the lease queue, let surwworker fleets chew
+	// through the plan, then fall through to the normal experiment path —
+	// every RunTarget session hits the store, so the same code renders the
+	// tables and writes aggregates.json, byte-identical to a local run.
+	var coord *remote.Coordinator
+	if *coordAddr != "" {
+		if store == nil {
+			fatalf("-coordinate requires -campaign DIR")
+		}
+		if !want["sct"] || len(want) > 1 {
+			fatalf("-coordinate shards the sct experiment only; invoke as `surwbench -coordinate ADDR -campaign DIR ... sct`")
+		}
+		coord = remote.NewCoordinator(store, experiments.SCTPlan(sc), remote.CoordinatorOptions{
+			LeaseTTL:  *leaseTTL,
+			BatchSize: *leaseBatch,
+		})
+	}
+	if dashSrv != nil {
+		if coord != nil {
+			dashSrv.SetRemote(coord.Status)
+		}
+		go func() {
+			if err := http.ListenAndServe(*serveAddr, dashSrv); err != nil {
+				fmt.Fprintf(os.Stderr, "surwbench: dashboard: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "dashboard serving on %s\n", *serveAddr)
+	}
+	if coord != nil {
+		ln, err := net.Listen("tcp", *coordAddr)
+		if err != nil {
+			fatalf("coordinator: %v", err)
+		}
+		go func() { _ = http.Serve(ln, coord) }()
+		st := coord.Status()
+		fmt.Fprintf(os.Stderr, "coordinator serving on %s (%d/%d sessions already stored); waiting for workers\n",
+			ln.Addr(), st.SessionsDone, st.SessionsPlanned)
+		last := st.SessionsDone
+		for !coord.Done() {
+			time.Sleep(200 * time.Millisecond)
+			if st = coord.Status(); st.SessionsDone != last {
+				last = st.SessionsDone
+				if progress != nil {
+					progress("coordinator: %d/%d sessions, %d leases in flight, %d workers",
+						st.SessionsDone, st.SessionsPlanned, st.InFlightLeases, len(st.Workers))
+				}
+			}
+		}
+		_ = ln.Close()
+		fmt.Fprintf(os.Stderr, "distributed execution complete; rendering tables from the store\n")
 	}
 
 	nWorkers := workpool.Normalize(sc.Workers)

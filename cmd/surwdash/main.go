@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	surwdash -store DIR [-addr :8090] [-poll 1s]
+//	surwdash -store DIR [-addr :8090] [-poll 1s] [-remote URL]
+//
+// For a distributed campaign (surwbench -coordinate, see internal/remote),
+// -remote names the coordinator's base URL; the dashboard then also shows
+// the worker fleet — per-worker utilization, leases in flight, expiries,
+// duplicates — and /metrics gains the surw_remote_* gauges. The status
+// fetch is best-effort: an unreachable coordinator (finished, restarting)
+// just drops the fleet section from the page, never the page itself.
 //
 // Endpoints:
 //
@@ -20,6 +27,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -28,14 +36,16 @@ import (
 
 	"surw/internal/buildinfo"
 	"surw/internal/campaign"
+	"surw/internal/remote"
 )
 
 func main() {
 	var (
-		storeDir = flag.String("store", "", "campaign run-store directory (required)")
-		addr     = flag.String("addr", "localhost:8090", "HTTP listen address")
-		poll     = flag.Duration("poll", time.Second, "interval for tailing new records from the store")
-		version  = flag.Bool("version", false, "print the build version and exit")
+		storeDir  = flag.String("store", "", "campaign run-store directory (required)")
+		addr      = flag.String("addr", "localhost:8090", "HTTP listen address")
+		poll      = flag.Duration("poll", time.Second, "interval for tailing new records from the store")
+		remoteURL = flag.String("remote", "", "distributed-campaign coordinator base URL (optional; adds the worker-fleet view)")
+		version   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -60,10 +70,38 @@ func main() {
 		}
 	}()
 
+	srv := campaign.NewServer(store, nil)
+	if *remoteURL != "" {
+		srv.SetRemote(remoteStatus(*remoteURL))
+	}
+
 	fmt.Printf("surwdash %s serving %s (%d sessions) on http://%s/\n",
 		buildinfo.Version, *storeDir, store.Len(), *addr)
-	if err := http.ListenAndServe(*addr, campaign.NewServer(store, nil)); err != nil {
+	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fatalf("%v", err)
+	}
+}
+
+// remoteStatus fetches the coordinator's /v1/status snapshot on demand,
+// best-effort: nil on any transport or decode error, so a coordinator
+// that has exited (or is mid-restart) degrades the dashboard to its
+// local-campaign view instead of breaking it.
+func remoteStatus(base string) func() *campaign.RemoteStatus {
+	client := &http.Client{Timeout: 2 * time.Second}
+	return func() *campaign.RemoteStatus {
+		resp, err := client.Get(base + remote.PathStatus)
+		if err != nil {
+			return nil
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil
+		}
+		var rs campaign.RemoteStatus
+		if err := json.NewDecoder(resp.Body).Decode(&rs); err != nil {
+			return nil
+		}
+		return &rs
 	}
 }
 

@@ -1,0 +1,86 @@
+// Command surwworker executes distributed-campaign leases from a
+// surwbench coordinator (see internal/remote).
+//
+// Usage:
+//
+//	surwworker -coordinator http://HOST:PORT [-name NAME] [-workers N]
+//
+// The worker polls the coordinator for leases — batches of (target,
+// algorithm, session) cells — executes them through the same session
+// engine a local run uses, and submits the session records. Sessions are
+// deterministic, so any fleet of workers produces records bit-identical
+// to a local run's; the coordinator deduplicates whatever lease churn
+// makes redundant. The process exits 0 when the coordinator reports the
+// campaign complete, and a SIGINT/SIGTERM abandons in-flight leases
+// cleanly (they expire server-side and are re-leased).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"surw/internal/buildinfo"
+	"surw/internal/remote"
+	"surw/internal/runner"
+	"surw/internal/sctbench"
+)
+
+func main() {
+	var (
+		coordinator = flag.String("coordinator", "", "coordinator base URL, e.g. http://10.0.0.1:7071 (required)")
+		name        = flag.String("name", "", "worker name shown on the dashboard (default host:pid)")
+		workers     = flag.Int("workers", 0, "parallel sessions per lease (1 = sequential; 0 = one per CPU)")
+		quiet       = flag.Bool("q", false, "suppress progress output")
+		version     = flag.Bool("version", false, "print the build version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Printf("surwworker %s\n", buildinfo.Get())
+		return
+	}
+	if *coordinator == "" {
+		fmt.Fprintln(os.Stderr, "surwworker: -coordinator URL is required")
+		os.Exit(2)
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	w := &remote.Worker{
+		Coordinator: *coordinator,
+		Name:        *name,
+		Resolve: func(tname string) (runner.Target, bool) {
+			return sctbench.ByName(tname)
+		},
+		Workers: *workers,
+	}
+	if !*quiet {
+		w.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "surwworker %s: "+format+"\n",
+				append([]any{*name}, args...)...)
+		}
+	}
+
+	start := time.Now()
+	err := w.Run(ctx)
+	switch {
+	case err == nil:
+		fmt.Fprintf(os.Stderr, "surwworker %s: done in %s\n", *name, time.Since(start).Round(time.Millisecond))
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintf(os.Stderr, "surwworker %s: interrupted; in-flight leases will expire and requeue\n", *name)
+		os.Exit(1)
+	default:
+		fmt.Fprintf(os.Stderr, "surwworker %s: %v\n", *name, err)
+		os.Exit(1)
+	}
+}

@@ -22,6 +22,7 @@ type Aggregates struct {
 	Sessions int              `json:"sessions"` // session records aggregated
 	Cells    []CellAggregate  `json:"cells"`
 	Metrics  *MetricsSnapshot `json:"metrics,omitempty"` // live only, see Serve
+	Remote   *RemoteStatus    `json:"remote,omitempty"`  // live only: distributed campaigns
 }
 
 // MetricsSnapshot is the JSON form of the obs.Metrics aggregate attached to

@@ -44,11 +44,33 @@ import (
 const Version = 1
 
 // Record is one JSONL line of the run-store: a session key and the
-// session's observable outcome.
+// session's observable outcome. It doubles as the result payload of the
+// distributed-campaign protocol (internal/remote): a worker submits the
+// exact bytes the coordinator's store would append, so a distributed
+// campaign and a local one share one wire format.
 type Record struct {
 	V       int         `json:"v"`
 	Key     keyWire     `json:"key"`
 	Session sessionWire `json:"session"`
+}
+
+// NewRecord builds the versioned wire record for one session result — the
+// line the store appends, and the payload a remote worker submits.
+func NewRecord(k runner.SessionKey, s *runner.Session) Record {
+	return Record{V: Version, Key: encodeKey(k), Session: encodeSession(s)}
+}
+
+// Decode returns the session key and the canonical (wire round-trip)
+// session of a record, rejecting unknown wire versions.
+func (r Record) Decode() (runner.SessionKey, *runner.Session, error) {
+	if r.V != Version {
+		return runner.SessionKey{}, nil, fmt.Errorf("campaign: record has wire version %d, want %d", r.V, Version)
+	}
+	s, err := r.Session.decode()
+	if err != nil {
+		return runner.SessionKey{}, nil, err
+	}
+	return r.Key.decode(), s, nil
 }
 
 // keyWire is the wire form of runner.SessionKey.

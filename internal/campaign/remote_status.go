@@ -1,0 +1,84 @@
+package campaign
+
+// Live view of a distributed campaign, published by the internal/remote
+// coordinator through Server.SetRemote. Defined here (not in remote) so
+// the dashboard can render worker tables without importing the
+// coordinator; remote imports campaign for the Record wire format, never
+// the other way around.
+//
+// Like MetricsSnapshot, RemoteStatus is live-only: it describes one run's
+// execution (which machines did the work, how leases flowed), never the
+// stored results, so it appears in /api/campaign and /metrics but not in
+// aggregates.json — distribution must leave the aggregate bytes untouched.
+
+import (
+	"fmt"
+	"io"
+)
+
+// RemoteStatus is a point-in-time snapshot of a coordinator.
+type RemoteStatus struct {
+	// SessionsPlanned / SessionsDone count shard units: every (target,
+	// algorithm, session) cell of the campaign plan.
+	SessionsPlanned int `json:"sessions_planned"`
+	SessionsDone    int `json:"sessions_done"`
+	// InFlightLeases / PendingBatches describe the lease queue.
+	InFlightLeases int `json:"in_flight_leases"`
+	PendingBatches int `json:"pending_batches"`
+	// LeaseExpiries counts leases that timed out and were requeued (worker
+	// presumed lost); DuplicateResults counts submitted session records
+	// dropped because the store already held them.
+	LeaseExpiries    int64 `json:"lease_expiries"`
+	DuplicateResults int64 `json:"duplicate_results"`
+	// Workers lists every worker that ever contacted the coordinator,
+	// sorted by name.
+	Workers []RemoteWorker `json:"workers,omitempty"`
+}
+
+// RemoteWorker is the coordinator's view of one worker.
+type RemoteWorker struct {
+	Name string `json:"name"`
+	// Sessions counts session records this worker submitted that were
+	// accepted (duplicates excluded).
+	Sessions int `json:"sessions"`
+	// BusySeconds is the worker-reported wall-clock spent executing
+	// batches; Utilization divides it by the worker's lifetime as seen by
+	// the coordinator (first contact → now).
+	BusySeconds float64 `json:"busy_seconds"`
+	Utilization float64 `json:"utilization"`
+	// Leases is the number of leases the worker currently holds.
+	Leases int `json:"leases"`
+	// SecondsSinceSeen is the age of the worker's last request.
+	SecondsSinceSeen float64 `json:"seconds_since_seen"`
+}
+
+// WritePrometheus renders the snapshot as Prometheus text-format gauges,
+// shared by the coordinator's own /metrics and the dashboard's.
+func (rs *RemoteStatus) WritePrometheus(w io.Writer) error {
+	fmt.Fprintf(w, "# HELP surw_remote_sessions_planned Shard units in the distributed campaign plan.\n# TYPE surw_remote_sessions_planned gauge\nsurw_remote_sessions_planned %d\n", rs.SessionsPlanned)
+	fmt.Fprintf(w, "# HELP surw_remote_sessions_done Shard units completed (stored).\n# TYPE surw_remote_sessions_done gauge\nsurw_remote_sessions_done %d\n", rs.SessionsDone)
+	fmt.Fprintf(w, "# HELP surw_remote_inflight_leases Leases currently held by workers.\n# TYPE surw_remote_inflight_leases gauge\nsurw_remote_inflight_leases %d\n", rs.InFlightLeases)
+	fmt.Fprintf(w, "# HELP surw_remote_pending_batches Batches waiting to be leased.\n# TYPE surw_remote_pending_batches gauge\nsurw_remote_pending_batches %d\n", rs.PendingBatches)
+	fmt.Fprintf(w, "# HELP surw_remote_lease_expiries_total Leases expired and requeued.\n# TYPE surw_remote_lease_expiries_total counter\nsurw_remote_lease_expiries_total %d\n", rs.LeaseExpiries)
+	fmt.Fprintf(w, "# HELP surw_remote_duplicate_results_total Submitted records dropped as duplicates.\n# TYPE surw_remote_duplicate_results_total counter\nsurw_remote_duplicate_results_total %d\n", rs.DuplicateResults)
+	fmt.Fprintf(w, "# HELP surw_remote_workers Workers that have contacted the coordinator.\n# TYPE surw_remote_workers gauge\nsurw_remote_workers %d\n", len(rs.Workers))
+	if len(rs.Workers) > 0 {
+		fmt.Fprintf(w, "# HELP surw_remote_worker_sessions_total Accepted session records per worker.\n# TYPE surw_remote_worker_sessions_total counter\n")
+		for _, wk := range rs.Workers {
+			fmt.Fprintf(w, "surw_remote_worker_sessions_total{worker=%q} %d\n", wk.Name, wk.Sessions)
+		}
+		fmt.Fprintf(w, "# HELP surw_remote_worker_busy_seconds_total Worker-reported execution time.\n# TYPE surw_remote_worker_busy_seconds_total counter\n")
+		for _, wk := range rs.Workers {
+			fmt.Fprintf(w, "surw_remote_worker_busy_seconds_total{worker=%q} %.3f\n", wk.Name, wk.BusySeconds)
+		}
+		fmt.Fprintf(w, "# HELP surw_remote_worker_utilization Busy time over worker lifetime, 0-1.\n# TYPE surw_remote_worker_utilization gauge\n")
+		for _, wk := range rs.Workers {
+			fmt.Fprintf(w, "surw_remote_worker_utilization{worker=%q} %.4f\n", wk.Name, wk.Utilization)
+		}
+		fmt.Fprintf(w, "# HELP surw_remote_worker_inflight_leases Leases currently held per worker.\n# TYPE surw_remote_worker_inflight_leases gauge\n")
+		for _, wk := range rs.Workers {
+			fmt.Fprintf(w, "surw_remote_worker_inflight_leases{worker=%q} %d\n", wk.Name, wk.Leases)
+		}
+	}
+	return nil
+}

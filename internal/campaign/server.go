@@ -29,7 +29,8 @@ import (
 // Server serves the campaign dashboard for one store.
 type Server struct {
 	store   *Store
-	metrics *obs.Metrics // optional: live-campaign throughput
+	metrics *obs.Metrics         // optional: live-campaign throughput
+	remote  func() *RemoteStatus // optional: distributed-campaign coordinator
 	mux     *http.ServeMux
 }
 
@@ -48,6 +49,11 @@ func NewServer(store *Store, metrics *obs.Metrics) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// SetRemote attaches a distributed-campaign status source (the remote
+// coordinator's Status method). The dashboard then shows the worker table
+// and /metrics gains the surw_remote_* gauges. Call before serving.
+func (s *Server) SetRemote(status func() *RemoteStatus) { s.remote = status }
+
 // aggregates builds the rollup, attaching the live metrics snapshot when
 // the server is embedded in a running campaign.
 func (s *Server) aggregates() *Aggregates {
@@ -61,6 +67,9 @@ func (s *Server) aggregates() *Aggregates {
 			TruncationRate:  snap.TruncationRate,
 			Utilization:     snap.Utilization,
 		}
+	}
+	if s.remote != nil {
+		agg.Remote = s.remote()
 	}
 	return agg
 }
@@ -83,6 +92,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP surw_campaign_cells_total Cells completed by this process.\n# TYPE surw_campaign_cells_total counter\nsurw_campaign_cells_total %d\n", s.store.Cells())
 	if s.metrics != nil {
 		_ = s.metrics.WritePrometheus(w)
+	}
+	if s.remote != nil {
+		// The source may return nil (a surwdash -remote fetch that failed);
+		// the page then simply omits the surw_remote_* family.
+		if rs := s.remote(); rs != nil {
+			_ = rs.WritePrometheus(w)
+		}
 	}
 }
 
@@ -269,7 +285,9 @@ func growthSVG(pts []AccumPoint) template.HTML {
 	return template.HTML(b.String())
 }
 
-var dashTemplate = template.Must(template.New("dash").Parse(`<!doctype html>
+var dashTemplate = template.Must(template.New("dash").Funcs(template.FuncMap{
+	"mul100": func(v float64) float64 { return v * 100 },
+}).Parse(`<!doctype html>
 <html lang="en">
 <head>
 <meta charset="utf-8">
@@ -294,6 +312,7 @@ var dashTemplate = template.Must(template.New("dash").Parse(`<!doctype html>
  .lbl { font-size: 10px; fill: #5a6068; }
  .tick { font-size: 9px; fill: #8a9098; }
  #live { color: #5a6068; font-size: .85rem; }
+ .wk { font-size: .95rem; color: #5a6068; margin: 0 0 .5rem; font-weight: 600; }
 </style>
 </head>
 <body>
@@ -301,6 +320,18 @@ var dashTemplate = template.Must(template.New("dash").Parse(`<!doctype html>
 <p class="meta">store <code>{{.Dir}}</code> · {{.Agg.Sessions}} sessions across {{len .Agg.Cells}} cells ({{.Targets}} targets) · build {{.Build.Version}}
 {{- with .Agg.Metrics}} · {{printf "%.0f" .SchedulesPerSec}} schedules/s live{{end}}
  · <span id="live">stored <span id="stored">{{.Agg.Sessions}}</span></span></p>
+
+{{with .Agg.Remote}}
+<h2 class="wk">distributed: {{.SessionsDone}}/{{.SessionsPlanned}} sessions · {{.InFlightLeases}} leases in flight · {{.PendingBatches}} batches pending · {{.LeaseExpiries}} expiries · {{.DuplicateResults}} duplicates</h2>
+<table>
+<tr><th>worker</th><th>leases</th><th>sessions</th><th>busy s</th><th>utilization</th><th>last seen</th></tr>
+{{range .Workers}}<tr>
+ <td>{{.Name}}</td><td>{{.Leases}}</td><td>{{.Sessions}}</td>
+ <td>{{printf "%.1f" .BusySeconds}}</td><td>{{printf "%.0f%%" (mul100 .Utilization)}}</td>
+ <td>{{printf "%.0fs ago" .SecondsSinceSeen}}</td>
+</tr>{{end}}
+</table>
+{{end}}
 
 <table>
 <tr><th>target</th><th>algorithm</th><th>sessions</th><th>found</th><th>mean first-bug</th><th>classes</th><th>GT coverage</th><th>Chao1 coverage</th></tr>

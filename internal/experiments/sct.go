@@ -28,19 +28,17 @@ type SCTResult struct {
 // Progress receives experiment progress lines; nil discards them.
 type Progress func(format string, args ...any)
 
-// SCTBench runs every suite target under every Table 4 algorithm with the
-// schedules-to-first-bug methodology (SafeStack gets its own larger
-// budget, as in the paper). The (target × algorithm) grid fans over
-// sc.Workers workers; every cell is seeded independently and collected by
-// index, so the tables are bit-identical at any worker count.
-func SCTBench(sc Scale, progress Progress) *SCTResult {
-	progress = syncProgress(progress)
-	algs := SCTAlgorithms
+// sctGrid returns the (targets × algorithms) grid of the SCTBench
+// experiment after Scale's narrowing flags, in the canonical run order.
+// SCTBench, the distributed-campaign plan (SCTPlan), and the workers all
+// enumerate cells through it, so one definition decides what a campaign
+// contains.
+func sctGrid(sc Scale) (targets []runner.Target, algs []string) {
+	algs = SCTAlgorithms
 	if len(sc.SCTAlgs) > 0 {
 		algs = sc.SCTAlgs
 	}
-	out := &SCTResult{Scale: sc, Algs: algs, Results: make(map[string]map[string]*runner.Result)}
-	targets := sctbench.Targets()
+	targets = sctbench.Targets()
 	if len(sc.SCTTargets) > 0 {
 		keep := make(map[string]bool, len(sc.SCTTargets))
 		for _, name := range sc.SCTTargets {
@@ -54,6 +52,60 @@ func SCTBench(sc Scale, progress Progress) *SCTResult {
 		}
 		targets = filtered
 	}
+	return targets, algs
+}
+
+// sctConfig is the runner configuration of one grid cell (SafeStack gets
+// its own larger budget, as in the paper). Everything that feeds the
+// session key lives here; Workers/Metrics/Store are execution plumbing
+// and do not affect keys.
+func sctConfig(sc Scale, tgt runner.Target) runner.Config {
+	limit := sc.Limit
+	if tgt.Name == "SafeStack" {
+		limit = sc.SafeStackLimit
+	}
+	return runner.Config{
+		Sessions:       sc.Sessions,
+		Limit:          limit,
+		Seed:           sc.Seed,
+		StopAtFirstBug: true,
+		Workers:        sc.Workers,
+		Metrics:        sc.Metrics,
+		Store:          sc.Store,
+	}
+}
+
+// SCTPlan enumerates the session keys of every (target, algorithm,
+// session) in the SCTBench grid — the shard units of a distributed
+// campaign. Keys are built with runner.KeyFor, so they match the records a
+// local SCTBench run writes to the store exactly, and a distributed run
+// resumed over the same store skips whatever is already done.
+func SCTPlan(sc Scale) []runner.SessionKey {
+	targets, algs := sctGrid(sc)
+	sessions := sc.Sessions
+	if sessions <= 0 {
+		sessions = 1
+	}
+	plan := make([]runner.SessionKey, 0, len(targets)*len(algs)*sessions)
+	for _, tgt := range targets {
+		cfg := sctConfig(sc, tgt)
+		for _, alg := range algs {
+			for s := 0; s < sessions; s++ {
+				plan = append(plan, runner.KeyFor(tgt, alg, cfg, s))
+			}
+		}
+	}
+	return plan
+}
+
+// SCTBench runs every suite target under every Table 4 algorithm with the
+// schedules-to-first-bug methodology. The (target × algorithm) grid fans
+// over sc.Workers workers; every cell is seeded independently and
+// collected by index, so the tables are bit-identical at any worker count.
+func SCTBench(sc Scale, progress Progress) *SCTResult {
+	progress = syncProgress(progress)
+	targets, algs := sctGrid(sc)
+	out := &SCTResult{Scale: sc, Algs: algs, Results: make(map[string]map[string]*runner.Result)}
 	type cell struct{ ti, ai int }
 	cells := make([]cell, 0, len(targets)*len(algs))
 	for ti, tgt := range targets {
@@ -65,19 +117,7 @@ func SCTBench(sc Scale, progress Progress) *SCTResult {
 	}
 	results, err := workpool.Map(sc.Workers, len(cells), func(i int) (*runner.Result, error) {
 		tgt, alg := targets[cells[i].ti], algs[cells[i].ai]
-		limit := sc.Limit
-		if tgt.Name == "SafeStack" {
-			limit = sc.SafeStackLimit
-		}
-		res, err := runner.RunTarget(tgt, alg, runner.Config{
-			Sessions:       sc.Sessions,
-			Limit:          limit,
-			Seed:           sc.Seed,
-			StopAtFirstBug: true,
-			Workers:        sc.Workers,
-			Metrics:        sc.Metrics,
-			Store:          sc.Store,
-		})
+		res, err := runner.RunTarget(tgt, alg, sctConfig(sc, tgt))
 		if err != nil {
 			return nil, err
 		}

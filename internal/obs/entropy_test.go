@@ -1,8 +1,11 @@
 package obs
 
-// White-box tests for the entropy helper and the metrics HTTP handler: the
+// White-box tests for the entropy path and the metrics HTTP handler: the
 // exporters must stay finite (JSON cannot carry NaN) and the Prometheus
-// page must declare the exposition-format content type.
+// page must declare the exposition-format content type. The entropy
+// implementation itself lives in internal/stats (EntropyBits, shared with
+// the root package's Exploration entropies); these cases pin the guard
+// semantics the aggregator depends on.
 
 import (
 	"encoding/json"
@@ -10,6 +13,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"surw/internal/stats"
 )
 
 func TestEntropyBits(t *testing.T) {
@@ -26,7 +31,7 @@ func TestEntropyBits(t *testing.T) {
 		{"quarter split", []int64{3, 1}, -0.75*math.Log2(0.75) - 0.25*math.Log2(0.25)},
 	}
 	for _, tc := range cases {
-		got := entropyBits(tc.hist)
+		got := stats.EntropyBits(tc.hist)
 		if math.IsNaN(got) {
 			t.Errorf("%s: entropy is NaN", tc.name)
 			continue

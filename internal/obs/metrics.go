@@ -11,7 +11,6 @@ package obs
 import (
 	"fmt"
 	"io"
-	"math"
 	"net/http"
 	"runtime"
 	"sort"
@@ -21,6 +20,7 @@ import (
 	"time"
 
 	"surw/internal/sched"
+	"surw/internal/stats"
 )
 
 // histBuckets is the number of exact histogram buckets; index 0 is unused
@@ -215,41 +215,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		if as.Decisions > 0 {
 			as.MeanBranch = float64(weighted) / float64(as.Decisions)
 		}
-		as.PickEntropy = entropyBits(as.Pick[:])
+		as.PickEntropy = stats.EntropyBits(as.Pick[:])
 		s.Algorithms = append(s.Algorithms, as)
 	}
 	m.mu.Unlock()
 	return s
-}
-
-// entropyBits returns the Shannon entropy of a count histogram in bits.
-// Degenerate inputs stay finite: an empty histogram and a single-nonzero-
-// bucket histogram (an algorithm that always picks position 0) both report
-// exactly 0 — never NaN — so snapshots stay JSON-marshalable and the
-// Prometheus page never emits a non-numeric sample.
-func entropyBits(hist []int64) float64 {
-	var total int64
-	nonzero := 0
-	for _, v := range hist {
-		if v > 0 {
-			total += v
-			nonzero++
-		}
-	}
-	if total == 0 || nonzero == 1 {
-		return 0
-	}
-	h := 0.0
-	for _, v := range hist {
-		if v > 0 {
-			p := float64(v) / float64(total)
-			h -= p * math.Log2(p)
-		}
-	}
-	if math.IsNaN(h) || h < 0 {
-		return 0
-	}
-	return h
 }
 
 // Summary renders a one-line digest for embedding in report footers.

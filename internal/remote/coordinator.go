@@ -1,0 +1,381 @@
+package remote
+
+// The coordinator: an http.Handler owning the lease queue of one
+// distributed campaign. It is deliberately dumb — all campaign state it
+// tracks beyond the store is soft (who holds which lease, worker gauges),
+// so a restarted coordinator rebuilt from the same plan and store resumes
+// exactly where the records left off: construction filters the plan
+// against the store, and everything in flight at the crash simply expires
+// on the workers' side and is re-earned through fresh leases.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"surw/internal/campaign"
+	"surw/internal/obs"
+	"surw/internal/runner"
+)
+
+// CoordinatorOptions tunes the lease queue; zero values take defaults.
+type CoordinatorOptions struct {
+	// LeaseTTL is how long a lease lives between heartbeats before the
+	// worker is presumed dead and the batch requeued. Default 30s.
+	LeaseTTL time.Duration
+	// BatchSize is the number of sessions per lease. Default 4.
+	BatchSize int
+	// RetryAfter is the poll hint handed to workers when every batch is
+	// leased out. Default 500ms.
+	RetryAfter time.Duration
+}
+
+func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 30 * time.Second
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 4
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = 500 * time.Millisecond
+	}
+	return o
+}
+
+// Coordinator shards a campaign plan over HTTP. Safe for concurrent use;
+// serve it with http.Server or mount it on a mux.
+type Coordinator struct {
+	store runner.SessionStore
+	opts  CoordinatorOptions
+	mux   *http.ServeMux
+	now   func() time.Time // injectable clock for lease-expiry tests
+
+	mu         sync.Mutex
+	planned    map[runner.SessionKey]bool // plan membership: rejects stray submissions
+	total      int                        // len(plan)
+	done       int                        // keys known stored
+	pending    []batch                    // FIFO of unleased batches
+	leases     map[string]*lease
+	workers    map[string]*workerState
+	seq        int   // lease-ID counter
+	expiries   int64 // leases timed out and requeued
+	duplicates int64 // records dropped because the store already held them
+}
+
+// batch is a run of same-cell session keys, in session order.
+type batch struct {
+	keys []runner.SessionKey
+}
+
+type lease struct {
+	id      string
+	worker  string
+	keys    []runner.SessionKey
+	expires time.Time
+}
+
+type workerState struct {
+	firstSeen time.Time
+	lastSeen  time.Time
+	sessions  int           // accepted records
+	busy      time.Duration // worker-reported execution time
+	leases    int           // currently held
+}
+
+// NewCoordinator builds the lease queue for a plan. Keys the store
+// already holds are counted done immediately — restarting a coordinator
+// over a half-finished campaign resumes it.
+func NewCoordinator(store runner.SessionStore, plan []runner.SessionKey, opts CoordinatorOptions) *Coordinator {
+	c := &Coordinator{
+		store:   store,
+		opts:    opts.withDefaults(),
+		mux:     http.NewServeMux(),
+		now:     time.Now,
+		planned: make(map[runner.SessionKey]bool, len(plan)),
+		total:   len(plan),
+		leases:  make(map[string]*lease),
+		workers: make(map[string]*workerState),
+	}
+	var cur batch
+	var curCell campaign.CellKey
+	flush := func() {
+		if len(cur.keys) > 0 {
+			c.pending = append(c.pending, cur)
+			cur = batch{}
+		}
+	}
+	for _, k := range plan {
+		c.planned[k] = true
+		if _, ok := store.Lookup(k); ok {
+			c.done++
+			continue
+		}
+		if cell := CellOf(k); len(cur.keys) == 0 || cell != curCell || len(cur.keys) >= c.opts.BatchSize {
+			flush()
+			curCell = cell
+		}
+		cur.keys = append(cur.keys, k)
+	}
+	flush()
+	c.mux.HandleFunc(PathLease, c.handleLease)
+	c.mux.HandleFunc(PathHeartbeat, c.handleHeartbeat)
+	c.mux.HandleFunc(PathResult, c.handleResult)
+	c.mux.HandleFunc(PathStatus, c.handleStatus)
+	c.mux.HandleFunc("/metrics", c.handleMetrics)
+	return c
+}
+
+// CellOf projects a session key onto its (target, algorithm) cell, the
+// batching unit: one lease never mixes cells, so a worker resolves one
+// target and one algorithm per batch.
+func CellOf(k runner.SessionKey) campaign.CellKey {
+	return campaign.CellKey{
+		Target: k.Target, Algorithm: k.Algorithm, Limit: k.Limit, Seed: k.Seed,
+		StopAtFirstBug: k.StopAtFirstBug, Coverage: k.Coverage,
+		CoverageEvery: k.CoverageEvery, ProfileRuns: k.ProfileRuns,
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
+
+// Done reports whether every planned session is stored.
+func (c *Coordinator) Done() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.done >= c.total
+}
+
+// expireStaleLocked requeues every lease whose TTL lapsed. Called under
+// c.mu from every handler, so expiry needs no background goroutine.
+func (c *Coordinator) expireStaleLocked(now time.Time) {
+	for id, l := range c.leases {
+		if now.After(l.expires) {
+			delete(c.leases, id)
+			c.pending = append(c.pending, batch{keys: l.keys})
+			c.expiries++
+			if ws := c.workers[l.worker]; ws != nil {
+				ws.leases--
+			}
+		}
+	}
+}
+
+// touchLocked registers/refreshes a worker's liveness.
+func (c *Coordinator) touchLocked(name string, now time.Time) *workerState {
+	ws := c.workers[name]
+	if ws == nil {
+		ws = &workerState{firstSeen: now}
+		c.workers[name] = ws
+	}
+	ws.lastSeen = now
+	return ws
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	ws := c.touchLocked(req.Worker, now)
+	c.expireStaleLocked(now)
+
+	// Pop batches until one still has unstored keys. A requeued batch may
+	// have been completed by another worker's idempotent submission in the
+	// meantime; filtering at grant time (not requeue time) keeps every
+	// handler O(batch).
+	for len(c.pending) > 0 {
+		b := c.pending[0]
+		c.pending = c.pending[1:]
+		keys := b.keys[:0:0]
+		for _, k := range b.keys {
+			if _, ok := c.store.Lookup(k); !ok {
+				keys = append(keys, k)
+			}
+		}
+		if len(keys) == 0 {
+			continue
+		}
+		c.seq++
+		l := &lease{
+			id:      fmt.Sprintf("l%06d", c.seq),
+			worker:  req.Worker,
+			keys:    keys,
+			expires: now.Add(c.opts.LeaseTTL),
+		}
+		c.leases[l.id] = l
+		ws.leases++
+		k0 := keys[0]
+		out := &Lease{
+			ID: l.id, Target: k0.Target, Algorithm: k0.Algorithm,
+			Limit: k0.Limit, Seed: k0.Seed, StopAtFirstBug: k0.StopAtFirstBug,
+			Coverage: k0.Coverage, CoverageEvery: k0.CoverageEvery,
+			ProfileRuns: k0.ProfileRuns, TTLMillis: c.opts.LeaseTTL.Milliseconds(),
+		}
+		for _, k := range keys {
+			out.Sessions = append(out.Sessions, k.Session)
+		}
+		writeJSON(w, LeaseResponse{Lease: out})
+		return
+	}
+	if c.done >= c.total {
+		writeJSON(w, LeaseResponse{Done: true})
+		return
+	}
+	writeJSON(w, LeaseResponse{RetryMillis: c.opts.RetryAfter.Milliseconds()})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.touchLocked(req.Worker, now)
+	c.expireStaleLocked(now)
+	l, ok := c.leases[req.LeaseID]
+	if !ok || l.worker != req.Worker {
+		// Expired, completed, reassigned, or from before a coordinator
+		// restart: the lease is gone. 410 tells the worker to stop
+		// heartbeating; its eventual submission is still welcome (and
+		// idempotent).
+		http.Error(w, "lease gone", http.StatusGone)
+		return
+	}
+	l.expires = now.Add(c.opts.LeaseTTL)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req ResultRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	// Decode and validate everything before taking the lock or touching
+	// the store, so a malformed submission changes nothing.
+	type decoded struct {
+		key  runner.SessionKey
+		sess *runner.Session
+	}
+	recs := make([]decoded, 0, len(req.Records))
+	for _, rec := range req.Records {
+		k, s, err := rec.Decode()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		recs = append(recs, decoded{k, s})
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	ws := c.touchLocked(req.Worker, now)
+	c.expireStaleLocked(now)
+	for _, d := range recs {
+		if !c.planned[d.key] {
+			http.Error(w, fmt.Sprintf("remote: session %s/%s #%d is not in the campaign plan",
+				d.key.Target, d.key.Algorithm, d.key.Session), http.StatusBadRequest)
+			return
+		}
+	}
+	resp := ResultResponse{}
+	for _, d := range recs {
+		// Idempotency: Lookup-before-Store under c.mu. Duplicates arise
+		// from lease reassignment or submission retries; sessions are
+		// deterministic, so dropping them loses nothing.
+		if _, ok := c.store.Lookup(d.key); ok {
+			resp.Duplicates++
+			c.duplicates++
+			continue
+		}
+		if _, err := c.store.Store(d.key, d.sess); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		resp.Accepted++
+		c.done++
+		ws.sessions++
+	}
+	ws.busy += time.Duration(req.BusyMillis) * time.Millisecond
+	// Completing the lease is best-effort: if it already expired (or the
+	// coordinator restarted), the records above were still accepted.
+	if l, ok := c.leases[req.LeaseID]; ok && l.worker == req.Worker {
+		delete(c.leases, req.LeaseID)
+		ws.leases--
+	}
+	writeJSON(w, resp)
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = obs.WriteJSON(w, c.Status())
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	_ = c.Status().WritePrometheus(w)
+}
+
+// Status snapshots the queue for the dashboard (campaign.Server.SetRemote)
+// and the /metrics gauges.
+func (c *Coordinator) Status() *campaign.RemoteStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.expireStaleLocked(now)
+	rs := &campaign.RemoteStatus{
+		SessionsPlanned:  c.total,
+		SessionsDone:     c.done,
+		InFlightLeases:   len(c.leases),
+		PendingBatches:   len(c.pending),
+		LeaseExpiries:    c.expiries,
+		DuplicateResults: c.duplicates,
+	}
+	names := make([]string, 0, len(c.workers))
+	for name := range c.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ws := c.workers[name]
+		wk := campaign.RemoteWorker{
+			Name:             name,
+			Sessions:         ws.sessions,
+			BusySeconds:      ws.busy.Seconds(),
+			Leases:           ws.leases,
+			SecondsSinceSeen: now.Sub(ws.lastSeen).Seconds(),
+		}
+		if life := now.Sub(ws.firstSeen); life > 0 {
+			wk.Utilization = ws.busy.Seconds() / life.Seconds()
+		}
+		rs.Workers = append(rs.Workers, wk)
+	}
+	return rs
+}
+
+// decodeBody decodes a JSON POST body, rejecting other methods.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

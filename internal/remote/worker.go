@@ -1,0 +1,282 @@
+package remote
+
+// The worker loop: lease, execute, submit, repeat. Workers hold no
+// campaign state at all — every batch is fully described by its lease and
+// executed through runner.RunSession, the same engine a local batch uses,
+// so a worker's records are bit-identical to the sessions a local run
+// would have produced. Network failures never corrupt anything: polling
+// and submission retry with exponential backoff and jitter (riding out
+// coordinator restarts), and an abandoned batch simply expires
+// server-side and is re-leased.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"surw/internal/campaign"
+	"surw/internal/runner"
+	"surw/internal/workpool"
+)
+
+// Worker executes leases from one coordinator. Configure the exported
+// fields, then call Run.
+type Worker struct {
+	// Coordinator is the base URL, e.g. "http://10.0.0.1:7071".
+	Coordinator string
+	// Name identifies this worker in leases and dashboards.
+	Name string
+	// Resolve maps a lease's target name to the local target registry
+	// (cmd/surwworker wires sctbench.ByName). An unresolvable target is a
+	// deployment error — a version-skewed worker — and aborts the worker
+	// rather than silently stalling the campaign.
+	Resolve func(name string) (runner.Target, bool)
+	// Workers is the per-batch session parallelism (degree of the local
+	// fan-out); 0 means sequential.
+	Workers int
+	// Client is the HTTP client; nil uses a 30s-timeout default.
+	Client *http.Client
+	// BackoffMin/BackoffMax bound the exponential retry backoff.
+	// Defaults 100ms / 5s.
+	BackoffMin, BackoffMax time.Duration
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+
+	rng *rand.Rand
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	w.Client = &http.Client{Timeout: 30 * time.Second}
+	return w.Client
+}
+
+func (w *Worker) backoffBounds() (time.Duration, time.Duration) {
+	lo, hi := w.BackoffMin, w.BackoffMax
+	if lo <= 0 {
+		lo = 100 * time.Millisecond
+	}
+	if hi <= 0 {
+		hi = 5 * time.Second
+	}
+	return lo, hi
+}
+
+// jittered spreads sleeps over [d/2, d) so a fleet of workers retrying
+// against a restarted coordinator doesn't stampede it in lockstep.
+func (w *Worker) jittered(d time.Duration) time.Duration {
+	if w.rng == nil {
+		w.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(w.rng.Int63n(int64(d/2)))
+}
+
+// Run executes leases until the coordinator reports the campaign done or
+// ctx is cancelled. Transient errors (network, coordinator restarts) are
+// retried forever with backoff; a nil return means the plan is complete.
+func (w *Worker) Run(ctx context.Context) error {
+	lo, hi := w.backoffBounds()
+	backoff := lo
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var resp LeaseResponse
+		if err := w.post(ctx, PathLease, LeaseRequest{Worker: w.Name}, &resp); err != nil {
+			w.logf("lease poll failed (%v), backing off %v", err, backoff)
+			if !sleepCtx(ctx, w.jittered(backoff)) {
+				return ctx.Err()
+			}
+			backoff = minDur(backoff*2, hi)
+			continue
+		}
+		backoff = lo
+		switch {
+		case resp.Done:
+			w.logf("campaign complete")
+			return nil
+		case resp.Lease == nil:
+			// Everything is leased out; poll at the coordinator's pace.
+			wait := time.Duration(resp.RetryMillis) * time.Millisecond
+			if wait <= 0 {
+				wait = lo
+			}
+			if !sleepCtx(ctx, w.jittered(wait)) {
+				return ctx.Err()
+			}
+		default:
+			if err := w.execute(ctx, resp.Lease); err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				return err
+			}
+		}
+	}
+}
+
+// execute runs one lease's sessions and submits the records.
+func (w *Worker) execute(ctx context.Context, l *Lease) error {
+	tgt, ok := w.Resolve(l.Target)
+	if !ok {
+		return fmt.Errorf("remote: lease %s names unknown target %q (worker/coordinator version skew?)", l.ID, l.Target)
+	}
+	cfg := runner.Config{
+		Limit:          l.Limit,
+		Seed:           l.Seed,
+		StopAtFirstBug: l.StopAtFirstBug,
+		Coverage:       l.Coverage,
+		CoverageEvery:  l.CoverageEvery,
+		ProfileRuns:    l.ProfileRuns,
+	}
+
+	// Heartbeat at a third of the TTL while the batch executes. A 410
+	// means the lease is gone (expired or the coordinator restarted); we
+	// stop heartbeating but finish and submit anyway — submission is
+	// idempotent, and with deterministic sessions finished work is never
+	// wrong, at worst redundant.
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go w.heartbeatLoop(hbCtx, l)
+
+	start := time.Now()
+	w.logf("lease %s: %s/%s sessions %v", l.ID, l.Target, l.Algorithm, l.Sessions)
+	records := make([]campaign.Record, len(l.Sessions))
+	_, err := workpool.Map(w.Workers, len(l.Sessions), func(i int) (struct{}, error) {
+		session := l.Sessions[i]
+		sess, err := runner.RunSession(ctx, tgt, l.Algorithm, cfg, session)
+		if err != nil {
+			return struct{}{}, err
+		}
+		records[i] = campaign.NewRecord(runner.KeyFor(tgt, l.Algorithm, cfg, session), sess)
+		return struct{}{}, nil
+	})
+	stopHB()
+	if err != nil {
+		return err
+	}
+	return w.submit(ctx, ResultRequest{
+		Worker:     w.Name,
+		LeaseID:    l.ID,
+		BusyMillis: time.Since(start).Milliseconds(),
+		Records:    records,
+	})
+}
+
+func (w *Worker) heartbeatLoop(ctx context.Context, l *Lease) {
+	ttl := time.Duration(l.TTLMillis) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	t := time.NewTicker(ttl / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			err := w.post(ctx, PathHeartbeat, HeartbeatRequest{Worker: w.Name, LeaseID: l.ID}, nil)
+			if err == errLeaseGone {
+				w.logf("lease %s lost; finishing batch anyway (submission is idempotent)", l.ID)
+				return
+			}
+			// Other errors (coordinator briefly down) are ignored: the
+			// next tick retries, and worst case the lease expires and the
+			// batch is redundantly re-run elsewhere.
+		}
+	}
+}
+
+// submit pushes the batch's records, retrying forever with backoff — the
+// records are the valuable half of the protocol, and the coordinator may
+// be mid-restart. Duplicate drops are success.
+func (w *Worker) submit(ctx context.Context, req ResultRequest) error {
+	lo, hi := w.backoffBounds()
+	backoff := lo
+	for {
+		var resp ResultResponse
+		err := w.post(ctx, PathResult, req, &resp)
+		if err == nil {
+			w.logf("lease %s: %d accepted, %d duplicate", req.LeaseID, resp.Accepted, resp.Duplicates)
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		w.logf("submit %s failed (%v), backing off %v", req.LeaseID, err, backoff)
+		if !sleepCtx(ctx, w.jittered(backoff)) {
+			return ctx.Err()
+		}
+		backoff = minDur(backoff*2, hi)
+	}
+}
+
+// errLeaseGone distinguishes 410 (stop heartbeating, keep working) from
+// transport errors (retry).
+var errLeaseGone = fmt.Errorf("remote: lease gone")
+
+// post sends one JSON request; out may be nil when only the status
+// matters. 4xx other than 410 is returned verbatim — retrying a request
+// the coordinator rejects as malformed cannot succeed.
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusGone {
+		return errLeaseGone
+	}
+	if resp.StatusCode >= 400 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("remote: %s: %s (%s)", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// sleepCtx sleeps d or until ctx is done; reports whether it slept fully.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

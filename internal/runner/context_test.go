@@ -1,0 +1,101 @@
+package runner
+
+// Cancellation contract: ctx is consulted between schedules (and between
+// sessions), never inside one, so a cancelled batch returns the context's
+// error — no panic, no torn schedule — and an uncancelled context changes
+// nothing.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"surw/internal/sched"
+)
+
+func ctxTarget() Target {
+	return Target{
+		Name: "ctx/racy",
+		Prog: func(t *sched.Thread) {
+			c := t.NewVar("c", 0)
+			h := t.Go(func(w *sched.Thread) { c.Add(w, 1) })
+			c.Add(t, 1)
+			t.Join(h)
+		},
+	}
+}
+
+func TestRunTargetContextBackgroundMatchesRunTarget(t *testing.T) {
+	cfg := Config{Sessions: 2, Limit: 50, Seed: 5}
+	a, err := RunTarget(ctxTarget(), "RW", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTargetContext(context.Background(), ctxTarget(), "RW", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("RunTargetContext(Background) diverged from RunTarget")
+	}
+}
+
+func TestRunTargetContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunTargetContext(ctx, ctxTarget(), "RW", Config{Sessions: 2, Limit: 50, Seed: 5})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunSessionMatchesBatchSession(t *testing.T) {
+	cfg := Config{Sessions: 3, Limit: 80, Seed: 9, Coverage: true}
+	batch, err := RunTarget(ctxTarget(), "URW", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch.Sessions {
+		solo, err := RunSession(context.Background(), ctxTarget(), "URW", cfg, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !solo.equal(&batch.Sessions[i]) {
+			t.Fatalf("RunSession(%d) diverged from batch session %d", i, i)
+		}
+	}
+}
+
+func TestRunSessionCancelledMidSession(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tgt := ctxTarget()
+	runs := 0
+	prog := tgt.Prog
+	tgt.Prog = func(th *sched.Thread) {
+		runs++
+		if runs == 3 {
+			cancel()
+		}
+		prog(th)
+	}
+	_, err := RunSession(ctx, tgt, "RW", Config{Limit: 1000, Seed: 1}, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if runs >= 1000 {
+		t.Fatal("cancellation did not stop the schedule loop")
+	}
+}
+
+func TestKeyForMatchesEngineNormalization(t *testing.T) {
+	// KeyFor must normalize exactly like RunTarget so plans built from it
+	// hit the store records a local batch writes.
+	k := KeyFor(ctxTarget(), "SURW", Config{Coverage: true}, 2)
+	want := SessionKey{
+		Target: "ctx/racy", Algorithm: "SURW", Limit: 1000, Session: 2,
+		Coverage: true, CoverageEvery: 1000/50 + 1,
+	}
+	if k != want {
+		t.Fatalf("KeyFor = %+v, want %+v", k, want)
+	}
+}

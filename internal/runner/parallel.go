@@ -24,6 +24,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -50,7 +51,7 @@ func usesDelta(alg string) bool {
 	return a == "SURW" || a == "N-U"
 }
 
-func runSession(tgt Target, algName string, cfg Config, session int) (*Session, error) {
+func runSession(ctx context.Context, tgt Target, algName string, cfg Config, session int) (*Session, error) {
 	// The store is consulted strictly between sessions — a hit skips the
 	// session wholesale, a miss runs it untouched — so attaching one can
 	// never perturb a schedule (campaign_test.go holds the invariant).
@@ -60,6 +61,9 @@ func runSession(tgt Target, algName string, cfg Config, session int) (*Session, 
 		if s, ok := cfg.Store.Lookup(key); ok {
 			return s, nil
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	alg, err := core.New(algName)
 	if err != nil {
@@ -107,6 +111,14 @@ func runSession(tgt Target, algName string, cfg Config, session int) (*Session, 
 	// recycle) one set of execution buffers.
 	pool := sched.NewPool()
 	for i := 0; i < cfg.Limit; i++ {
+		// Cancellation lands strictly between schedules: a schedule that
+		// started always finishes (schedules are short), so the scheduler
+		// itself never observes the context. The partial session is
+		// discarded, not stored — resumable partial state is the store's
+		// job, and its unit is the whole session.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		info := fixedInfo
 		if prof != nil && usesDelta(algName) {
 			sel, ok := selectDelta(tgt, prof, sessRng)

@@ -7,6 +7,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -120,6 +121,27 @@ type BatchObserver interface {
 	CellDone(target, alg string, limit int, seed int64, res *Result)
 }
 
+// normalized applies the batch defaults RunTarget has always applied, so
+// session keys and session seeds are identical however the config reaches
+// the engine (a local batch, a resumed campaign, or a remote lease).
+func (cfg Config) normalized() Config {
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 1
+	}
+	if cfg.Limit <= 0 {
+		cfg.Limit = 1000
+	}
+	return cfg
+}
+
+// KeyFor returns the normalized SessionKey the engine uses for one session
+// of a batch — the deterministic unit of work a campaign plan is made of.
+// internal/remote shards campaigns by these keys, so the derivation must
+// stay in lockstep with runSession's.
+func KeyFor(tgt Target, algName string, cfg Config, session int) SessionKey {
+	return sessionKey(tgt, algName, cfg.normalized(), session)
+}
+
 // sessionKey builds the normalized key for one session of the batch.
 func sessionKey(tgt Target, algName string, cfg Config, session int) SessionKey {
 	k := SessionKey{
@@ -201,19 +223,24 @@ type Result struct {
 // RunTarget runs cfg.Sessions sessions of algName on the target, fanned
 // over cfg.Workers workers (see parallel.go for the confinement argument).
 func RunTarget(tgt Target, algName string, cfg Config) (*Result, error) {
-	if cfg.Sessions <= 0 {
-		cfg.Sessions = 1
-	}
-	if cfg.Limit <= 0 {
-		cfg.Limit = 1000
-	}
+	return RunTargetContext(context.Background(), tgt, algName, cfg)
+}
+
+// RunTargetContext is RunTarget with cancellation: ctx is consulted between
+// schedules, so a long batch stops within one schedule of cancellation and
+// returns the context's error instead of a result. Sessions that completed
+// before the cancellation and were persisted to cfg.Store stand — a
+// resumed batch skips them — so cancelling a campaign loses at most the
+// in-flight sessions, never the finished ones.
+func RunTargetContext(ctx context.Context, tgt Target, algName string, cfg Config) (*Result, error) {
+	cfg = cfg.normalized()
 	// A typed-nil *obs.Metrics must not become a non-nil Meter interface.
 	var meter workpool.Meter
 	if cfg.Metrics != nil {
 		meter = cfg.Metrics
 	}
 	sessions, err := workpool.MapMetered(cfg.Workers, cfg.Sessions, meter, func(s int) (Session, error) {
-		sess, err := runSession(tgt, algName, cfg, s)
+		sess, err := runSession(ctx, tgt, algName, cfg, s)
 		if err != nil {
 			return Session{}, fmt.Errorf("runner: %s/%s session %d: %w", tgt.Name, algName, s, err)
 		}
@@ -227,6 +254,18 @@ func RunTarget(tgt Target, algName string, cfg Config) (*Result, error) {
 		bo.CellDone(tgt.Name, algName, cfg.Limit, cfg.Seed, res)
 	}
 	return res, nil
+}
+
+// RunSession executes exactly one session of the batch cfg describes — the
+// session with the given index, seeded from it — and returns its outcome.
+// It is the unit a distributed worker executes for a lease: because a
+// session's result depends only on (target, algorithm, normalized config,
+// index), a session run remotely is bit-identical to the same session run
+// in a local batch. ctx cancels between schedules; a cancelled session
+// returns the context's error and no Session (the coordinator's lease
+// expiry re-queues the work).
+func RunSession(ctx context.Context, tgt Target, algName string, cfg Config, session int) (*Session, error) {
+	return runSession(ctx, tgt, algName, cfg.normalized(), session)
 }
 
 // Equal reports whether two results are observably identical: same target,

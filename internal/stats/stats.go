@@ -82,6 +82,37 @@ func EntropyOfMap[K comparable](counts map[K]int) float64 {
 	return Entropy(xs)
 }
 
+// EntropyBits returns the Shannon entropy (bits) of an int64 count
+// histogram, the shape the observability aggregator accumulates.
+// Degenerate inputs stay finite: an empty histogram and a single-nonzero-
+// bucket histogram both report exactly 0 — never NaN and never a negative
+// rounding artifact — so metric snapshots stay JSON-marshalable and
+// Prometheus pages never emit a non-numeric sample.
+func EntropyBits(hist []int64) float64 {
+	var total int64
+	nonzero := 0
+	for _, v := range hist {
+		if v > 0 {
+			total += v
+			nonzero++
+		}
+	}
+	if total == 0 || nonzero == 1 {
+		return 0
+	}
+	h := 0.0
+	for _, v := range hist {
+		if v > 0 {
+			p := float64(v) / float64(total)
+			h -= p * math.Log2(p)
+		}
+	}
+	if math.IsNaN(h) || h < 0 {
+		return 0
+	}
+	return h
+}
+
 // NormalSF returns the upper-tail probability P(Z > z) of the standard
 // normal distribution.
 func NormalSF(z float64) float64 { return 0.5 * math.Erfc(z/math.Sqrt2) }

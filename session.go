@@ -1,0 +1,216 @@
+package surw
+
+// The unified driver behind Test, Explore, and Replay. A Session owns the
+// three things those entry points used to re-implement separately:
+//
+//   - the one-time profiling run (the census every selective algorithm
+//     needs, charged once per session as in the paper's accounting),
+//   - the Δ stream (the per-schedule redraw of the interesting-event
+//     subset, advanced by a private rand stream seeded from Options.Seed so
+//     any schedule's Δ can be re-derived later by index), and
+//   - the schedule-seed derivation (seed i = Seed + i·2_000_033 + 1, the
+//     same affine map the batch runner uses, so a schedule is addressable
+//     by its index alone).
+//
+// Test, Explore, and Replay are thin wrappers that keep their historical
+// signatures and outputs; new code that wants finer control — running
+// schedules one at a time, inspecting the Δ of each, cancelling mid-hunt —
+// drives a Session directly:
+//
+//	s, err := surw.NewSession(prog, surw.Options{Algorithm: "SURW"})
+//	for s.Remaining() > 0 {
+//	    res, err := s.Next()
+//	    if err != nil { break } // context cancelled: partial results stand
+//	    if res.Buggy() { ... }
+//	}
+
+import (
+	"context"
+	"math/rand"
+
+	"surw/internal/core"
+	"surw/internal/profile"
+	"surw/internal/sched"
+)
+
+// Session is a reusable schedule driver for one program under one
+// algorithm: it profiles once at construction, then hands out schedules
+// one at a time, re-drawing Δ per schedule for the selective algorithms.
+// A Session is not safe for concurrent use; run independent Sessions (with
+// independent seeds) to parallelize, as internal/runner does.
+type Session struct {
+	prog   func(*Thread)
+	opts   Options // normalized
+	alg    Algorithm
+	prof   *Profile
+	selRng *rand.Rand
+	ctx    context.Context
+
+	next     int // index of the next schedule to run
+	lastSeed int64
+	delta    string
+}
+
+// NewSession validates the options, performs the one-time profiling run,
+// and returns a driver positioned at schedule 0. The error is non-nil only
+// for configuration problems (unknown algorithm).
+func NewSession(prog func(*Thread), opts Options) (*Session, error) {
+	o := opts.normalized()
+	alg, err := core.New(o.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	prof, _ := profile.Collect(prog, profile.Options{
+		Seed: o.Seed + 17, ProgSeed: o.ProgSeed, MaxSteps: o.MaxSteps,
+	})
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Session{
+		prog:   prog,
+		opts:   o,
+		alg:    alg,
+		prof:   prof,
+		selRng: rand.New(rand.NewSource(o.Seed)),
+		ctx:    ctx,
+	}, nil
+}
+
+// Profile returns the census collected at construction (nil only if the
+// profiling run could not complete at all).
+func (s *Session) Profile() *Profile { return s.prof }
+
+// Index returns the number of schedules the session has run.
+func (s *Session) Index() int { return s.next }
+
+// Remaining returns how many schedules of the Options.Schedules budget are
+// left.
+func (s *Session) Remaining() int { return s.opts.Schedules - s.next }
+
+// ScheduleSeed returns the deterministic seed of schedule i — the same
+// derivation Test has always used, exposed so external drivers (replay
+// tooling, distributed workers) can address a schedule by index.
+func (s *Session) ScheduleSeed(i int) int64 {
+	return s.opts.Seed + int64(i)*2_000_033 + 1
+}
+
+// LastSeed returns the seed of the most recently run schedule.
+func (s *Session) LastSeed() int64 { return s.lastSeed }
+
+// Delta describes the interesting-event subset active in the most recently
+// run schedule ("" before the first Next).
+func (s *Session) Delta() string { return s.delta }
+
+// drawDelta advances the Δ stream one draw and returns the instantiated
+// ProgramInfo (nil when no profile is available).
+func (s *Session) drawDelta() *ProgramInfo {
+	if s.prof == nil {
+		s.delta = ""
+		return nil
+	}
+	var sel Selection
+	ok := false
+	if s.opts.Select != nil {
+		sel, ok = s.opts.Select(s.prof, s.selRng)
+	} else {
+		sel, ok = s.prof.SelectSingleVar(s.selRng)
+	}
+	if !ok {
+		sel = s.prof.SelectAll()
+	}
+	s.delta = sel.Desc
+	return s.prof.Instantiate(sel)
+}
+
+// run executes one schedule with the given seed and Δ.
+func (s *Session) run(seed int64, info *ProgramInfo, recordTrace bool) *Result {
+	s.lastSeed = seed
+	return sched.Run(s.prog, s.alg, sched.Options{
+		Seed:        seed,
+		ProgSeed:    s.opts.ProgSeed,
+		MaxSteps:    s.opts.MaxSteps,
+		Info:        info,
+		TraceFilter: s.opts.TraceFilter,
+		RecordTrace: recordTrace,
+	})
+}
+
+// Next draws the next Δ from the stream and runs the session's next
+// schedule. It returns the context's error (and no result) once the
+// session's context is cancelled; everything already run stands.
+func (s *Session) Next() (*Result, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	info := s.drawDelta()
+	seed := s.ScheduleSeed(s.next)
+	s.next++
+	return s.run(seed, info, false), nil
+}
+
+// Test drains the session's remaining schedule budget hunting for a
+// failing schedule — the engine behind the package-level Test. A cancelled
+// context returns the partial report alongside the context's error.
+func (s *Session) Test() (*Report, error) {
+	rep := &Report{Schedule: -1}
+	for s.Remaining() > 0 {
+		res, err := s.Next()
+		if err != nil {
+			return rep, err
+		}
+		rep.Schedules++
+		if res.Buggy() {
+			rep.Failure = res.Failure
+			rep.Schedule = s.next + 1 // +1 profiling run, 1-based
+			rep.Seed = s.lastSeed
+			rep.Delta = s.delta
+			return rep, nil
+		}
+	}
+	return rep, nil
+}
+
+// Explore drains the session's remaining schedule budget tallying distinct
+// interleavings and behaviours — the engine behind the package-level
+// Explore. A cancelled context returns the partial tallies alongside the
+// context's error.
+func (s *Session) Explore() (*Exploration, error) {
+	ex := &Exploration{
+		Interleavings: make(map[uint64]int),
+		Behaviors:     make(map[string]int),
+		Failures:      make(map[string]int),
+	}
+	for s.Remaining() > 0 {
+		res, err := s.Next()
+		if err != nil {
+			return ex, err
+		}
+		ex.Schedules++
+		ex.Interleavings[res.InterleavingHash]++
+		if res.Behavior != "" {
+			ex.Behaviors[res.Behavior]++
+		}
+		if res.Buggy() {
+			ex.Failures[res.BugID()]++
+		}
+	}
+	return ex, nil
+}
+
+// Replay re-derives the Δ stream up to the 1-based report schedule index
+// (counting the profiling run, as Report.Schedule does) and re-executes
+// that schedule with the given seed and a full trace recorded. It is the
+// engine behind the package-level Replay: because the Δ stream is a pure
+// function of Options.Seed, a fresh Session re-derives exactly the subset
+// the original hunt used.
+func (s *Session) Replay(schedule int, seed int64) (*Result, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	var info *ProgramInfo
+	for i := 0; i < schedule-1; i++ {
+		info = s.drawDelta()
+	}
+	return s.run(seed, info, true), nil
+}

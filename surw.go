@@ -31,8 +31,8 @@
 package surw
 
 import (
+	"context"
 	"fmt"
-	"math"
 	"math/rand"
 
 	"surw/internal/core"
@@ -40,6 +40,7 @@ import (
 	"surw/internal/race"
 	"surw/internal/replay"
 	"surw/internal/sched"
+	"surw/internal/stats"
 )
 
 // Re-exported program-authoring API. See the sched package for full
@@ -140,6 +141,10 @@ type Options struct {
 	// TraceFilter restricts which events fold into each schedule's
 	// interleaving fingerprint (Explore's coverage unit); nil keeps all.
 	TraceFilter func(Event) bool
+	// Context, when non-nil, cancels the run between schedules: Test and
+	// Explore return their partial results together with the context's
+	// error. TestContext and ExploreContext are shorthands that set it.
+	Context context.Context
 }
 
 func (o Options) normalized() Options {
@@ -177,76 +182,34 @@ func (r *Report) Found() bool { return r.Failure != nil }
 // Test hunts for a failing schedule of prog: it profiles once, then runs up
 // to opts.Schedules schedules under the chosen algorithm, re-drawing Δ per
 // schedule for the selective algorithms. The error is non-nil only for
-// configuration problems (unknown algorithm); "no bug found" is reported
-// via Report.Found.
+// configuration problems (unknown algorithm) or a cancelled Options.Context
+// (in which case the partial report accompanies it); "no bug found" is
+// reported via Report.Found. Test is a thin wrapper over Session.
 func Test(prog func(*Thread), opts Options) (*Report, error) {
-	o := opts.normalized()
-	alg, err := core.New(o.Algorithm)
+	s, err := NewSession(prog, opts)
 	if err != nil {
 		return nil, err
 	}
-	prof, _ := profile.Collect(prog, profile.Options{
-		Seed: o.Seed + 17, ProgSeed: o.ProgSeed, MaxSteps: o.MaxSteps,
-	})
-	selRng := rand.New(rand.NewSource(o.Seed))
-	rep := &Report{Schedule: -1}
-	for i := 0; i < o.Schedules; i++ {
-		info, desc := chooseInfo(prof, o, selRng)
-		seed := o.Seed + int64(i)*2_000_033 + 1
-		res := sched.Run(prog, alg, sched.Options{
-			Seed: seed, ProgSeed: o.ProgSeed, MaxSteps: o.MaxSteps, Info: info,
-		})
-		rep.Schedules++
-		if res.Buggy() {
-			rep.Failure = res.Failure
-			rep.Schedule = i + 2 // +1 profiling run, 1-based
-			rep.Seed = seed
-			rep.Delta = desc
-			return rep, nil
-		}
-	}
-	return rep, nil
+	return s.Test()
 }
 
-func chooseInfo(prof *Profile, o Options, rng *rand.Rand) (*ProgramInfo, string) {
-	if prof == nil {
-		return nil, ""
-	}
-	var sel Selection
-	ok := false
-	if o.Select != nil {
-		sel, ok = o.Select(prof, rng)
-	} else {
-		sel, ok = prof.SelectSingleVar(rng)
-	}
-	if !ok {
-		sel = prof.SelectAll()
-	}
-	return prof.Instantiate(sel), sel.Desc
+// TestContext is Test with an explicit cancellation context: cancelling ctx
+// between schedules returns the partial report and the context's error.
+func TestContext(ctx context.Context, prog func(*Thread), opts Options) (*Report, error) {
+	opts.Context = ctx
+	return Test(prog, opts)
 }
 
 // Replay re-executes one schedule with the exact options that produced a
-// Report's failure, returning its Result (including a full trace).
+// Report's failure, returning its Result (including a full trace). It is a
+// thin wrapper over Session: a fresh session re-derives the Δ stream up to
+// the failing schedule so the replayed schedule sees the same ProgramInfo.
 func Replay(prog func(*Thread), rep *Report, opts Options) (*Result, error) {
-	o := opts.normalized()
-	alg, err := core.New(o.Algorithm)
+	s, err := NewSession(prog, opts)
 	if err != nil {
 		return nil, err
 	}
-	prof, _ := profile.Collect(prog, profile.Options{
-		Seed: o.Seed + 17, ProgSeed: o.ProgSeed, MaxSteps: o.MaxSteps,
-	})
-	// Re-derive the Δ sequence up to the failing schedule so the replayed
-	// schedule sees the same ProgramInfo.
-	selRng := rand.New(rand.NewSource(o.Seed))
-	var info *ProgramInfo
-	for i := 0; i < rep.Schedule-1; i++ {
-		info, _ = chooseInfo(prof, o, selRng)
-	}
-	return sched.Run(prog, alg, sched.Options{
-		Seed: rep.Seed, ProgSeed: o.ProgSeed, MaxSteps: o.MaxSteps,
-		Info: info, RecordTrace: true,
-	}), nil
+	return s.Replay(rep.Schedule, rep.Seed)
 }
 
 // DataRace is a detected happens-before data race on a shared variable.
@@ -312,63 +275,29 @@ type Exploration struct {
 
 // InterleavingEntropy returns the Shannon entropy (bits) of the sampled
 // interleaving distribution; higher is more even.
-func (e *Exploration) InterleavingEntropy() float64 { return entropyOf(e.Interleavings) }
+func (e *Exploration) InterleavingEntropy() float64 { return stats.EntropyOfMap(e.Interleavings) }
 
 // BehaviorEntropy returns the Shannon entropy of the sampled behaviours.
-func (e *Exploration) BehaviorEntropy() float64 { return entropyOf(e.Behaviors) }
-
-func entropyOf[K comparable](counts map[K]int) float64 {
-	total := 0
-	for _, c := range counts {
-		total += c
-	}
-	if total == 0 {
-		return 0
-	}
-	h := 0.0
-	for _, c := range counts {
-		if c > 0 {
-			p := float64(c) / float64(total)
-			h -= p * math.Log2(p)
-		}
-	}
-	return h
-}
+func (e *Exploration) BehaviorEntropy() float64 { return stats.EntropyOfMap(e.Behaviors) }
 
 // Explore samples opts.Schedules schedules of prog and tallies the
 // distinct interleavings and behaviours witnessed — the §5 case-study
 // methodology. Report behaviours from the program with Thread.SetBehavior.
+// Explore is a thin wrapper over Session.
 func Explore(prog func(*Thread), opts Options) (*Exploration, error) {
-	o := opts.normalized()
-	alg, err := core.New(o.Algorithm)
+	s, err := NewSession(prog, opts)
 	if err != nil {
 		return nil, err
 	}
-	prof, _ := profile.Collect(prog, profile.Options{
-		Seed: o.Seed + 17, ProgSeed: o.ProgSeed, MaxSteps: o.MaxSteps,
-	})
-	selRng := rand.New(rand.NewSource(o.Seed))
-	ex := &Exploration{
-		Interleavings: make(map[uint64]int),
-		Behaviors:     make(map[string]int),
-		Failures:      make(map[string]int),
-	}
-	for i := 0; i < o.Schedules; i++ {
-		info, _ := chooseInfo(prof, o, selRng)
-		res := sched.Run(prog, alg, sched.Options{
-			Seed: o.Seed + int64(i)*2_000_033 + 1, ProgSeed: o.ProgSeed,
-			MaxSteps: o.MaxSteps, Info: info, TraceFilter: o.TraceFilter,
-		})
-		ex.Schedules++
-		ex.Interleavings[res.InterleavingHash]++
-		if res.Behavior != "" {
-			ex.Behaviors[res.Behavior]++
-		}
-		if res.Buggy() {
-			ex.Failures[res.BugID()]++
-		}
-	}
-	return ex, nil
+	return s.Explore()
+}
+
+// ExploreContext is Explore with an explicit cancellation context:
+// cancelling ctx between schedules returns the partial tallies and the
+// context's error.
+func ExploreContext(ctx context.Context, prog func(*Thread), opts Options) (*Exploration, error) {
+	opts.Context = ctx
+	return Explore(prog, opts)
 }
 
 // Estimate computes the §3.4 lower bound on the probability that one
@@ -388,12 +317,10 @@ func Estimate(clusterCounts []int, clusters int) float64 {
 }
 
 func multinomial(ks []int) float64 {
-	n := 0
 	for _, k := range ks {
 		if k < 0 {
 			return 0
 		}
-		n += k
 	}
 	r := 1.0
 	seen := 0
@@ -403,7 +330,6 @@ func multinomial(ks []int) float64 {
 			r = r * float64(seen) / float64(i)
 		}
 	}
-	_ = n
 	return r
 }
 
