@@ -259,6 +259,99 @@ func BenchmarkPooledSchedule(b *testing.B) {
 	})
 }
 
+// forkAfterPrefix builds a program whose first `prefix` decisions are all
+// forced (only the root is runnable) before two children introduce real
+// scheduling choice: the shape that prefix checkpointing (Pool.RunPrefix /
+// Pool.RunFrom) is designed to amortize.
+func forkAfterPrefix(prefix int) func(*sched.Thread) {
+	return func(t *sched.Thread) {
+		v := t.NewVar("v", 0)
+		for i := 0; i < prefix; i++ {
+			v.Add(t, 1)
+		}
+		a := t.Go(func(w *sched.Thread) {
+			for i := 0; i < 4; i++ {
+				v.Add(w, 1)
+			}
+		})
+		b := t.Go(func(w *sched.Thread) {
+			for i := 0; i < 4; i++ {
+				v.Add(w, 1)
+			}
+		})
+		t.JoinAll(a, b)
+	}
+}
+
+// BenchmarkPrefixFork measures prefix checkpointing on a program with a
+// long forced prologue: "capture" is the RunPrefix schedule that records
+// the forced-decision prefix, "replay" re-runs later seeds through
+// RunFrom, and "full" is the same seed schedule without a checkpoint. The
+// capture/replay split is the session shape of runner/parallel.go: one
+// capture, Limit-1 replays.
+func BenchmarkPrefixFork(b *testing.B) {
+	prog := forkAfterPrefix(120)
+	alg := core.NewRandomWalk()
+	b.Run("capture", func(b *testing.B) {
+		b.ReportAllocs()
+		pool := sched.NewPool()
+		decisions := 0
+		for i := 0; i < b.N; i++ {
+			_, cp := pool.RunPrefix(prog, alg, sched.Options{Seed: int64(i) + 1})
+			if cp == nil {
+				b.Fatal("no checkpoint captured")
+			}
+			decisions = cp.Decisions()
+		}
+		b.ReportMetric(float64(decisions), "forced-decisions")
+	})
+	b.Run("replay", func(b *testing.B) {
+		b.ReportAllocs()
+		pool := sched.NewPool()
+		_, cp := pool.RunPrefix(prog, alg, sched.Options{Seed: 1})
+		if cp == nil {
+			b.Fatal("no checkpoint captured")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pool.RunFrom(cp, prog, alg, sched.Options{Seed: int64(i) + 2})
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		pool := sched.NewPool()
+		for i := 0; i < b.N; i++ {
+			pool.Run(prog, alg, sched.Options{Seed: int64(i) + 2})
+		}
+	})
+}
+
+// BenchmarkBatchedReplay is the A/B for the batched run-to-next-decision
+// engine on the parallel benchmark's workload: the same pooled schedules
+// with the fast engine ("batched") and with Options.DisableBatching
+// forcing the verbatim slow loop ("slow"). The two produce bit-identical
+// Results (see internal/crosscheck); the ratio is the engine's speedup.
+func BenchmarkBatchedReplay(b *testing.B) {
+	tgt, ok := sctbench.ByName("CS/twostage_20")
+	if !ok {
+		b.Fatal("missing target")
+	}
+	alg := core.NewRandomWalk()
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"batched", false}, {"slow", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			pool := sched.NewPool()
+			for i := 0; i < b.N; i++ {
+				pool.Run(tgt.Prog, alg, sched.Options{Seed: int64(i) + 1, DisableBatching: mode.disable})
+			}
+			b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)*1e9, "ns/schedule")
+		})
+	}
+}
+
 // BenchmarkProfileCollect measures the profiling phase on a mid-size
 // benchmark target.
 func BenchmarkProfileCollect(b *testing.B) {

@@ -34,12 +34,29 @@ go test -race -short ./internal/workpool ./internal/sched ./internal/runner ./in
 go test -bench='^BenchmarkPooledSchedule$' -benchmem -benchtime=2000x -run='^$' . > /tmp/surw-bench.txt 2>&1 || { cat /tmp/surw-bench.txt; exit 1; }
 go run ./cmd/surwobs -in /tmp/surw-bench.txt -gate 'BenchmarkPooledSchedule/pooled.allocs/op<=11'
 
-# Allocation gate for the parallel session engine, against the committed
-# BENCH_obs.json baseline (51.3 allocs/schedule on the reference machine;
-# the gate allows small noise, not a regression). The baseline JSON itself
-# must parse — it is the machine-readable record reports embed.
-go test -bench='^BenchmarkParallelSessions$/^workers_1$' -benchmem -benchtime=2x -run='^$' . > /tmp/surw-bench-par.txt 2>&1 || { cat /tmp/surw-bench-par.txt; exit 1; }
+# Allocation and throughput gates for the parallel session engine. The
+# allocs/schedule floor is deterministic (~9.5 after prefix checkpointing
+# and batched run-to-next-decision; the gate allows small noise, not a
+# regression), so one sample gates it. The schedules/s gate locks in the
+# >=5x speedup over the pre-checkpointing BENCH_obs.json baseline (5519
+# schedules/s on the reference machine -> gate at 27595). It is
+# wall-clock: the reference machine measures ~31-36k when quiet but dips
+# ~30% under neighbor load, so the gate takes the best of three samples
+# (a genuine fast-path regression lands back near the 5.5k baseline and
+# fails all three; -benchtime=20x smooths per-sample jitter). The
+# baseline JSON itself must parse — it is the machine-readable record
+# reports embed.
+go test -bench='^BenchmarkParallelSessions$/^workers_1$' -benchmem -benchtime=20x -run='^$' . > /tmp/surw-bench-par.txt 2>&1 || { cat /tmp/surw-bench-par.txt; exit 1; }
 go run ./cmd/surwobs -in /tmp/surw-bench-par.txt -gate 'BenchmarkParallelSessions/workers_1.allocs/schedule<=55'
+sched_gate_ok=0
+for attempt in 1 2 3; do
+    if go run ./cmd/surwobs -in /tmp/surw-bench-par.txt -gate 'BenchmarkParallelSessions/workers_1.schedules/s>=27595'; then
+        sched_gate_ok=1
+        break
+    fi
+    go test -bench='^BenchmarkParallelSessions$/^workers_1$' -benchmem -benchtime=20x -run='^$' . > /tmp/surw-bench-par.txt 2>&1 || { cat /tmp/surw-bench-par.txt; exit 1; }
+done
+test "$sched_gate_ok" -eq 1 || go run ./cmd/surwobs -in /tmp/surw-bench-par.txt -gate 'BenchmarkParallelSessions/workers_1.schedules/s>=27595'
 test -s BENCH_obs.json
 go run ./cmd/surwobs -bench2json -in /tmp/surw-bench-par.txt -out /dev/null
 

@@ -252,6 +252,7 @@ func main() {
 			t1, t4 := r.Table1(), r.Table4()
 			emit(*outDir, "table1", t1.String(), t1.CSV())
 			emit(*outDir, "table4", t4.String(), t4.CSV())
+			throughput("sct", r.ThroughputFooter())
 		})
 	}
 	if want["rb"] {
@@ -259,6 +260,7 @@ func main() {
 			r := experiments.RaceBench(sc, progress)
 			t2 := r.Table2()
 			emit(*outDir, "table2", t2.String(), t2.CSV())
+			throughput("rb", r.ThroughputFooter())
 		})
 	}
 	if want["ftp"] {
@@ -310,6 +312,15 @@ func splitList(s string) []string {
 		}
 	}
 	return out
+}
+
+// throughput prints an experiment's schedules/s-per-cell line. It is
+// wall-clock — like the elapsed lines — so it goes to stderr: stdout
+// (the tables) stays byte-identical across -workers values and runs.
+func throughput(name, line string) {
+	if line != "" {
+		fmt.Fprintf(os.Stderr, "%s %s\n", name, line)
+	}
 }
 
 func timed(name string, workers int, f func()) {

@@ -508,3 +508,47 @@ func TestDBHandlesBlocking(t *testing.T) {
 		}
 	}
 }
+
+// --- RandomWalk source fast path --------------------------------------------
+
+// TestRandomWalkSourceDrawIdentity holds the inlined NextIndex draw (via
+// BeginSource) bit-identical to rng.Intn over the full range of enabled
+// counts the scheduler can present, including power-of-two sizes and sizes
+// that exercise the rejection threshold.
+func TestRandomWalkSourceDrawIdentity(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		srcA := rand.NewSource(seed)
+		fast := NewRandomWalk()
+		fast.Begin(nil, rand.New(srcA))
+		fast.BeginSource(srcA)
+
+		slow := rand.New(rand.NewSource(seed))
+
+		sizes := make([]int, 0, 4096)
+		szRng := rand.New(rand.NewSource(seed + 100))
+		for i := 0; i < 4096; i++ {
+			sizes = append(sizes, 1+szRng.Intn(64))
+		}
+		for i, n := range sizes {
+			got, want := fast.NextIndex(n), slow.Intn(n)
+			if got != want {
+				t.Fatalf("seed %d draw %d (n=%d): fast=%d slow=%d", seed, i, n, got, want)
+			}
+		}
+	}
+}
+
+// TestRandomWalkBeginDropsSource holds that a bare Begin (no BeginSource,
+// as a caller driving the algorithm directly would do) falls back to the
+// rng and never touches a stale source from an earlier schedule.
+func TestRandomWalkBeginDropsSource(t *testing.T) {
+	a := NewRandomWalk()
+	stale := rand.NewSource(7)
+	a.Begin(nil, rand.New(rand.NewSource(1)))
+	a.BeginSource(stale)
+	a.Begin(nil, rand.New(rand.NewSource(2)))
+	want := rand.New(rand.NewSource(2)).Intn(21)
+	if got := a.NextIndex(21); got != want {
+		t.Fatalf("after re-Begin: got %d want %d (stale source used?)", got, want)
+	}
+}

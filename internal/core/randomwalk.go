@@ -13,6 +13,7 @@ import (
 // balanced ones.
 type RandomWalk struct {
 	rng *rand.Rand
+	src rand.Source
 }
 
 // NewRandomWalk returns a fresh RandomWalk scheduler.
@@ -21,13 +22,43 @@ func NewRandomWalk() *RandomWalk { return &RandomWalk{} }
 // Name implements sched.Algorithm.
 func (*RandomWalk) Name() string { return "RW" }
 
-// Begin implements sched.Algorithm.
-func (a *RandomWalk) Begin(_ *sched.ProgramInfo, rng *rand.Rand) { a.rng = rng }
+// Begin implements sched.Algorithm. The source fast path is dropped here
+// so a caller driving Begin directly (without BeginSource) gets the plain
+// rng draws; the scheduler re-arms it right after via BeginSource.
+func (a *RandomWalk) Begin(_ *sched.ProgramInfo, rng *rand.Rand) { a.rng, a.src = rng, nil }
+
+// BeginSource implements sched.SourceChooser: with the raw source in hand,
+// NextIndex replicates rand.Intn's draw algorithm inline (same values
+// consumed in the same order, bit-exact) without the Rand method layers.
+func (a *RandomWalk) BeginSource(src rand.Source) { a.src = src }
 
 // Next implements sched.Algorithm.
 func (a *RandomWalk) Next(st *sched.State) sched.ThreadID {
 	e := st.Enabled()
 	return e[a.rng.Intn(len(e))]
+}
+
+// NextIndex implements sched.IndexChooser: a uniform pick consumes one
+// Intn draw exactly like Next, so the scheduler can skip materializing
+// the enabled slice. With a source from BeginSource the draw is the
+// inlined equivalent of rand.Intn for 0 < n < 2^31: Int31 is the top 31
+// bits of Int63, power-of-two sizes mask directly, and other sizes use
+// the same modulo-bias rejection threshold, so the stream of consumed
+// source values is identical to rng.Intn(n).
+func (a *RandomWalk) NextIndex(n int) int {
+	src := a.src
+	if src == nil {
+		return a.rng.Intn(n)
+	}
+	if n&(n-1) == 0 {
+		return int(int32(src.Int63()>>32) & int32(n-1))
+	}
+	max := int32((1 << 31) - 1 - (1<<31)%uint32(n))
+	v := int32(src.Int63() >> 32)
+	for v > max {
+		v = int32(src.Int63() >> 32)
+	}
+	return int(v % int32(n))
 }
 
 // Observe implements sched.Algorithm.

@@ -1,0 +1,86 @@
+package crosscheck
+
+// Snapshot-identity oracle for prefix checkpointing (sched.Pool.RunPrefix /
+// RunFrom) and the batched run-to-next-decision engine. DESIGN.md promises
+// both fast paths are pure performance: a checkpointed, batched session
+// must be indistinguishable — traces, fingerprints, bug IDs, aggregates —
+// from the verbatim slow scheduling loop. This file earns that claim per
+// generated program: every CheckProgram run re-executes a session of
+// schedules through both paths and diffs the results byte for byte.
+
+import (
+	"fmt"
+
+	"surw/internal/core"
+	"surw/internal/sched"
+)
+
+// checkpointAlgs are the samplers the snapshot-identity check runs:
+// RW exercises the IndexChooser/SourceChooser fast path, SURW the
+// profile-driven path (Info predicates, Δ hashing, spawn observation).
+var checkpointAlgs = []string{"RW", "SURW"}
+
+// checkpointIdentity runs opts.Schedules schedules of prog per algorithm
+// through two arms sharing seeds: the checkpointed arm captures the forced
+// prefix on the first schedule (RunPrefix) and replays it on the rest
+// (RunFrom), all on the batched engine; the reference arm forces the slow
+// loop with DisableBatching and no checkpoint. Full traces are recorded on
+// both sides and every observable field must match exactly, as must the
+// aggregated fingerprint multisets.
+func checkpointIdentity(name string, prog func(*sched.Thread), info *sched.ProgramInfo, opts Options) error {
+	for _, algName := range checkpointAlgs {
+		fastAlg, err := core.New(algName)
+		if err != nil {
+			return fmt.Errorf("crosscheck: %s: %w", name, err)
+		}
+		slowAlg, err := core.New(algName)
+		if err != nil {
+			return fmt.Errorf("crosscheck: %s: %w", name, err)
+		}
+		fastPool, slowPool := sched.NewPool(), sched.NewPool()
+		var cp *sched.Checkpoint
+		fastIlv, slowIlv := map[uint64]int{}, map[uint64]int{}
+		for i := 0; i < opts.Schedules; i++ {
+			so := sched.Options{Seed: opts.Seed + int64(i)*104729 + 3, Info: info, RecordTrace: true}
+			var fast *sched.Result
+			if i == 0 {
+				fast, cp = fastPool.RunPrefix(prog, fastAlg, so)
+			} else {
+				fast = fastPool.RunFrom(cp, prog, fastAlg, so)
+			}
+			sos := so
+			sos.DisableBatching = true
+			slow := slowPool.Run(prog, slowAlg, sos)
+			if d := diffResults(fast, slow); d != "" {
+				return fmt.Errorf("crosscheck: %s: %s seed %d: checkpointed run diverged from slow loop: %s", name, algName, so.Seed, d)
+			}
+			if d := diffTraces(fast.Trace, slow.Trace); d != "" {
+				return fmt.Errorf("crosscheck: %s: %s seed %d: checkpointed trace diverged from slow loop: %s", name, algName, so.Seed, d)
+			}
+			fastIlv[fast.InterleavingHash]++
+			slowIlv[slow.InterleavingHash]++
+		}
+		if len(fastIlv) != len(slowIlv) {
+			return fmt.Errorf("crosscheck: %s: %s: aggregate interleaving counts diverged: %d vs %d", name, algName, len(fastIlv), len(slowIlv))
+		}
+		for h, n := range fastIlv {
+			if slowIlv[h] != n {
+				return fmt.Errorf("crosscheck: %s: %s: aggregate count for fingerprint %#x diverged: %d vs %d", name, algName, h, n, slowIlv[h])
+			}
+		}
+	}
+	return nil
+}
+
+// diffTraces names the first mismatch between two recorded event streams.
+func diffTraces(a, b []sched.Event) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Sprintf("event %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	return ""
+}

@@ -22,7 +22,10 @@
 //     divergence — and re-executed on a warm sched.Pool and compared
 //     field-for-field against the one-shot run. Parallel sessions
 //     (runner.Config.Workers) are checked to be byte-identical to the
-//     sequential loop.
+//     sequential loop, and a checkpointed, batched session (Pool.RunPrefix
+//     / Pool.RunFrom on the fast engine) is checked byte-identical —
+//     traces included — to the verbatim slow scheduling loop
+//     (checkpoint.go in this package).
 //
 //   - Distribution (statistical): URW's sampled interleaving distribution
 //     is chi-square-tested against the enumerated uniform, and SURW's
@@ -163,6 +166,10 @@ func CheckProgram(name string, prog func(*sched.Thread), expectDeadlock bool, op
 			}
 			rep.Checked++
 		}
+	}
+
+	if err := checkpointIdentity(name, prog, info, opts); err != nil {
+		return nil, err
 	}
 
 	if !opts.SkipParallel {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"surw/internal/racebench"
 	"surw/internal/report"
@@ -19,6 +20,11 @@ type RBResult struct {
 	// Distinct[base][alg] = number of distinct injected bugs exposed.
 	Distinct map[string]map[string]int
 	Partial  map[string]bool
+	// cellSched/cellSecs accumulate, per algorithm, the schedules run and
+	// wall-clock seconds spent across its cells, for Table 2's
+	// schedules/s footer.
+	cellSched map[string]int
+	cellSecs  map[string]float64
 }
 
 // RaceBench runs every base program for the configured iteration budget
@@ -29,9 +35,11 @@ type RBResult struct {
 func RaceBench(sc Scale, progress Progress) *RBResult {
 	progress = syncProgress(progress)
 	out := &RBResult{
-		Scale:    sc,
-		Distinct: make(map[string]map[string]int),
-		Partial:  make(map[string]bool),
+		Scale:     sc,
+		Distinct:  make(map[string]map[string]int),
+		Partial:   make(map[string]bool),
+		cellSched: make(map[string]int),
+		cellSecs:  make(map[string]float64),
 	}
 	suite := racebench.Suite()
 	type cell struct{ bi, ai int }
@@ -44,7 +52,11 @@ func RaceBench(sc Scale, progress Progress) *RBResult {
 			cells = append(cells, cell{bi, ai})
 		}
 	}
-	counts, err := workpool.Map(sc.Workers, len(cells), func(i int) (int, error) {
+	type cellOut struct {
+		distinct, sched int
+		secs            float64
+	}
+	counts, err := workpool.Map(sc.Workers, len(cells), func(i int) (cellOut, error) {
 		base, alg := suite[cells[i].bi], RBAlgorithms[cells[i].ai]
 		res, err := runner.RunTarget(base.Target(), alg, runner.Config{
 			Sessions: 1,
@@ -55,17 +67,20 @@ func RaceBench(sc Scale, progress Progress) *RBResult {
 			Store:    sc.Store,
 		})
 		if err != nil {
-			return 0, err
+			return cellOut{}, err
 		}
 		n := len(res.DistinctBugs())
 		progress("[%2d/%d] %-16s %-6s %d distinct", cells[i].bi+1, len(suite), base.Name, alg, n)
-		return n, nil
+		return cellOut{distinct: n, sched: res.TotalSchedules(), secs: res.Elapsed.Seconds()}, nil
 	})
 	if err != nil {
 		panic(err)
 	}
 	for i, c := range cells {
-		out.Distinct[suite[c.bi].Name][RBAlgorithms[c.ai]] = counts[i]
+		alg := RBAlgorithms[c.ai]
+		out.Distinct[suite[c.bi].Name][alg] = counts[i].distinct
+		out.cellSched[alg] += counts[i].sched
+		out.cellSecs[alg] += counts[i].secs
 	}
 	return out
 }
@@ -121,4 +136,27 @@ func (r *RBResult) Totals() map[string]int {
 		}
 	}
 	return totals
+}
+
+// ThroughputFooter mirrors SCTResult.ThroughputFooter for the RaceBench
+// grid: mean schedules/s per cell for each algorithm column, plus the
+// grid-wide wall-clock rate. Wall-clock, so surwbench prints it to stderr
+// beside Table 2, keeping the table bit-identical at any worker count.
+// Empty when the grid carries no timing.
+func (r *RBResult) ThroughputFooter() string {
+	parts := make([]string, 0, len(RBAlgorithms))
+	totalSched, totalSec := 0, 0.0
+	for _, alg := range RBAlgorithms {
+		if r.cellSecs[alg] <= 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s %.0f", alg, float64(r.cellSched[alg])/r.cellSecs[alg]))
+		totalSched += r.cellSched[alg]
+		totalSec += r.cellSecs[alg]
+	}
+	if totalSec == 0 {
+		return ""
+	}
+	return fmt.Sprintf("schedules/s per cell: %s; overall %.0f",
+		strings.Join(parts, ", "), float64(totalSched)/totalSec)
 }

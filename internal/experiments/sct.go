@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"surw/internal/report"
 	"surw/internal/runner"
@@ -177,6 +178,40 @@ func (r *SCTResult) Table1() *report.Table {
 		tb.AddFooter(r.Scale.Metrics.Summary())
 	}
 	return tb
+}
+
+// ThroughputFooter renders the scheduler-throughput line surwbench prints
+// beside Tables 1 and 4: mean schedules/s per cell for each algorithm
+// column (every cell is one runner batch whose Result carries its
+// wall-clock Elapsed) and the grid-wide rate. It is wall-clock — cells
+// fanned over a shared worker pool time-slice the CPUs — so it goes to
+// stderr with the other timing output, never into the tables themselves,
+// which stay bit-identical at any worker count. Empty when no cell
+// carries timing (e.g. a grid reassembled from a campaign store).
+func (r *SCTResult) ThroughputFooter() string {
+	parts := make([]string, 0, len(r.Algs))
+	totalSched, totalSec := 0, 0.0
+	for _, alg := range r.Algs {
+		sched, sec := 0, 0.0
+		for _, tname := range r.Targets {
+			res := r.Results[tname][alg]
+			if res == nil || res.Elapsed <= 0 {
+				continue
+			}
+			sched += res.TotalSchedules()
+			sec += res.Elapsed.Seconds()
+		}
+		totalSched += sched
+		totalSec += sec
+		if sec > 0 {
+			parts = append(parts, fmt.Sprintf("%s %.0f", alg, float64(sched)/sec))
+		}
+	}
+	if totalSec == 0 {
+		return ""
+	}
+	return fmt.Sprintf("schedules/s per cell: %s; overall %.0f",
+		strings.Join(parts, ", "), float64(totalSched)/totalSec)
 }
 
 // perSessionCounts returns, per algorithm, the number of targets whose bug

@@ -51,7 +51,7 @@ func usesDelta(alg string) bool {
 	return a == "SURW" || a == "N-U"
 }
 
-func runSession(ctx context.Context, tgt Target, algName string, cfg Config, session int) (*Session, error) {
+func runSession(ctx context.Context, tgt Target, algName string, cfg Config, session int, pool *sched.Pool) (*Session, error) {
 	// The store is consulted strictly between sessions — a hit skips the
 	// session wholesale, a miss runs it untouched — so attaching one can
 	// never perturb a schedule (campaign_test.go holds the invariant).
@@ -70,7 +70,9 @@ func runSession(ctx context.Context, tgt Target, algName string, cfg Config, ses
 		return nil, err
 	}
 	base := cfg.Seed + int64(session)*1_000_003
-	sessRng := rand.New(rand.NewSource(base))
+	// sessRng feeds only the per-schedule Δ selection; constructing (and
+	// seeding) it lazily keeps it free for the algorithms that never draw.
+	var sessRng *rand.Rand
 
 	plusOne := 0
 	var prof *profile.Profile
@@ -107,9 +109,19 @@ func runSession(ctx context.Context, tgt Target, algName string, cfg Config, ses
 		tracer = cfg.Metrics.Tracer()
 	}
 
-	// One pool per session: all schedules of the session share (and
-	// recycle) one set of execution buffers.
-	pool := sched.NewPool()
+	// All schedules of the session share (and recycle) one pool of
+	// execution buffers and parked worker goroutines. RunTarget hands in a
+	// pool recycled across the sessions a worker runs; direct callers get
+	// a private one.
+	if pool == nil {
+		pool = sched.NewPool()
+		defer pool.Close()
+	}
+	// The session's first schedule additionally captures the program's
+	// forced decision prefix; every later schedule replays it through the
+	// batched run-to-next-decision path instead of re-deciding it. A
+	// tracer (or DisableCheckpoint) yields a nil checkpoint and full runs.
+	var cp *sched.Checkpoint
 	for i := 0; i < cfg.Limit; i++ {
 		// Cancellation lands strictly between schedules: a schedule that
 		// started always finishes (schedules are short), so the scheduler
@@ -121,6 +133,9 @@ func runSession(ctx context.Context, tgt Target, algName string, cfg Config, ses
 		}
 		info := fixedInfo
 		if prof != nil && usesDelta(algName) {
+			if sessRng == nil {
+				sessRng = rand.New(rand.NewSource(base))
+			}
 			sel, ok := selectDelta(tgt, prof, sessRng)
 			if ok {
 				info = prof.Instantiate(sel)
@@ -136,7 +151,12 @@ func runSession(ctx context.Context, tgt Target, algName string, cfg Config, ses
 			TraceFilter: tgt.TraceFilter,
 			Tracer:      tracer,
 		}
-		r := pool.Run(tgt.Prog, alg, opts)
+		var r *sched.Result
+		if i == 0 && !cfg.DisableCheckpoint {
+			r, cp = pool.RunPrefix(tgt.Prog, alg, opts)
+		} else {
+			r = pool.RunFrom(cp, tgt.Prog, alg, opts)
+		}
 		if cfg.Metrics != nil {
 			cfg.Metrics.ObserveResult(alg.Name(), r)
 		}

@@ -62,6 +62,9 @@ func TestParallelSessionsMatchSequential(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%s parallel: %v", tgt.Name, alg, err)
 			}
+			// Elapsed is observational wall-clock, the one field allowed
+			// to differ across worker counts.
+			seq.Elapsed, par.Elapsed = 0, 0
 			if !reflect.DeepEqual(seq, par) {
 				t.Errorf("%s/%s: Workers=4 diverged from Workers=1", tgt.Name, alg)
 				for s := range seq.Sessions {
@@ -121,6 +124,7 @@ func TestWorkerDefaultMatchesExplicit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	def.Elapsed, expl.Elapsed = 0, 0
 	if !reflect.DeepEqual(def, expl) {
 		t.Fatal("Workers: 0 diverged from an explicit worker count")
 	}

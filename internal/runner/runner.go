@@ -10,6 +10,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
+	"time"
 
 	"surw/internal/obs"
 	"surw/internal/profile"
@@ -71,6 +73,12 @@ type Config struct {
 	// and dumped as a JSON flight record under this directory (replayable
 	// with `surwrun -replay-flight`). See internal/obs/flight.go.
 	FlightDir string
+	// DisableCheckpoint turns off prefix checkpointing: every schedule then
+	// runs in full instead of replaying the session's captured forced
+	// prefix through the batched path. Results are bit-identical either
+	// way (the crosscheck oracle holds this); the switch exists for A/B
+	// verification and for isolating perf regressions.
+	DisableCheckpoint bool
 	// Store, when non-nil, makes the batch resumable: each session's key is
 	// looked up before it runs (a hit is returned without executing a single
 	// schedule) and every freshly executed session is persisted on
@@ -218,12 +226,68 @@ type Result struct {
 	Algorithm string
 	Limit     int
 	Sessions  []Session
+	// Elapsed is the wall-clock duration of the whole batch. It is
+	// observational (excluded from Equal, never persisted): it backs the
+	// schedules/s throughput footers of the surwbench tables.
+	Elapsed time.Duration
+}
+
+// TotalSchedules sums the testing schedules of every session.
+func (r *Result) TotalSchedules() int {
+	n := 0
+	for i := range r.Sessions {
+		n += r.Sessions[i].Schedules
+	}
+	return n
+}
+
+// SchedulesPerSecond returns the batch's throughput (0 when no time was
+// observed, e.g. on a Result assembled from a store).
+func (r *Result) SchedulesPerSecond() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.TotalSchedules()) / r.Elapsed.Seconds()
 }
 
 // RunTarget runs cfg.Sessions sessions of algName on the target, fanned
 // over cfg.Workers workers (see parallel.go for the confinement argument).
 func RunTarget(tgt Target, algName string, cfg Config) (*Result, error) {
 	return RunTargetContext(context.Background(), tgt, algName, cfg)
+}
+
+// poolCache recycles sched.Pools across the sessions of one batch. get
+// and put bracket a session; closeAll releases every pool's parked
+// worker goroutines when the batch is done.
+type poolCache struct {
+	mu   sync.Mutex
+	free []*sched.Pool
+	all  []*sched.Pool
+}
+
+func (pc *poolCache) get() *sched.Pool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if n := len(pc.free); n > 0 {
+		p := pc.free[n-1]
+		pc.free = pc.free[:n-1]
+		return p
+	}
+	p := sched.NewPool()
+	pc.all = append(pc.all, p)
+	return p
+}
+
+func (pc *poolCache) put(p *sched.Pool) {
+	pc.mu.Lock()
+	pc.free = append(pc.free, p)
+	pc.mu.Unlock()
+}
+
+func (pc *poolCache) closeAll() {
+	for _, p := range pc.all {
+		p.Close()
+	}
 }
 
 // RunTargetContext is RunTarget with cancellation: ctx is consulted between
@@ -239,8 +303,17 @@ func RunTargetContext(ctx context.Context, tgt Target, algName string, cfg Confi
 	if cfg.Metrics != nil {
 		meter = cfg.Metrics
 	}
+	// Workers recycle sched.Pools across the sessions they run: all
+	// sessions execute the same program, so one pool's interned names,
+	// buffers and parked worker goroutines serve every session it is
+	// handed (results are pool-independent; see sched.Pool).
+	pc := &poolCache{}
+	defer pc.closeAll()
+	start := time.Now()
 	sessions, err := workpool.MapMetered(cfg.Workers, cfg.Sessions, meter, func(s int) (Session, error) {
-		sess, err := runSession(ctx, tgt, algName, cfg, s)
+		pool := pc.get()
+		sess, err := runSession(ctx, tgt, algName, cfg, s, pool)
+		pc.put(pool)
 		if err != nil {
 			return Session{}, fmt.Errorf("runner: %s/%s session %d: %w", tgt.Name, algName, s, err)
 		}
@@ -249,7 +322,7 @@ func RunTargetContext(ctx context.Context, tgt Target, algName string, cfg Confi
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Target: tgt.Name, Algorithm: algName, Limit: cfg.Limit, Sessions: sessions}
+	res := &Result{Target: tgt.Name, Algorithm: algName, Limit: cfg.Limit, Sessions: sessions, Elapsed: time.Since(start)}
 	if bo, ok := cfg.Store.(BatchObserver); ok {
 		bo.CellDone(tgt.Name, algName, cfg.Limit, cfg.Seed, res)
 	}
@@ -265,7 +338,7 @@ func RunTargetContext(ctx context.Context, tgt Target, algName string, cfg Confi
 // returns the context's error and no Session (the coordinator's lease
 // expiry re-queues the work).
 func RunSession(ctx context.Context, tgt Target, algName string, cfg Config, session int) (*Session, error) {
-	return runSession(ctx, tgt, algName, cfg.normalized(), session)
+	return runSession(ctx, tgt, algName, cfg.normalized(), session, nil)
 }
 
 // Equal reports whether two results are observably identical: same target,

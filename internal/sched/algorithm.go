@@ -155,7 +155,22 @@ type State struct {
 
 // Enabled returns the TIDs whose next event is executable now, in ascending
 // order. The slice is owned by the scheduler; do not retain it.
-func (s *State) Enabled() []ThreadID { return s.enabled }
+func (s *State) Enabled() []ThreadID {
+	if ex := s.ex; ex.fast {
+		// The fast engine materializes the slice from its bitmask only on
+		// demand. During spawn notifications the visible set is the one
+		// from the last decision — the same staleness the slow loop's
+		// primeNew-before-rebuild ordering exposes.
+		if ex.notifying {
+			ex.materializeFrom(ex.decisionBits)
+			ex.enabledStale = true
+		} else if ex.enabledStale {
+			ex.materializeFrom(ex.enabledBits)
+			ex.enabledStale = false
+		}
+	}
+	return s.enabled
+}
 
 // NextEvent returns the published next event of a live, parked thread.
 func (s *State) NextEvent(tid ThreadID) Event { return s.ex.threads[tid].next }
@@ -178,6 +193,15 @@ func (s *State) Sleeping(tid ThreadID) bool { return s.ex.threads[tid].state == 
 
 // TIDByPath resolves a logical path to this schedule's runtime TID.
 func (s *State) TIDByPath(path string) (ThreadID, bool) {
+	if s.ex.byPathDirty {
+		// The index is maintained lazily: spawns only mark it stale, and
+		// the first query after a spawn (or a reset) rebuilds it here.
+		clear(s.ex.byPath)
+		for _, t := range s.ex.threads {
+			s.ex.byPath[t.path] = t.id
+		}
+		s.ex.byPathDirty = false
+	}
 	tid, ok := s.ex.byPath[path]
 	return tid, ok
 }

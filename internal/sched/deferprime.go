@@ -1,0 +1,93 @@
+package sched
+
+// Deferred child priming.
+//
+// Priming a freshly spawned thread costs one gate handoff: the fast
+// engine's primeChain wakes the goroutine, its prologue runs to the first
+// scheduling point, and the baton comes back. Under a pooled execution the
+// program spawns the same threads every schedule and each prologue is
+// deterministic — it runs strictly before the thread's first event, so it
+// cannot read shared state and its behaviour depends only on its closure
+// (fixed per program) and ProgRand. That makes the first published event
+// predictable: capture it once during a real priming, and later schedules
+// can publish it straight from the spawn memo, deferring the goroutine
+// wake-up to the thread's first actual grant. For a program with n spawns
+// this removes n handoffs per schedule.
+//
+// Soundness hinges on the prologue having no priming-time side effects.
+// Effects that would be reordered by deferral poison the capture (see
+// Thread.primePoison): creating an object (object IDs are creation-order),
+// spawning (thread IDs likewise), drawing ProgRand (the stream is shared
+// across threads) and SetBehavior (last call wins). Poison detection
+// during the single capture run suffices because prologues are
+// deterministic. Everything else is re-validated per schedule: the memo
+// entry must match the thread's path, the referenced object must exist
+// with the same name hash, and the event kind must not need live state at
+// classify time (OpJoin reads joinTarget, which only the prologue sets).
+// Finally the prologue, when it eventually runs, re-derives its first
+// event and panics on any mismatch with the cached one — so a broken
+// determinism contract surfaces loudly instead of corrupting a schedule.
+
+import "unsafe"
+
+// recordPrime caches t's first published event in its spawn-memo entry,
+// making later schedules of a congruent spawn tree eligible for deferred
+// priming. Called from syncPoint when t publishes under a real priming
+// grant (ex.primingT == t).
+func (ex *Execution) recordPrime(t *Thread) {
+	ex.primingT = nil
+	if t.primePoison {
+		t.primePoison = false
+		return
+	}
+	if t.memoP < 0 {
+		return
+	}
+	if e := &ex.spawnMemo[t.memoP][t.memoI]; e.path == t.path && t.seq == 1 {
+		e.firstEv = t.next
+		e.evOK = true
+	}
+}
+
+// deferrable reports whether a cached first event can be published without
+// running the prologue right now.
+func (ex *Execution) deferrable(e *spawnPath) bool {
+	switch e.firstEv.Kind {
+	case OpJoin, OpWait, OpWakeLock:
+		// Join needs the prologue-set joinTarget to classify; wait and
+		// wake-lock cannot be first events, but exclude them anyway.
+		return false
+	}
+	if e.firstEv.Obj == 0 {
+		return true
+	}
+	// The object must already exist (prologues can only reference objects
+	// created before their priming slot) and carry the captured name hash,
+	// or the schedule's creation order diverged from the capture run's.
+	i := int(e.firstEv.Obj) - 1
+	return i < len(ex.objs) && ex.objs[i].hash == e.firstEv.ObjHash
+}
+
+// checkProg invalidates every cached first event when the pool is pointed
+// at a different program: thread paths may coincide across programs while
+// the bodies behind them differ. Identity is the func value's closure
+// pointer — two references to the same closure (or the same top-level
+// function) compare equal, anything else conservatively wipes the cache.
+// The previous program is retained in ex.lastProg so its closure cannot be
+// collected and a new one allocated at the same address.
+func (ex *Execution) checkProg(prog func(*Thread)) {
+	if progKey(prog) == progKey(ex.lastProg) {
+		return
+	}
+	ex.lastProg = prog
+	for _, row := range ex.spawnMemo {
+		for i := range row {
+			row[i].evOK = false
+		}
+	}
+}
+
+// progKey returns the closure-object pointer behind a func value.
+func progKey(prog func(*Thread)) uintptr {
+	return uintptr(*(*unsafe.Pointer)(unsafe.Pointer(&prog)))
+}

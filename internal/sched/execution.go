@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"iter"
 	"math/rand"
 	"strconv"
 )
@@ -9,7 +10,7 @@ import (
 type threadState uint8
 
 const (
-	tsUnprimed threadState = iota // goroutine started, first event not yet published
+	tsUnprimed threadState = iota // coroutine started, first event not yet published
 	tsReady                       // parked with a published next event
 	tsRunning                     // holds the baton (transient)
 	tsSleeping                    // asleep in a condition wait, no next event
@@ -17,23 +18,30 @@ const (
 )
 
 // Execution drives one schedule of one program. All state is confined:
-// exactly one goroutine (a virtual thread or the scheduler loop) runs at
-// any time, so no field needs locking. An Execution owned by a Pool is
-// reused across schedules — reset re-initializes the per-schedule fields
-// while the allocation-heavy buffers (thread structs and their gate
-// channels, the object and trace slices, the path/name maps) persist.
+// exactly one goroutine (a virtual thread's coroutine or the scheduler
+// loop) runs at any time, so no field needs locking. An Execution owned by
+// a Pool is reused across schedules — reset re-initializes the
+// per-schedule fields while the allocation-heavy buffers (thread structs
+// and their coroutines, the object and trace slices, the path/name maps)
+// persist.
 type Execution struct {
-	opts     Options
-	alg      Algorithm
-	progRand *rand.Rand
-	algRand  *rand.Rand
+	opts       Options
+	alg        Algorithm
+	progRand   *rand.Rand
+	progSrc    rand.Source // progRand's source, for fast re-seeding
+	progSeeded bool        // progRand seeded for this schedule (lazy)
+	algRand    *rand.Rand
+	algSrc     rand.Source // algRand's source, for fast re-seeding
 
 	threads []*Thread
 	byPath  map[string]ThreadID
 	objs    []objState
 	objSeen map[string]int // name collision counter
 
-	toSched chan *Thread
+	// resume names the coroutine the trampoline (pump) transfers the baton
+	// to after the current one parks; nil parks the whole schedule phase —
+	// the schedule is over, bailed, or (slow path) the thread published.
+	resume  *Thread
 	pending []spawnRec // spawns awaiting priming + algorithm notification
 
 	steps     int
@@ -42,6 +50,30 @@ type Execution struct {
 	truncated bool
 	aborted   bool
 	behavior  string
+
+	// Fast-engine state (fast.go). persistent marks pooled executions,
+	// whose worker coroutines park between schedules instead of exiting.
+	fast         bool
+	persistent   bool
+	inEngine     bool   // engine/algorithm code running on a program goroutine
+	enabledBits  uint64 // bit per TID: published event executable now
+	enabledStale bool   // state.enabled slice out of date vs enabledBits
+	decisionBits uint64 // enabledBits as of the last decision
+	notifying    bool   // inside ObserveSpawn notifications
+	liveCount    int    // threads not yet finished
+	unprimed     int    // threads not yet run to their first event
+	primeIdx     int    // monotonic priming cursor (fast engine)
+	priming      bool   // a priming chain is in flight
+	killing      bool   // killRemaining in progress
+	bailReq      bool   // a thread ID outgrew the bitmask; bail next cycle
+	bailed       bool   // this schedule fell back to the slow loop
+	curEv        Event  // last executed (or executing) event
+	idx          IndexChooser
+
+	// Prefix checkpointing (checkpoint.go).
+	capture   *Checkpoint // capturing into (RunPrefix)
+	replayCp  *Checkpoint // replaying from (RunFrom)
+	replayPos int
 
 	trace       []Event
 	ilvHash     uint64
@@ -53,12 +85,52 @@ type Execution struct {
 	state *State
 
 	// Reuse pools, persistent across resets. freeThreads holds finished
-	// Thread structs (with their gate channels) from earlier schedules;
+	// Thread structs (with their parked coroutines) from earlier schedules;
 	// names interns path and object-name strings so the spawn/create hot
 	// path stops allocating once the first schedule has seen a name.
 	freeThreads []*Thread
 	names       map[string]string
 	nameBuf     []byte
+
+	// handles is the per-schedule spawn-handle arena (see Thread.Go).
+	handles []Handle
+
+	// spawnMemo caches child paths by (parent TID, spawn index): a pooled
+	// execution re-creates the same spawn tree every schedule, so after
+	// warm-up addThread skips the path build, the intern lookup and the
+	// path hash. Entries are validated against the parent's current path,
+	// so schedules that assign TIDs differently just miss and rebuild.
+	// Entries additionally cache the thread's first published event for
+	// deferred priming (see primeChain).
+	spawnMemo [][]spawnPath
+	// byPathDirty marks ex.byPath stale; it is rebuilt on the next
+	// TIDByPath query instead of eagerly on every spawn.
+	byPathDirty bool
+	// primingT is the thread currently running its prologue under a real
+	// priming grant of the fast engine. Anything it does before its first
+	// publish that deferred priming could not reproduce at a later time —
+	// creating an object, spawning, drawing ProgRand, reporting a
+	// behaviour — poisons its memo entry (see Thread.primePoison).
+	primingT *Thread
+	// lastProg is the program of the previous run, retained (so its closure
+	// cannot be collected and its address recycled) to detect a pool being
+	// repointed at a different program, which invalidates every cached
+	// first event (see invalidateDeferred).
+	lastProg func(*Thread)
+}
+
+type spawnPath struct {
+	parentPath string // memo valid only while this TID's path matches
+	path       string
+	hash       uint64
+
+	// firstEv is the first event this logical thread published, captured
+	// during a real priming run of the fast engine. evOK marks it usable
+	// for deferred priming: the prologue ran to its first sync without
+	// any effect that pins it to priming time, so later schedules can
+	// publish the event from the cache and start the goroutine lazily.
+	firstEv Event
+	evOK    bool
 }
 
 type spawnRec struct {
@@ -69,6 +141,11 @@ type objState struct {
 	kind ObjKind
 	name string
 	hash uint64
+
+	// waitMask tracks the threads whose published event is gated on this
+	// object (fast engine): pending OpLock/OpWakeLock/OpRLock on a mutex,
+	// pending OpSemP on a semaphore.
+	waitMask uint64
 
 	val int64 // ObjVar
 	ref any   // ObjVar (Ref payload)
@@ -95,12 +172,15 @@ func fnv1a(h uint64, data string) uint64 {
 	return h
 }
 
+// fnvMix folds one 64-bit word into a running fingerprint. The mix is a
+// single multiply–xorshift round (golden-ratio constant) rather than eight
+// byte-wise FNV rounds: fingerprints are only ever compared for equality
+// or used as map keys within one process, so the mix just has to chain
+// order-sensitively and spread well — and it sits on the per-event hot
+// path, where the serial 8-multiply FNV dependency chain was measurable.
 func fnvMix(h uint64, v uint64) uint64 {
-	for i := 0; i < 8; i++ {
-		h = (h ^ (v & 0xff)) * fnvPrime
-		v >>= 8
-	}
-	return h
+	h = (h ^ v) * 0x9E3779B97F4A7C15
+	return h ^ h>>32
 }
 
 // Run executes one schedule of prog under alg and returns its Result.
@@ -119,26 +199,24 @@ func Run(prog func(*Thread), alg Algorithm, opts Options) *Result {
 func (ex *Execution) reset(opts Options, alg Algorithm) {
 	ex.opts = opts
 	ex.alg = alg
-	if ex.progRand == nil {
-		ex.progRand = rand.New(rand.NewSource(opts.ProgSeed + 1))
-	} else {
-		ex.progRand.Seed(opts.ProgSeed + 1)
-	}
+	// progRand is seeded lazily on first ProgRand call: most programs
+	// never draw from it, and seeding costs microseconds per schedule.
+	ex.progSeeded = false
 	for _, t := range ex.threads {
 		ex.freeThreads = append(ex.freeThreads, t)
 	}
 	ex.threads = ex.threads[:0]
 	ex.objs = ex.objs[:0]
 	ex.pending = ex.pending[:0]
+	ex.handles = ex.handles[:0]
 	if ex.byPath == nil {
 		ex.byPath = make(map[string]ThreadID, 8)
 		ex.objSeen = make(map[string]int, 8)
 		ex.names = make(map[string]string, 16)
-		ex.toSched = make(chan *Thread)
 	} else {
-		clear(ex.byPath)
 		clear(ex.objSeen)
 	}
+	ex.byPathDirty = true
 	ex.steps = 0
 	ex.maxSteps = opts.MaxSteps
 	if ex.maxSteps <= 0 {
@@ -163,17 +241,59 @@ func (ex *Execution) reset(opts Options, alg Algorithm) {
 	} else {
 		ex.state.enabled = ex.state.enabled[:0]
 	}
+
+	// Hooks observe true per-event scheduling, so any tracer forces the
+	// verbatim slow loop; DisableBatching does the same for A/B tests.
+	ex.fast = opts.Tracer == nil && !opts.DisableBatching
+	ex.inEngine = false
+	ex.enabledBits = 0
+	ex.enabledStale = true
+	ex.decisionBits = 0
+	ex.notifying = false
+	ex.liveCount = 0
+	ex.unprimed = 0
+	ex.primeIdx = 0
+	ex.priming = false
+	ex.killing = false
+	ex.bailReq = false
+	ex.bailed = false
+	ex.curEv = Event{}
+	ex.idx = nil
+	if alg != nil {
+		ex.idx, _ = alg.(IndexChooser)
+	}
+	ex.capture = nil
+	ex.replayCp = nil
+	ex.replayPos = 0
+	ex.primingT = nil
+	ex.resume = nil
 }
 
 func (ex *Execution) run(prog func(*Thread), alg Algorithm, opts Options) *Result {
+	return ex.runWith(prog, alg, opts, nil, nil)
+}
+
+func (ex *Execution) runWith(prog func(*Thread), alg Algorithm, opts Options, capture, replay *Checkpoint) *Result {
 	ex.reset(opts, alg)
+	ex.checkProg(prog)
+	if ex.fast {
+		ex.capture = capture
+		ex.replayCp = replay
+	} else if capture != nil {
+		capture.open = false
+		capture.invalid = true
+	}
 	if alg != nil {
 		if ex.algRand == nil {
-			ex.algRand = rand.New(rand.NewSource(opts.Seed + 1))
+			ex.algSrc = newFastSource(opts.Seed + 1)
+			ex.algRand = rand.New(ex.algSrc)
 		} else {
-			ex.algRand.Seed(opts.Seed + 1)
+			ex.algSrc.Seed(opts.Seed + 1)
 		}
 		alg.Begin(opts.Info, ex.algRand)
+		if sc, ok := alg.(SourceChooser); ok {
+			sc.BeginSource(ex.algSrc)
+		}
 	}
 	if ex.tracer != nil {
 		name := ""
@@ -184,9 +304,28 @@ func (ex *Execution) run(prog func(*Thread), alg Algorithm, opts Options) *Resul
 	}
 
 	root := ex.addThread(nil, prog)
-	go root.trampoline()
-	ex.primeNew()
-	ex.loop()
+	if ex.fast {
+		// The whole schedule runs on the program coroutines: each
+		// scheduling point decides the next step in place (fast.go) and
+		// names its successor; pump trampolines the baton between them.
+		// The orchestrator takes over again at schedule end — or
+		// mid-schedule on a bail to the slow loop, with one Observe call
+		// still owed.
+		ex.priming = true
+		ex.unprimed--
+		root.state = tsRunning
+		ex.pump(root)
+		if ex.bailed {
+			ex.enabledTIDs()
+			if ex.alg != nil && ex.curEv.Kind != OpInvalid {
+				ex.alg.Observe(ex.curEv, ex.state)
+			}
+			ex.loop()
+		}
+	} else {
+		ex.primeNew()
+		ex.loop()
+	}
 	ex.killRemaining()
 
 	res := &Result{
@@ -308,13 +447,29 @@ func (ex *Execution) recordEvent(ev Event) {
 	}
 }
 
+// pump is the coroutine trampoline: it resumes t and, each time the
+// resumed coroutine parks naming a successor in ex.resume, transfers the
+// baton onward. It returns when a coroutine parks (or exits) with no
+// successor — the schedule is over, bailed to the slow loop, or (slow
+// path) the thread published its next event. An engine or algorithm panic
+// inside a coroutine propagates out of the resume call onto this stack.
+func (ex *Execution) pump(t *Thread) {
+	for {
+		ex.resume = nil
+		t.coNext()
+		t = ex.resume
+		if t == nil {
+			return
+		}
+	}
+}
+
 // grant hands the baton to t, which executes its published event and runs
 // until it parks at its next event, sleeps, or exits. grant returns once the
 // baton is back with the scheduler.
 func (ex *Execution) grant(t *Thread) {
 	t.state = tsRunning
-	t.gate <- step{}
-	<-ex.toSched
+	ex.pump(t)
 }
 
 // primeNew runs every newly spawned thread up to its first event so its
@@ -324,9 +479,9 @@ func (ex *Execution) grant(t *Thread) {
 func (ex *Execution) primeNew() {
 	for i := 0; i < len(ex.threads); i++ {
 		if t := ex.threads[i]; t.state == tsUnprimed {
+			ex.unprimed--
 			t.state = tsRunning
-			t.gate <- step{}
-			<-ex.toSched
+			ex.pump(t)
 		}
 	}
 	if len(ex.pending) == 0 {
@@ -401,15 +556,16 @@ func (ex *Execution) fail(f *Failure) {
 	ex.aborted = true
 }
 
-// killRemaining unwinds every live thread. All live threads are blocked on
-// their gate (parked, sleeping, or unprimed), so each kill grant produces
-// exactly one exit notification.
+// killRemaining unwinds every live thread. All live threads are parked
+// (mid-schedule, sleeping, or never started), so each kill resume returns
+// once the coroutine has re-parked finished.
 func (ex *Execution) killRemaining() {
 	ex.aborted = true
+	ex.killing = true
 	for _, t := range ex.threads {
 		if t.state != tsFinished {
-			t.gate <- step{kill: true}
-			<-ex.toSched
+			t.killed = true
+			ex.pump(t)
 		}
 	}
 }
@@ -428,12 +584,19 @@ func (ex *Execution) intern() string {
 }
 
 func (ex *Execution) addThread(parent *Thread, body func(*Thread)) *Thread {
+	if p := ex.primingT; p != nil {
+		// A prologue that spawns pins its thread to real priming: deferring
+		// it would shift the spawn after later threads' priming, changing
+		// TID assignment.
+		p.primePoison = true
+	}
 	var t *Thread
 	if n := len(ex.freeThreads); n > 0 {
-		// Recycle a finished thread's struct and gate channel. Its old
-		// goroutine has fully exited (killRemaining or a natural finish
-		// handed the baton back before run returned), so nothing else can
-		// touch the gate.
+		// Recycle a finished thread's struct and coroutine. In a
+		// persistent execution its worker coroutine is parked waiting for
+		// the next schedule's priming resume; in a one-shot execution the
+		// old coroutine has fully exited (and the struct is never reused —
+		// a one-shot Execution runs a single schedule).
 		t = ex.freeThreads[n-1]
 		ex.freeThreads = ex.freeThreads[:n-1]
 		t.next = Event{}
@@ -441,31 +604,71 @@ func (ex *Execution) addThread(parent *Thread, body func(*Thread)) *Thread {
 		t.seq = 0
 		t.spawned = 0
 		t.joinTarget = 0
+		t.gated = 0
+		t.joinWaiters = 0
+		t.deferredPrime = false
+		t.primePoison = false
+		t.killed = false
 		t.heldMutex = t.heldMutex[:0]
 	} else {
-		t = &Thread{gate: make(chan step)}
+		t = &Thread{}
+		t.coNext, t.coStop = iter.Pull(iter.Seq[struct{}](t.workerSeq))
+		// Run the fresh coroutine to its first park, capturing its yield.
+		t.coNext()
 	}
 	t.ex = ex
 	t.id = len(ex.threads)
 	t.body = body
+	ex.liveCount++
+	ex.unprimed++
+	if t.id >= maxFastThreads {
+		ex.bailReq = true
+	}
 	if parent == nil {
 		t.path = "0"
 		t.parent = -1
+		t.pathHash = rootPathHash
+		t.memoP, t.memoI = -1, 0
 	} else {
-		buf := append(ex.nameBuf[:0], parent.path...)
-		buf = append(buf, '.')
-		ex.nameBuf = strconv.AppendInt(buf, int64(parent.spawned), 10)
-		t.path = ex.intern()
+		idx := parent.spawned
+		t.memoP, t.memoI = int32(parent.id), int32(idx)
+		for len(ex.spawnMemo) <= parent.id {
+			ex.spawnMemo = append(ex.spawnMemo, nil)
+		}
+		row := ex.spawnMemo[parent.id]
+		if idx < len(row) && row[idx].parentPath == parent.path {
+			t.path = row[idx].path
+			t.pathHash = row[idx].hash
+		} else {
+			buf := append(ex.nameBuf[:0], parent.path...)
+			buf = append(buf, '.')
+			ex.nameBuf = strconv.AppendInt(buf, int64(idx), 10)
+			t.path = ex.intern()
+			t.pathHash = fnv1a(fnvOffset, t.path)
+			for len(row) <= idx {
+				row = append(row, spawnPath{})
+			}
+			row[idx] = spawnPath{parentPath: parent.path, path: t.path, hash: t.pathHash}
+			ex.spawnMemo[parent.id] = row
+		}
 		parent.spawned++
 		t.parent = parent.id
 	}
-	t.pathHash = fnv1a(fnvOffset, t.path)
 	ex.threads = append(ex.threads, t)
-	ex.byPath[t.path] = t.id
+	ex.byPathDirty = true
 	return t
 }
 
+// rootPathHash is fnv1a(fnvOffset, "0"), the root thread's path hash.
+var rootPathHash = fnv1a(fnvOffset, "0")
+
 func (ex *Execution) addObj(o objState, name, autoPrefix string) ObjID {
+	if p := ex.primingT; p != nil {
+		// A prologue that creates an object pins its thread to real priming:
+		// deferring it would shift object-creation order and with it the
+		// object IDs every later name and trace depends on.
+		p.primePoison = true
+	}
 	if name == "" {
 		buf := append(ex.nameBuf[:0], autoPrefix...)
 		buf = append(buf, '#')

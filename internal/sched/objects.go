@@ -286,8 +286,10 @@ func (c *Cond) Wait(t *Thread) {
 	co := c.ex.obj(c.id)
 	co.waiters = append(co.waiters, t.id)
 	t.state = tsSleeping
-	t.ex.toSched <- t // return the baton without a next event
-	t.await()         // resumed only when the OpWakeLock below is granted
+	if t.ex.fast {
+		t.ex.sleepPoint(t) // decide the next step without a next event
+	}
+	t.park() // resumed only when the OpWakeLock below is granted
 	t.state = tsRunning
 	mo = c.ex.obj(c.mu.id)
 	if mo.owner != -1 {
@@ -304,6 +306,9 @@ func (c *Cond) wake(tid ThreadID) {
 	w.next = Event{TID: w.id, Seq: w.seq, Kind: OpWakeLock, Obj: c.mu.id,
 		PathHash: w.pathHash, ObjHash: c.ex.obj(c.mu.id).hash}
 	w.state = tsReady
+	if c.ex.fast {
+		c.ex.classify(w) // register the pending wakelock in the mutex's waitMask
+	}
 }
 
 // Signal wakes the longest-sleeping waiter, if any (an OpSignal event).

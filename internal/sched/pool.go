@@ -27,6 +27,7 @@ func NewPool() *Pool { return &Pool{} }
 // buffers. The returned Result (including any recorded trace) is owned by
 // the caller and is never overwritten by later runs.
 func (p *Pool) Run(prog func(*Thread), alg Algorithm, opts Options) *Result {
+	p.ex.persistent = true
 	return p.ex.run(prog, alg, opts)
 }
 
@@ -35,12 +36,33 @@ func (p *Pool) Run(prog func(*Thread), alg Algorithm, opts Options) *Result {
 // between runs — Run resets implicitly — but lets a long-lived pool be
 // repointed at a different program without carrying stale interned names.
 func (p *Pool) Reset() {
+	p.closeWorkers()
 	p.ex.names = nil
 	p.ex.byPath = nil
+	p.ex.spawnMemo = nil
 	p.ex.objSeen = nil
-	p.ex.freeThreads = nil
-	p.ex.threads = nil
 	p.ex.objs = nil
 	p.ex.trace = nil
 	p.ex.state = nil
+}
+
+// Close releases the pool's parked worker goroutines. A pool whose last
+// Run has returned may simply be dropped if leaking its workers until
+// process exit is acceptable; long-lived processes cycling through many
+// pools (the parallel runner) should Close each one. Run may be called
+// again after Close — fresh workers are started on demand.
+func (p *Pool) Close() { p.Reset() }
+
+// closeWorkers unwinds the parked worker coroutines of a persistent
+// execution (stop is a no-op on coroutines that already exited) and drops
+// the structs.
+func (p *Pool) closeWorkers() {
+	for _, t := range p.ex.threads {
+		t.coStop()
+	}
+	for _, t := range p.ex.freeThreads {
+		t.coStop()
+	}
+	p.ex.threads = nil
+	p.ex.freeThreads = nil
 }

@@ -255,7 +255,13 @@ type Options struct {
 	// Decision type and internal/obs for ready-made collectors). A nil
 	// Tracer costs one predictable branch per event and nothing else, and
 	// an installed Tracer never changes which threads are scheduled.
+	// Installing a Tracer forces the verbatim slow scheduling loop, so
+	// hooks see true per-event scheduling (results stay bit-identical).
 	Tracer Tracer
+	// DisableBatching forces the slow scheduling loop even without a
+	// Tracer. Results are bit-identical either way; this exists for A/B
+	// verification and benchmarking of the fast engine (fast.go).
+	DisableBatching bool
 }
 
 // DefaultMaxSteps is the schedule step budget when Options.MaxSteps is 0.

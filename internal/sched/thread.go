@@ -5,9 +5,12 @@ import (
 	"math/rand"
 )
 
-type step struct{ kill bool }
-
 type killedSignal struct{}
+
+// stopSignal unwinds a coroutine parked mid-schedule when its pool is
+// closed (Pull's stop makes the pending yield return false). It is
+// re-raised past runBody's recover and absorbed at the top of workerSeq.
+type stopSignal struct{}
 
 type assertFailure struct {
 	bugID string
@@ -19,19 +22,42 @@ type assertFailure struct {
 // picks who runs, and only then does the operation take effect. A Thread is
 // only valid inside the program function it was passed to.
 type Thread struct {
-	ex         *Execution
-	id         ThreadID
-	parent     ThreadID
-	path       string
-	pathHash   uint64
-	body       func(*Thread)
-	gate       chan step
-	state      threadState
-	next       Event
-	seq        int
-	spawned    int
-	joinTarget ThreadID
-	heldMutex  []ObjID
+	ex       *Execution
+	id       ThreadID
+	parent   ThreadID
+	path     string
+	pathHash uint64
+	body     func(*Thread)
+
+	// The thread's goroutine is a coroutine (iter.Pull): parking and
+	// granting are direct coroutine switches, an order of magnitude
+	// cheaper than a channel handoff through the runtime scheduler.
+	// coNext resumes the parked coroutine (only ever called with the
+	// baton in hand), coStop unwinds it when the pool closes, coYield
+	// parks it (only ever called from inside the coroutine), and killed
+	// makes the next park resume as a kill.
+	coNext  func() (struct{}, bool)
+	coStop  func()
+	coYield func(struct{}) bool
+	killed  bool
+
+	state       threadState
+	next        Event
+	seq         int
+	spawned     int
+	joinTarget  ThreadID
+	gated       ObjID  // object whose waitMask holds this thread's bit (fast engine)
+	joinWaiters uint64 // bits of threads blocked joining this thread (fast engine)
+	heldMutex   []ObjID
+
+	// memoP/memoI locate this thread's spawn-memo entry (parent TID and
+	// spawn index; memoP is -1 for the root). deferredPrime marks a thread
+	// whose first event was published from that entry without waking the
+	// goroutine (see primeChain); primePoison marks a prologue that did
+	// something deferred priming could not reproduce (see recordPrime).
+	memoP, memoI  int32
+	deferredPrime bool
+	primePoison   bool
 }
 
 // ID returns this thread's runtime ID (creation order, root = 0).
@@ -44,20 +70,89 @@ func (t *Thread) Path() string { return t.path }
 
 // ProgRand returns the program-input random stream (seeded by
 // Options.ProgSeed, independent of the scheduling stream). Use it for
-// randomized but schedule-independent inputs.
-func (t *Thread) ProgRand() *rand.Rand { return t.ex.progRand }
+// randomized but schedule-independent inputs. The stream is seeded on
+// first use each schedule; it is identical however often it is fetched.
+func (t *Thread) ProgRand() *rand.Rand {
+	ex := t.ex
+	if p := ex.primingT; p != nil {
+		// A prologue drawing program randomness pins its thread to real
+		// priming: deferring it would reorder the draws of the shared
+		// stream across threads.
+		p.primePoison = true
+	}
+	if !ex.progSeeded {
+		ex.progSeeded = true
+		if ex.progRand == nil {
+			ex.progSrc = newFastSource(ex.opts.ProgSeed + 1)
+			ex.progRand = rand.New(ex.progSrc)
+		} else {
+			ex.progSrc.Seed(ex.opts.ProgSeed + 1)
+		}
+	}
+	return ex.progRand
+}
 
 // SetBehavior records the program's behaviour fingerprint for this schedule
 // (e.g. a hash of the final data-structure state). The last call wins.
-func (t *Thread) SetBehavior(b string) { t.ex.behavior = b }
+func (t *Thread) SetBehavior(b string) {
+	if p := t.ex.primingT; p != nil {
+		// Last-call-wins ordering is priming-order sensitive.
+		p.primePoison = true
+	}
+	t.ex.behavior = b
+}
 
-// trampoline is the goroutine body of every virtual thread.
-func (t *Thread) trampoline() {
+// workerSeq is the coroutine body of every virtual thread. A fresh struct
+// starts one coroutine; in a persistent (pooled) execution it parks at the
+// top yield between schedules and is recycled with the struct, so pooled
+// schedules never pay coroutine creation. A panic escaping runBody comes
+// from the scheduler or algorithm machinery itself (program panics are
+// absorbed inside runBody): it propagates out of the resume call onto the
+// pump caller's stack, exactly like a slow-loop panic.
+func (t *Thread) workerSeq(yield func(struct{}) bool) {
 	defer func() {
 		if r := recover(); r != nil {
+			if _, ok := r.(stopSignal); ok {
+				return // pool closed while parked mid-schedule
+			}
+			panic(r)
+		}
+	}()
+	t.coYield = yield
+	for {
+		if !yield(struct{}{}) {
+			return // pool closed while parked between schedules
+		}
+		if t.killed {
+			// Killed before ever running this schedule (still unprimed).
+			t.killed = false
+			t.state = tsFinished
+			continue
+		}
+		t.runBody()
+		if !t.ex.persistent {
+			return
+		}
+	}
+}
+
+// runBody runs the thread's body for one schedule and hands the baton on
+// when it finishes, absorbing the program-level panics (kills, assertion
+// failures, program bugs) that end a body.
+func (t *Thread) runBody() {
+	defer func() {
+		if r := recover(); r != nil {
+			if t.ex.inEngine {
+				// Not a program failure: the panic came from the decision
+				// machinery running on this goroutine. Let workerLoop
+				// forward it to the orchestrator.
+				panic(r)
+			}
 			switch v := r.(type) {
 			case killedSignal:
 				// aborted schedule; exit quietly
+			case stopSignal:
+				panic(r) // pool closing; unwind past the defer below
 			case assertFailure:
 				t.ex.fail(&Failure{Kind: FailAssert, BugID: v.bugID, Msg: v.msg, TID: t.id, Step: t.ex.steps})
 			default:
@@ -65,15 +160,27 @@ func (t *Thread) trampoline() {
 			}
 		}
 		t.state = tsFinished
-		t.ex.toSched <- t
+		ex := t.ex
+		if ex.fast && !ex.killing {
+			// Decide the next step in place; the chosen successor (if any)
+			// lands in ex.resume and the top-of-workerSeq park hands it to
+			// the trampoline.
+			ex.finishPoint(t)
+		}
+		// Slow path / killing: parking at the top of workerSeq with no
+		// successor returns the baton to the scheduler loop.
 	}()
-	t.await() // wait for the priming grant
 	t.body(t)
 }
 
-// await blocks until the scheduler grants the baton, honoring kills.
-func (t *Thread) await() {
-	if (<-t.gate).kill {
+// park yields the coroutine until the scheduler (or a successor naming
+// this thread in ex.resume) resumes it, honoring kills and pool closure.
+func (t *Thread) park() {
+	if !t.coYield(struct{}{}) {
+		panic(stopSignal{})
+	}
+	if t.killed {
+		t.killed = false
 		panic(killedSignal{})
 	}
 }
@@ -86,10 +193,35 @@ func (t *Thread) sync(kind OpKind, obj ObjID) {
 	if obj != 0 {
 		objHash = t.ex.obj(obj).hash
 	}
-	t.next = Event{TID: t.id, Seq: t.seq, Kind: kind, Obj: obj, PathHash: t.pathHash, ObjHash: objHash}
+	ev := Event{TID: t.id, Seq: t.seq, Kind: kind, Obj: obj, PathHash: t.pathHash, ObjHash: objHash}
+	if t.deferredPrime {
+		// Deferred priming already published this thread's first event from
+		// the spawn memo and the scheduler has just granted it; the prologue
+		// ran late and must land on exactly the cached event. A mismatch
+		// means the program's prologue is nondeterministic, which the
+		// substrate's determinism contract forbids.
+		t.deferredPrime = false
+		if ev != t.next {
+			panic(fmt.Sprintf("sched: deferred priming diverged at %s: prologue published %+v, memo predicted %+v (nondeterministic program prologue)", t.path, ev, t.next))
+		}
+		t.state = tsRunning
+		return
+	}
+	t.next = ev
 	t.state = tsReady
-	t.ex.toSched <- t
-	t.await()
+	if t.ex.fast {
+		if t.ex.syncPoint(t) {
+			// Chose itself: continue inline, zero switches.
+			t.state = tsRunning
+			return
+		}
+		t.park()
+		t.state = tsRunning
+		return
+	}
+	// Slow path: parking with no successor returns the baton to the
+	// scheduler loop; the next resume is this event's grant.
+	t.park()
 	t.state = tsRunning
 }
 
@@ -100,8 +232,15 @@ func (t *Thread) sync(kind OpKind, obj ObjID) {
 func (t *Thread) Go(body func(*Thread)) *Handle {
 	c := t.ex.addThread(t, body)
 	t.ex.pending = append(t.ex.pending, spawnRec{parent: t.id, child: c.id})
-	go c.trampoline()
-	return &Handle{tid: c.id, ex: t.ex}
+	// Handles live in a per-execution arena recycled between schedules:
+	// they are only meaningful within the schedule that created them, and
+	// a pooled session spawns the same threads every schedule, so after
+	// warm-up no spawn allocates. A grown arena leaves earlier handles
+	// pointing into the old backing array, which stays intact until the
+	// next reset.
+	ex := t.ex
+	ex.handles = append(ex.handles, Handle{tid: c.id, ex: ex})
+	return &ex.handles[len(ex.handles)-1]
 }
 
 // Handle names a spawned thread for joining.
