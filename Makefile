@@ -35,11 +35,13 @@ bench:
 	$(GO) run ./cmd/surwobs -bench2json -in BENCH_obs.txt -out BENCH_obs.json \
 		-gate 'BenchmarkPooledSchedule/pooled.allocs/op<=11'
 
-# Short coverage-guided fuzz runs of the two native fuzz targets: the
-# end-to-end differential oracle over generated programs, and the channel
+# Short coverage-guided fuzz runs of the native fuzz targets: the
+# end-to-end differential oracle over generated programs, the commutation
+# metamorphic property of the class fingerprint, and the channel
 # implementation under randomized scheduling. FUZZTIME=5m for a soak.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzGeneratedProgram -fuzztime=$(FUZZTIME) ./internal/crosscheck
+	$(GO) test -run='^$$' -fuzz=FuzzClassFingerprint -fuzztime=$(FUZZTIME) ./internal/crosscheck
 	$(GO) test -run='^$$' -fuzz=FuzzChannelOps -fuzztime=$(FUZZTIME) ./internal/sched
 
 # Framework self-verification soak (surwrun -crosscheck).

@@ -145,6 +145,52 @@ wait $COORD_PID
 trap - EXIT
 cmp /tmp/surw-campaign/dref/aggregates.json /tmp/surw-campaign/dist/aggregates.json
 
+# Schedule-equivalence dedup smoke: the Figure 1 bitshift coverage probe
+# under URW and RW, sharded over a coordinator and two loopback workers.
+# Class fingerprints ride the session records, so the deduplicated
+# aggregates (the dedup block: distinct classes, duplicate rate,
+# Good-Turing/Chao1) must be byte-identical to a local run's, and with
+# 3x200 schedules over the probe's C(8,4)=70 classes the duplicate rate
+# must be genuinely nonzero — which the dashboard served over the
+# distributed store must report.
+KCELLS='-sct-targets Fig1/bitshift_4 -sct-algs URW,RW -sessions 3 -limit 200 -sct-coverage'
+/tmp/surw-campaign/surwbench -campaign /tmp/surw-campaign/kref -workers 2 $KCELLS -q sct > /dev/null
+/tmp/surw-campaign/surwbench -coordinate 127.0.0.1:18072 -campaign /tmp/surw-campaign/kdist \
+    -lease-batch 2 $KCELLS -q sct > /tmp/surw-campaign/kdist.log 2>&1 &
+COORD_PID=$!
+trap 'kill $COORD_PID 2>/dev/null || true' EXIT
+for i in $(seq 1 50); do
+    curl -sf http://127.0.0.1:18072/v1/status > /dev/null 2>&1 && break
+    sleep 0.2
+done
+/tmp/surw-campaign/surwworker -coordinator http://127.0.0.1:18072 -name k1 -workers 2 -q &
+K1_PID=$!
+/tmp/surw-campaign/surwworker -coordinator http://127.0.0.1:18072 -name k2 -workers 2 -q &
+K2_PID=$!
+wait $K1_PID
+wait $K2_PID
+wait $COORD_PID
+trap - EXIT
+cmp /tmp/surw-campaign/kref/aggregates.json /tmp/surw-campaign/kdist/aggregates.json
+grep -q '"dedup"' /tmp/surw-campaign/kdist/aggregates.json
+# surwbench prints the per-cell dedup footer after writing aggregates.
+grep -q 'duplicate rate' /tmp/surw-campaign/kdist.log
+# The dashboard over the distributed store must expose a nonzero
+# campaign-wide duplicate rate and the per-cell gauge for the probe.
+/tmp/surw-campaign/surwdash -store /tmp/surw-campaign/kdist -addr 127.0.0.1:18073 > /dev/null 2>&1 &
+DASH_PID=$!
+trap 'kill $DASH_PID 2>/dev/null || true' EXIT
+for i in $(seq 1 50); do
+    curl -sf http://127.0.0.1:18073/buildinfo > /dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -s http://127.0.0.1:18073/metrics > /tmp/surw-campaign/kmetrics.txt
+grep -q 'surw_campaign_cell_duplicate_rate{target="Fig1/bitshift_4"' /tmp/surw-campaign/kmetrics.txt
+DUPRATE=$(awk '/^surw_campaign_duplicate_rate /{print $2}' /tmp/surw-campaign/kmetrics.txt)
+awk -v r="$DUPRATE" 'BEGIN { exit (r > 0 ? 0 : 1) }'
+kill $DASH_PID 2>/dev/null || true
+trap - EXIT
+
 # Fuzz smoke: a short coverage-guided run of each native fuzz target (the
 # full checked-in seed corpora already ran as part of `go test` above).
 FUZZTIME=10s make fuzz-smoke

@@ -80,9 +80,11 @@ func main() {
 		stopCells  = flag.Int("stop-after-cells", 0, "exit(3) after N completed cells (crash injection for resume tests)")
 		sctTargets = flag.String("sct-targets", "", "comma-separated target names to restrict the sct experiment to")
 		sctAlgs    = flag.String("sct-algs", "", "comma-separated algorithms to restrict the sct experiment to")
+		sctCov     = flag.Bool("sct-coverage", false, "record per-session coverage (interleaving + commutation-class tallies) for sct cells; enables dedup-aware aggregates")
 		coordAddr  = flag.String("coordinate", "", "serve the distributed-campaign coordinator on this address and wait for surwworker fleets (requires -campaign; sct only)")
 		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "coordinator: lease time-to-live between worker heartbeats")
 		leaseBatch = flag.Int("lease-batch", 4, "coordinator: sessions per lease")
+		dedupThr   = flag.Int("dedup-threshold", 0, "coordinator: seen-class filter saturation threshold (0 = default)")
 		version    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -126,6 +128,7 @@ func main() {
 	if *sctAlgs != "" {
 		sc.SCTAlgs = splitList(*sctAlgs)
 	}
+	sc.SCTCoverage = *sctCov
 
 	var store *campaign.Store
 	if *campDir != "" {
@@ -200,8 +203,9 @@ func main() {
 			fatalf("-coordinate shards the sct experiment only; invoke as `surwbench -coordinate ADDR -campaign DIR ... sct`")
 		}
 		coord = remote.NewCoordinator(store, experiments.SCTPlan(sc), remote.CoordinatorOptions{
-			LeaseTTL:  *leaseTTL,
-			BatchSize: *leaseBatch,
+			LeaseTTL:       *leaseTTL,
+			BatchSize:      *leaseBatch,
+			ClassThreshold: *dedupThr,
 		})
 	}
 	if dashSrv != nil {
@@ -300,6 +304,17 @@ func main() {
 			fatalf("write aggregates: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "campaign aggregates written to %s\n", path)
+		// Dedup footer: per-cell distinct commutation classes and duplicate
+		// rate from the stored records. Stderr like the other wall-adjacent
+		// footers, so stdout stays byte-identical across runs.
+		for _, c := range store.Aggregate().Cells {
+			if c.Coverage == nil || c.Coverage.Dedup == nil {
+				continue
+			}
+			dd := c.Coverage.Dedup
+			fmt.Fprintf(os.Stderr, "dedup %s/%s: %d classes over %d schedules, %.1f%% duplicate rate\n",
+				c.Target, c.Algorithm, dd.DistinctClasses, dd.Samples, 100*dd.DuplicateRate)
+		}
 	}
 }
 

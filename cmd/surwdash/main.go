@@ -10,7 +10,8 @@
 // For a distributed campaign (surwbench -coordinate, see internal/remote),
 // -remote names the coordinator's base URL; the dashboard then also shows
 // the worker fleet — per-worker utilization, leases in flight, expiries,
-// duplicates — and /metrics gains the surw_remote_* gauges. The status
+// duplicates, and the seen-class filter's distinct-class / duplicate-rate
+// gauges — and /metrics gains the surw_remote_* gauges. The status
 // fetch is best-effort: an unreachable coordinator (finished, restarting)
 // just drops the fleet section from the page, never the page itself.
 //

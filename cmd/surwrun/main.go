@@ -320,6 +320,12 @@ func replayFlight(path string) error {
 	if got != fr.Fingerprint {
 		return fmt.Errorf("replay fingerprint %s != recorded %s", got, fr.Fingerprint)
 	}
+	// Older dumps predate the class fingerprint; verify it when recorded.
+	if fr.ClassFingerprint != "" {
+		if gotClass := fmt.Sprintf("%016x", res.ClassHash); gotClass != fr.ClassFingerprint {
+			return fmt.Errorf("replay class fingerprint %s != recorded %s", gotClass, fr.ClassFingerprint)
+		}
+	}
 	fmt.Printf("replayed  bit-exact: bug %s reproduced with fingerprint %s in %d steps\n",
 		res.BugID(), got, res.Steps)
 	return nil

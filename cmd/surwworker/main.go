@@ -36,6 +36,7 @@ func main() {
 		coordinator = flag.String("coordinator", "", "coordinator base URL, e.g. http://10.0.0.1:7071 (required)")
 		name        = flag.String("name", "", "worker name shown on the dashboard (default host:pid)")
 		workers     = flag.Int("workers", 0, "parallel sessions per lease (1 = sequential; 0 = one per CPU)")
+		dedup       = flag.Bool("dedup-abandon", false, "early-abandon sessions whose forced prefix lands in a fleet-saturated commutation class (trades byte-identity for throughput)")
 		quiet       = flag.Bool("q", false, "suppress progress output")
 		version     = flag.Bool("version", false, "print the build version and exit")
 	)
@@ -62,7 +63,8 @@ func main() {
 		Resolve: func(tname string) (runner.Target, bool) {
 			return sctbench.ByName(tname)
 		},
-		Workers: *workers,
+		Workers:         *workers,
+		UsePrefixFilter: *dedup,
 	}
 	if !*quiet {
 		w.Logf = func(format string, args ...any) {

@@ -105,6 +105,36 @@ type CoverageAggregate struct {
 	// Growth is the interleaving-class union size after each session, in
 	// session order: the campaign-level class-growth curve.
 	Growth []AccumPoint `json:"growth,omitempty"`
+	// Dedup is the commutation-class-deduplicated view of the same cell
+	// (absent when the records predate class fingerprints).
+	Dedup *DedupAggregate `json:"dedup,omitempty"`
+}
+
+// DedupAggregate mirrors the coverage estimates over commutation classes
+// (sched.Result.ClassHash) instead of order-sensitive interleavings: two
+// schedules that differ only by commuting independent events count once.
+// Like everything in aggregates.json it is a pure function of the record
+// set — the live seen-class filter plays no part in it.
+type DedupAggregate struct {
+	// Samples is the number of schedules pooled into the class tallies.
+	Samples int `json:"samples"`
+	// DistinctClasses is the union of class fingerprints across sessions.
+	DistinctClasses int `json:"distinct_classes"`
+	// DupSchedules sums the sessions' within-session duplicate counts;
+	// DuplicateRate is the pooled fleet view: the fraction of sampled
+	// schedules whose class had already been seen by any session of the
+	// cell, 1 - distinct/samples.
+	DupSchedules  int     `json:"dup_schedules"`
+	DuplicateRate float64 `json:"duplicate_rate"`
+	// Good–Turing and Chao1 over the class frequency counts: the estimated
+	// probability the next schedule lands in a never-seen class, the
+	// estimated number of reachable classes, and the fraction covered.
+	GoodTuringUnseen   float64 `json:"good_turing_unseen"`
+	GoodTuringCoverage float64 `json:"good_turing_coverage"`
+	Chao1              float64 `json:"chao1"`
+	ClassCoverage      float64 `json:"class_coverage"`
+	// Growth is the distinct-class union size after each session.
+	Growth []AccumPoint `json:"growth,omitempty"`
 }
 
 // Aggregate computes the campaign rollup from the store's current index.
@@ -132,8 +162,10 @@ func aggregateCell(cell CellKey, keys []runner.SessionKey, recs map[runner.Sessi
 	var firstBugs []float64
 	bugSet := make(map[string]bool)
 	pooled := make(map[string]int)
+	pooledClasses := make(map[string]int)
 	behaviors := make(map[string]bool)
 	covSamples, covSessions := 0, 0
+	classSamples, classSessions, dupSum := 0, 0, 0
 	for _, k := range keys {
 		w := recs[k]
 		if w.FirstBug >= 0 {
@@ -157,6 +189,16 @@ func aggregateCell(cell CellKey, keys []runner.SessionKey, recs map[runner.Sessi
 			}
 			cov := ensureCoverage(&ca)
 			cov.Growth = append(cov.Growth, AccumPoint{Session: k.Session + 1, Distinct: len(pooled)})
+			if len(w.Cov.Classes) > 0 {
+				classSessions++
+				dupSum += w.Cov.DupSchedules
+				for fp, n := range w.Cov.Classes {
+					pooledClasses[fp] += n
+					classSamples += n
+				}
+				dd := ensureDedup(cov)
+				dd.Growth = append(dd.Growth, AccumPoint{Session: k.Session + 1, Distinct: len(pooledClasses)})
+			}
 		}
 	}
 	if len(firstBugs) > 0 {
@@ -179,7 +221,28 @@ func aggregateCell(cell CellKey, keys []runner.SessionKey, recs map[runner.Sessi
 		cov.Chao1 = stats.Chao1(counts)
 		cov.ClassCoverage = stats.Chao1Coverage(counts)
 	}
+	if classSessions > 0 {
+		dd := ensureDedup(ca.Coverage)
+		dd.Samples = classSamples
+		dd.DistinctClasses = len(pooledClasses)
+		dd.DupSchedules = dupSum
+		if classSamples > 0 {
+			dd.DuplicateRate = float64(classSamples-len(pooledClasses)) / float64(classSamples)
+		}
+		counts := stats.CountsOfMap(pooledClasses)
+		dd.GoodTuringUnseen = stats.GoodTuringUnseen(counts)
+		dd.GoodTuringCoverage = stats.GoodTuringCoverage(counts)
+		dd.Chao1 = stats.Chao1(counts)
+		dd.ClassCoverage = stats.Chao1Coverage(counts)
+	}
 	return ca
+}
+
+func ensureDedup(cov *CoverageAggregate) *DedupAggregate {
+	if cov.Dedup == nil {
+		cov.Dedup = &DedupAggregate{}
+	}
+	return cov.Dedup
 }
 
 func ensureCoverage(ca *CellAggregate) *CoverageAggregate {

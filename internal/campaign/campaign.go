@@ -183,14 +183,22 @@ type covWire struct {
 	// observed frequency. Hex string keys keep the JSONL greppable and the
 	// encoding deterministic (encoding/json sorts map keys).
 	Interleavings map[string]int `json:"interleavings"`
-	Behaviors     map[string]int `json:"behaviors,omitempty"`
-	Series        []covPointWire `json:"series,omitempty"`
+	// Classes maps the %016x hex commutation-class fingerprint
+	// (sched.Result.ClassHash) to its observed frequency — the deduplicated
+	// counterpart of Interleavings. DupSchedules counts schedules whose
+	// class had already been seen within the session. Both are omitted by
+	// records that predate the class fingerprint, so old stores still load.
+	Classes      map[string]int `json:"classes,omitempty"`
+	DupSchedules int            `json:"dup_schedules,omitempty"`
+	Behaviors    map[string]int `json:"behaviors,omitempty"`
+	Series       []covPointWire `json:"series,omitempty"`
 }
 
 type covPointWire struct {
 	Schedules     int `json:"schedules"`
 	Interleavings int `json:"interleavings"`
 	Behaviors     int `json:"behaviors"`
+	Classes       int `json:"classes,omitempty"`
 }
 
 func encodeSession(s *runner.Session) sessionWire {
@@ -210,6 +218,13 @@ func encodeSession(s *runner.Session) sessionWire {
 		for h, n := range s.Cov.Interleavings {
 			cw.Interleavings[fingerprint(h)] = n
 		}
+		if len(s.Cov.Classes) > 0 {
+			cw.Classes = make(map[string]int, len(s.Cov.Classes))
+			for h, n := range s.Cov.Classes {
+				cw.Classes[fingerprint(h)] = n
+			}
+		}
+		cw.DupSchedules = s.Cov.DupSchedules
 		if len(s.Cov.Behaviors) > 0 {
 			cw.Behaviors = make(map[string]int, len(s.Cov.Behaviors))
 			for b, n := range s.Cov.Behaviors {
@@ -221,6 +236,7 @@ func encodeSession(s *runner.Session) sessionWire {
 				Schedules:     p.Schedules,
 				Interleavings: p.Interleavings,
 				Behaviors:     p.Behaviors,
+				Classes:       p.Classes,
 			})
 		}
 		w.Cov = cw
@@ -241,7 +257,9 @@ func (w *sessionWire) decode() (*runner.Session, error) {
 	if w.Cov != nil {
 		cov := &runner.Coverage{
 			Interleavings: make(map[uint64]int, len(w.Cov.Interleavings)),
+			Classes:       make(map[uint64]int, len(w.Cov.Classes)),
 			Behaviors:     make(map[string]int, len(w.Cov.Behaviors)),
+			DupSchedules:  w.Cov.DupSchedules,
 		}
 		for hex, n := range w.Cov.Interleavings {
 			h, err := strconv.ParseUint(hex, 16, 64)
@@ -249,6 +267,13 @@ func (w *sessionWire) decode() (*runner.Session, error) {
 				return nil, fmt.Errorf("campaign: bad interleaving fingerprint %q: %w", hex, err)
 			}
 			cov.Interleavings[h] = n
+		}
+		for hex, n := range w.Cov.Classes {
+			h, err := strconv.ParseUint(hex, 16, 64)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: bad class fingerprint %q: %w", hex, err)
+			}
+			cov.Classes[h] = n
 		}
 		for b, n := range w.Cov.Behaviors {
 			cov.Behaviors[b] = n
@@ -258,6 +283,7 @@ func (w *sessionWire) decode() (*runner.Session, error) {
 				Schedules:     p.Schedules,
 				Interleavings: p.Interleavings,
 				Behaviors:     p.Behaviors,
+				Classes:       p.Classes,
 			})
 		}
 		s.Cov = cov

@@ -30,6 +30,19 @@ type RemoteStatus struct {
 	// dropped because the store already held them.
 	LeaseExpiries    int64 `json:"lease_expiries"`
 	DuplicateResults int64 `json:"duplicate_results"`
+	// Seen-class filter gauges (live, approximate): ClassObservations is
+	// the number of (session, class) pairs ingested into the coordinator's
+	// counting Bloom filter, DistinctClasses the estimated distinct
+	// commutation classes among them, and DuplicateRate the fraction of
+	// ingested schedules that re-sampled an already-seen class (within a
+	// session or fleet-wide). ClassQueries / ClassesSaturated count the
+	// /v1/classes traffic and how often it answered "saturated" — i.e. how
+	// many prefix-class early abandons the filter authorized.
+	ClassObservations int64   `json:"class_observations,omitempty"`
+	DistinctClasses   int64   `json:"distinct_classes,omitempty"`
+	DuplicateRate     float64 `json:"duplicate_rate,omitempty"`
+	ClassQueries      int64   `json:"class_queries,omitempty"`
+	ClassesSaturated  int64   `json:"classes_saturated,omitempty"`
 	// Workers lists every worker that ever contacted the coordinator,
 	// sorted by name.
 	Workers []RemoteWorker `json:"workers,omitempty"`
@@ -61,6 +74,11 @@ func (rs *RemoteStatus) WritePrometheus(w io.Writer) error {
 	fmt.Fprintf(w, "# HELP surw_remote_pending_batches Batches waiting to be leased.\n# TYPE surw_remote_pending_batches gauge\nsurw_remote_pending_batches %d\n", rs.PendingBatches)
 	fmt.Fprintf(w, "# HELP surw_remote_lease_expiries_total Leases expired and requeued.\n# TYPE surw_remote_lease_expiries_total counter\nsurw_remote_lease_expiries_total %d\n", rs.LeaseExpiries)
 	fmt.Fprintf(w, "# HELP surw_remote_duplicate_results_total Submitted records dropped as duplicates.\n# TYPE surw_remote_duplicate_results_total counter\nsurw_remote_duplicate_results_total %d\n", rs.DuplicateResults)
+	fmt.Fprintf(w, "# HELP surw_remote_class_observations_total Session-class pairs ingested into the seen-class filter.\n# TYPE surw_remote_class_observations_total counter\nsurw_remote_class_observations_total %d\n", rs.ClassObservations)
+	fmt.Fprintf(w, "# HELP surw_remote_distinct_classes Estimated distinct commutation classes observed fleet-wide.\n# TYPE surw_remote_distinct_classes gauge\nsurw_remote_distinct_classes %d\n", rs.DistinctClasses)
+	fmt.Fprintf(w, "# HELP surw_remote_duplicate_rate Fraction of ingested schedules that re-sampled an already-seen class.\n# TYPE surw_remote_duplicate_rate gauge\nsurw_remote_duplicate_rate %.6f\n", rs.DuplicateRate)
+	fmt.Fprintf(w, "# HELP surw_remote_class_queries_total Class fingerprints queried over /v1/classes.\n# TYPE surw_remote_class_queries_total counter\nsurw_remote_class_queries_total %d\n", rs.ClassQueries)
+	fmt.Fprintf(w, "# HELP surw_remote_classes_saturated_total Queried fingerprints answered saturated.\n# TYPE surw_remote_classes_saturated_total counter\nsurw_remote_classes_saturated_total %d\n", rs.ClassesSaturated)
 	fmt.Fprintf(w, "# HELP surw_remote_workers Workers that have contacted the coordinator.\n# TYPE surw_remote_workers gauge\nsurw_remote_workers %d\n", len(rs.Workers))
 	if len(rs.Workers) > 0 {
 		fmt.Fprintf(w, "# HELP surw_remote_worker_sessions_total Accepted session records per worker.\n# TYPE surw_remote_worker_sessions_total counter\n")

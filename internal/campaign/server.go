@@ -90,6 +90,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", obs.PrometheusContentType)
 	fmt.Fprintf(w, "# HELP surw_campaign_sessions_stored Session records in the run-store.\n# TYPE surw_campaign_sessions_stored gauge\nsurw_campaign_sessions_stored %d\n", s.store.Len())
 	fmt.Fprintf(w, "# HELP surw_campaign_cells_total Cells completed by this process.\n# TYPE surw_campaign_cells_total counter\nsurw_campaign_cells_total %d\n", s.store.Cells())
+	// Dedup rollup over the stored records: per-cell distinct commutation
+	// classes and duplicate rates, plus the campaign-wide totals. Pure
+	// functions of the record set, like everything under surw_campaign_*.
+	agg := s.store.Aggregate()
+	var dedupCells []CellAggregate
+	totalClasses, totalSamples := 0, 0
+	for _, c := range agg.Cells {
+		if c.Coverage == nil || c.Coverage.Dedup == nil {
+			continue
+		}
+		dedupCells = append(dedupCells, c)
+		totalClasses += c.Coverage.Dedup.DistinctClasses
+		totalSamples += c.Coverage.Dedup.Samples
+	}
+	fmt.Fprintf(w, "# HELP surw_campaign_distinct_classes Distinct commutation classes across coverage cells.\n# TYPE surw_campaign_distinct_classes gauge\nsurw_campaign_distinct_classes %d\n", totalClasses)
+	dupRate := 0.0
+	if totalSamples > 0 {
+		dupRate = float64(totalSamples-totalClasses) / float64(totalSamples)
+	}
+	fmt.Fprintf(w, "# HELP surw_campaign_duplicate_rate Fraction of coverage-sampled schedules that re-sampled an already-seen class.\n# TYPE surw_campaign_duplicate_rate gauge\nsurw_campaign_duplicate_rate %.6f\n", dupRate)
+	if len(dedupCells) > 0 {
+		fmt.Fprintf(w, "# HELP surw_campaign_cell_distinct_classes Distinct commutation classes per cell.\n# TYPE surw_campaign_cell_distinct_classes gauge\n")
+		for _, c := range dedupCells {
+			fmt.Fprintf(w, "surw_campaign_cell_distinct_classes{target=%q,algorithm=%q} %d\n", c.Target, c.Algorithm, c.Coverage.Dedup.DistinctClasses)
+		}
+		fmt.Fprintf(w, "# HELP surw_campaign_cell_duplicate_rate Duplicate rate per cell.\n# TYPE surw_campaign_cell_duplicate_rate gauge\n")
+		for _, c := range dedupCells {
+			fmt.Fprintf(w, "surw_campaign_cell_duplicate_rate{target=%q,algorithm=%q} %.6f\n", c.Target, c.Algorithm, c.Coverage.Dedup.DuplicateRate)
+		}
+	}
 	if s.metrics != nil {
 		_ = s.metrics.WritePrometheus(w)
 	}
@@ -159,6 +189,8 @@ type dashCell struct {
 	MeanFirstBug string
 	GTCoverage   string
 	Chao1Pct     string
+	DedupClasses string
+	DupRate      string
 	SurvivalSVG  template.HTML
 	GrowthSVG    template.HTML
 }
@@ -173,7 +205,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	targets := make(map[string]bool)
 	for _, c := range agg.Cells {
 		targets[c.Target] = true
-		dc := dashCell{CellAggregate: c, MeanFirstBug: "—", GTCoverage: "—", Chao1Pct: "—"}
+		dc := dashCell{CellAggregate: c, MeanFirstBug: "—", GTCoverage: "—", Chao1Pct: "—", DedupClasses: "—", DupRate: "—"}
 		if c.FirstBug != nil {
 			dc.MeanFirstBug = fmt.Sprintf("%.1f", c.FirstBug.Mean)
 		}
@@ -181,6 +213,10 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 			dc.GTCoverage = fmt.Sprintf("%.1f%%", 100*cov.GoodTuringCoverage)
 			dc.Chao1Pct = fmt.Sprintf("%.1f%%", 100*cov.ClassCoverage)
 			dc.GrowthSVG = growthSVG(cov.Growth)
+			if cov.Dedup != nil {
+				dc.DedupClasses = fmt.Sprintf("%d", cov.Dedup.DistinctClasses)
+				dc.DupRate = fmt.Sprintf("%.1f%%", 100*cov.Dedup.DuplicateRate)
+			}
 		}
 		dc.SurvivalSVG = survivalSVG(c.Survival, c.Limit)
 		data.Cells = append(data.Cells, dc)
@@ -322,7 +358,7 @@ var dashTemplate = template.Must(template.New("dash").Funcs(template.FuncMap{
  · <span id="live">stored <span id="stored">{{.Agg.Sessions}}</span></span></p>
 
 {{with .Agg.Remote}}
-<h2 class="wk">distributed: {{.SessionsDone}}/{{.SessionsPlanned}} sessions · {{.InFlightLeases}} leases in flight · {{.PendingBatches}} batches pending · {{.LeaseExpiries}} expiries · {{.DuplicateResults}} duplicates</h2>
+<h2 class="wk">distributed: {{.SessionsDone}}/{{.SessionsPlanned}} sessions · {{.InFlightLeases}} leases in flight · {{.PendingBatches}} batches pending · {{.LeaseExpiries}} expiries · {{.DuplicateResults}} duplicates{{if .ClassObservations}} · {{.DistinctClasses}} distinct classes · {{printf "%.1f%%" (mul100 .DuplicateRate)}} dup rate{{end}}</h2>
 <table>
 <tr><th>worker</th><th>leases</th><th>sessions</th><th>busy s</th><th>utilization</th><th>last seen</th></tr>
 {{range .Workers}}<tr>
@@ -334,11 +370,12 @@ var dashTemplate = template.Must(template.New("dash").Funcs(template.FuncMap{
 {{end}}
 
 <table>
-<tr><th>target</th><th>algorithm</th><th>sessions</th><th>found</th><th>mean first-bug</th><th>classes</th><th>GT coverage</th><th>Chao1 coverage</th></tr>
+<tr><th>target</th><th>algorithm</th><th>sessions</th><th>found</th><th>mean first-bug</th><th>interleavings</th><th>dedup classes</th><th>dup rate</th><th>GT coverage</th><th>Chao1 coverage</th></tr>
 {{range .Cells}}<tr>
  <td>{{.Target}}</td><td>{{.Algorithm}}</td>
  <td>{{.SessionsStored}}</td><td>{{.Found}}</td><td>{{.MeanFirstBug}}</td>
  <td>{{with .Coverage}}{{.DistinctInterleavings}}{{else}}—{{end}}</td>
+ <td>{{.DedupClasses}}</td><td>{{.DupRate}}</td>
  <td>{{.GTCoverage}}</td><td>{{.Chao1Pct}}</td>
 </tr>{{end}}
 </table>

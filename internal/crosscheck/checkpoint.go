@@ -59,6 +59,8 @@ func checkpointIdentity(name string, prog func(*sched.Thread), info *sched.Progr
 			}
 			fastIlv[fast.InterleavingHash]++
 			slowIlv[slow.InterleavingHash]++
+			fastIlv[fast.ClassHash]++
+			slowIlv[slow.ClassHash]++
 		}
 		if len(fastIlv) != len(slowIlv) {
 			return fmt.Errorf("crosscheck: %s: %s: aggregate interleaving counts diverged: %d vs %d", name, algName, len(fastIlv), len(slowIlv))

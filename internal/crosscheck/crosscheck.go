@@ -94,6 +94,7 @@ type Report struct {
 	Program       string
 	Enumerated    int  // schedules the oracle executed
 	Interleavings int  // distinct feasible fingerprints
+	Classes       int  // distinct commutation classes (≤ Interleavings)
 	Deadlocky     bool // the oracle reached a deadlock
 	Checked       int  // randomized schedules verified across algorithms
 }
@@ -172,6 +173,18 @@ func CheckProgram(name string, prog func(*sched.Thread), expectDeadlock bool, op
 		return nil, err
 	}
 
+	// Class-equivalence oracle: the ClassHash partition of the enumerated
+	// schedule space must coincide with the brute-force happens-before
+	// partition (classes.go).
+	nClasses, err := classEquivalence(name, prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep.Classes = nClasses
+	if oracle.Exhausted && nClasses > rep.Interleavings {
+		return nil, fmt.Errorf("crosscheck: %s: %d commutation classes exceed %d interleavings — the class fingerprint split an interleaving", name, nClasses, rep.Interleavings)
+	}
+
 	if !opts.SkipParallel {
 		if err := parallelIdentity(name, prog, opts); err != nil {
 			return nil, err
@@ -193,6 +206,8 @@ func diffResults(a, b *sched.Result) string {
 	switch {
 	case a.InterleavingHash != b.InterleavingHash:
 		return fmt.Sprintf("fingerprint %#x vs %#x", a.InterleavingHash, b.InterleavingHash)
+	case a.ClassHash != b.ClassHash:
+		return fmt.Sprintf("class fingerprint %#x vs %#x", a.ClassHash, b.ClassHash)
 	case a.DeltaHash != b.DeltaHash:
 		return fmt.Sprintf("Δ-fingerprint %#x vs %#x", a.DeltaHash, b.DeltaHash)
 	case a.Behavior != b.Behavior:

@@ -16,9 +16,9 @@ import (
 // interleaving per program and must be rejected instantly by the gate.
 type firstEnabled struct{}
 
-func (firstEnabled) Name() string                           { return "mutant-first-enabled" }
-func (firstEnabled) Begin(*sched.ProgramInfo, *rand.Rand)   {}
-func (firstEnabled) Next(st *sched.State) sched.ThreadID    { return st.Enabled()[0] }
+func (firstEnabled) Name() string                            { return "mutant-first-enabled" }
+func (firstEnabled) Begin(*sched.ProgramInfo, *rand.Rand)    {}
+func (firstEnabled) Next(st *sched.State) sched.ThreadID     { return st.Enabled()[0] }
 func (firstEnabled) Observe(ev sched.Event, st *sched.State) {}
 
 // infoOverride feeds an algorithm a falsified profile, modelling a count-
@@ -56,10 +56,10 @@ type MutantVerdict struct {
 
 // MutationReport is the outcome of a MutationSensitivity run.
 type MutationReport struct {
-	Real     MutantVerdict // the genuine URW, which must pass
-	Mutants  []MutantVerdict
-	Classes  int
-	Trials   int
+	Real    MutantVerdict // the genuine URW, which must pass
+	Mutants []MutantVerdict
+	Classes int
+	Trials  int
 }
 
 func (r *MutationReport) String() string {

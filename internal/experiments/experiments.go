@@ -66,6 +66,15 @@ type Scale struct {
 	// store/resume/dashboard path in CI; the full grids remain the default.
 	SCTTargets []string
 	SCTAlgs    []string
+
+	// SCTCoverage turns on per-session coverage tallies (interleaving and
+	// commutation-class fingerprints, runner.Config.Coverage) for every
+	// SCTBench grid cell. The class fingerprints feed the dedup-aware
+	// aggregates (internal/campaign) and the coordinator's seen-class
+	// filter (internal/remote). It changes session keys — a coverage
+	// campaign is a different campaign — so flipping it never collides
+	// with records from a plain run sharing the store.
+	SCTCoverage bool
 }
 
 // DefaultScale is the laptop-scale configuration.

@@ -41,12 +41,16 @@ func sctGrid(sc Scale) (targets []runner.Target, algs []string) {
 	}
 	targets = sctbench.Targets()
 	if len(sc.SCTTargets) > 0 {
+		// Coverage probes (Fig1/bitshift_k) never appear in the default
+		// grid, but an explicit SCTTargets list may opt into them.
+		candidates := append(append([]runner.Target(nil), targets...),
+			sctbench.CoverageTargets()...)
 		keep := make(map[string]bool, len(sc.SCTTargets))
 		for _, name := range sc.SCTTargets {
 			keep[name] = true
 		}
-		filtered := targets[:0:0]
-		for _, tgt := range targets {
+		filtered := candidates[:0:0]
+		for _, tgt := range candidates {
 			if keep[tgt.Name] {
 				filtered = append(filtered, tgt)
 			}
@@ -70,6 +74,7 @@ func sctConfig(sc Scale, tgt runner.Target) runner.Config {
 		Limit:          limit,
 		Seed:           sc.Seed,
 		StopAtFirstBug: true,
+		Coverage:       sc.SCTCoverage,
 		Workers:        sc.Workers,
 		Metrics:        sc.Metrics,
 		Store:          sc.Store,

@@ -59,6 +59,14 @@ type FlightRecord struct {
 	// reaches the same BugID with the same fingerprint.
 	Fingerprint string `json:"fingerprint"`
 
+	// ClassFingerprint is the hex commutation-class fingerprint
+	// (sched.Result.ClassHash) of the failing schedule. A flight record
+	// that reproduces the interleaving must also reproduce its class; the
+	// field additionally lets dedup tooling recognize when two distinct
+	// failing interleavings are schedule-equivalent. Optional on the wire
+	// (older dumps predate it); when present, replays verify it too.
+	ClassFingerprint string `json:"class_fingerprint,omitempty"`
+
 	// Reproduced records whether the capture re-run already matched the
 	// original failure (it should always be true; false flags a
 	// nondeterministic target).

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -31,6 +32,13 @@ type CoordinatorOptions struct {
 	// RetryAfter is the poll hint handed to workers when every batch is
 	// leased out. Default 500ms.
 	RetryAfter time.Duration
+	// ClassThreshold is the seen-class filter's saturation threshold: a
+	// commutation class observed by at least this many session records
+	// answers true on /v1/classes. Default DefaultClassThreshold.
+	ClassThreshold int
+	// ClassFilterSize is the number of 8-bit counters backing the filter.
+	// Default DefaultFilterSize.
+	ClassFilterSize int
 }
 
 func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
@@ -64,6 +72,14 @@ type Coordinator struct {
 	seq        int   // lease-ID counter
 	expiries   int64 // leases timed out and requeued
 	duplicates int64 // records dropped because the store already held them
+
+	// Seen-class state: filter is its own lock domain (never touched under
+	// c.mu hot paths beyond ingest), the tallies ride under c.mu.
+	filter         *ClassFilter
+	schedules      int64 // schedules covered by ingested session records
+	dupSchedules   int64 // of those, schedules in an already-seen class
+	classQueries   int64 // fingerprints queried over /v1/classes
+	classSaturated int64 // of those, answered saturated
 }
 
 // batch is a run of same-cell session keys, in session order.
@@ -100,6 +116,7 @@ func NewCoordinator(store runner.SessionStore, plan []runner.SessionKey, opts Co
 		leases:  make(map[string]*lease),
 		workers: make(map[string]*workerState),
 	}
+	c.filter = NewClassFilter(c.opts.ClassFilterSize, c.opts.ClassThreshold)
 	var cur batch
 	var curCell campaign.CellKey
 	flush := func() {
@@ -110,8 +127,12 @@ func NewCoordinator(store runner.SessionStore, plan []runner.SessionKey, opts Co
 	}
 	for _, k := range plan {
 		c.planned[k] = true
-		if _, ok := store.Lookup(k); ok {
+		if s, ok := store.Lookup(k); ok {
 			c.done++
+			// A restarted coordinator rebuilds the seen-class filter from
+			// the records it resumes over, so saturation verdicts survive
+			// restarts with the store.
+			c.ingestLocked(s)
 			continue
 		}
 		if cell := CellOf(k); len(cur.keys) == 0 || cell != curCell || len(cur.keys) >= c.opts.BatchSize {
@@ -125,8 +146,28 @@ func NewCoordinator(store runner.SessionStore, plan []runner.SessionKey, opts Co
 	c.mux.HandleFunc(PathHeartbeat, c.handleHeartbeat)
 	c.mux.HandleFunc(PathResult, c.handleResult)
 	c.mux.HandleFunc(PathStatus, c.handleStatus)
+	c.mux.HandleFunc(PathClasses, c.handleClasses)
 	c.mux.HandleFunc("/metrics", c.handleMetrics)
 	return c
+}
+
+// ingestLocked folds one session record's class tallies into the
+// seen-class filter and the fleet duplicate-rate tallies: each class adds
+// one filter observation, and every schedule beyond the first of an
+// already-seen class counts as a duplicate. Sessions without coverage
+// contribute nothing. Caller holds c.mu (or is still constructing c).
+func (c *Coordinator) ingestLocked(s *runner.Session) {
+	if s.Cov == nil {
+		return
+	}
+	for class, n := range s.Cov.Classes {
+		c.schedules += int64(n)
+		dup := int64(n - 1)
+		if !c.filter.Add(class) {
+			dup++ // the class itself was already known fleet-wide
+		}
+		c.dupSchedules += dup
+	}
 }
 
 // CellOf projects a session key onto its (target, algorithm) cell, the
@@ -304,6 +345,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		resp.Accepted++
 		c.done++
 		ws.sessions++
+		c.ingestLocked(d.sess)
 	}
 	ws.busy += time.Duration(req.BusyMillis) * time.Millisecond
 	// Completing the lease is best-effort: if it already expired (or the
@@ -312,6 +354,40 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		delete(c.leases, req.LeaseID)
 		ws.leases--
 	}
+	writeJSON(w, resp)
+}
+
+// handleClasses answers saturation queries against the seen-class filter.
+// Fingerprints are hex (the campaign wire spelling); a malformed one is a
+// 400, not a silent miss, so worker bugs surface instead of failing open
+// server-side.
+func (c *Coordinator) handleClasses(w http.ResponseWriter, r *http.Request) {
+	var req ClassQueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	classes := make([]uint64, len(req.Classes))
+	for i, s := range req.Classes {
+		h, err := strconv.ParseUint(s, 16, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("remote: bad class fingerprint %q", s), http.StatusBadRequest)
+			return
+		}
+		classes[i] = h
+	}
+	resp := ClassQueryResponse{Saturated: make([]bool, len(classes))}
+	sat := int64(0)
+	for i, h := range classes {
+		resp.Saturated[i] = c.filter.Saturated(h)
+		if resp.Saturated[i] {
+			sat++
+		}
+	}
+	c.mu.Lock()
+	c.touchLocked(req.Worker, c.now())
+	c.classQueries += int64(len(classes))
+	c.classSaturated += sat
+	c.mu.Unlock()
 	writeJSON(w, resp)
 }
 
@@ -332,13 +408,21 @@ func (c *Coordinator) Status() *campaign.RemoteStatus {
 	defer c.mu.Unlock()
 	now := c.now()
 	c.expireStaleLocked(now)
+	observed, distinct := c.filter.Stats()
 	rs := &campaign.RemoteStatus{
-		SessionsPlanned:  c.total,
-		SessionsDone:     c.done,
-		InFlightLeases:   len(c.leases),
-		PendingBatches:   len(c.pending),
-		LeaseExpiries:    c.expiries,
-		DuplicateResults: c.duplicates,
+		SessionsPlanned:   c.total,
+		SessionsDone:      c.done,
+		InFlightLeases:    len(c.leases),
+		PendingBatches:    len(c.pending),
+		LeaseExpiries:     c.expiries,
+		DuplicateResults:  c.duplicates,
+		ClassObservations: observed,
+		DistinctClasses:   distinct,
+		ClassQueries:      c.classQueries,
+		ClassesSaturated:  c.classSaturated,
+	}
+	if c.schedules > 0 {
+		rs.DuplicateRate = float64(c.dupSchedules) / float64(c.schedules)
 	}
 	names := make([]string, 0, len(c.workers))
 	for name := range c.workers {

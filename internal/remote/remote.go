@@ -48,6 +48,7 @@ const (
 	PathHeartbeat = "/v1/heartbeat"
 	PathResult    = "/v1/result"
 	PathStatus    = "/v1/status"
+	PathClasses   = "/v1/classes"
 )
 
 // LeaseRequest asks for one batch of work.
@@ -108,4 +109,21 @@ type ResultRequest struct {
 type ResultResponse struct {
 	Accepted   int `json:"accepted"`
 	Duplicates int `json:"duplicates"`
+}
+
+// ClassQueryRequest asks the coordinator's seen-class filter whether the
+// given class fingerprints (hex, as in the campaign wire format) are
+// saturated fleet-wide. Workers batch their open sessions' prefix classes
+// into one query.
+type ClassQueryRequest struct {
+	Worker  string   `json:"worker"`
+	Classes []string `json:"classes"`
+}
+
+// ClassQueryResponse carries one verdict per queried fingerprint, in
+// order. Saturated[i] is true when Classes[i] has been observed by at
+// least the coordinator's threshold of session records (approximately —
+// the filter is a counting Bloom filter, see ClassFilter).
+type ClassQueryResponse struct {
+	Saturated []bool `json:"saturated"`
 }

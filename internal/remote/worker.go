@@ -44,6 +44,16 @@ type Worker struct {
 	// BackoffMin/BackoffMax bound the exponential retry backoff.
 	// Defaults 100ms / 5s.
 	BackoffMin, BackoffMax time.Duration
+	// UsePrefixFilter opts leased sessions into prefix-class early abandon:
+	// after a session captures its forced prefix, the worker asks the
+	// coordinator's seen-class filter (/v1/classes) whether the prefix's
+	// commutation class is saturated fleet-wide and, if so, stops the
+	// session without spending the rest of its schedule budget. This trades
+	// the byte-identity guarantee for throughput (abandoned sessions record
+	// fewer schedules), so it is off by default and never enabled by the
+	// byte-identity smokes. Queries fail open: any transport error means
+	// "not saturated".
+	UsePrefixFilter bool
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
 
@@ -145,6 +155,9 @@ func (w *Worker) execute(ctx context.Context, l *Lease) error {
 		CoverageEvery:  l.CoverageEvery,
 		ProfileRuns:    l.ProfileRuns,
 	}
+	if w.UsePrefixFilter {
+		cfg.PrefixFilter = &coordPrefixFilter{w: w, ctx: ctx}
+	}
 
 	// Heartbeat at a third of the TTL while the batch executes. A 410
 	// means the lease is gone (expired or the coordinator restarted); we
@@ -225,6 +238,28 @@ func (w *Worker) submit(ctx context.Context, req ResultRequest) error {
 		}
 		backoff = minDur(backoff*2, hi)
 	}
+}
+
+// coordPrefixFilter adapts the coordinator's /v1/classes endpoint to
+// runner.PrefixClassFilter. Safe for concurrent use (post is stateless
+// once the worker's HTTP client exists, and a worker always leases before
+// it executes); fails open on every error so a flaky coordinator can slow
+// dedup down but never stall or starve a session.
+type coordPrefixFilter struct {
+	w   *Worker
+	ctx context.Context
+}
+
+func (p *coordPrefixFilter) SaturatedPrefix(class uint64) bool {
+	req := ClassQueryRequest{
+		Worker:  p.w.Name,
+		Classes: []string{fmt.Sprintf("%016x", class)},
+	}
+	var resp ClassQueryResponse
+	if err := p.w.post(p.ctx, PathClasses, req, &resp); err != nil || len(resp.Saturated) != 1 {
+		return false
+	}
+	return resp.Saturated[0]
 }
 
 // errLeaseGone distinguishes 410 (stop heartbeating, keep working) from

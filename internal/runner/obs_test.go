@@ -109,6 +109,15 @@ func TestFlightRecorderEndToEnd(t *testing.T) {
 		if got := hexHash(rp.InterleavingHash); got != fr.Fingerprint {
 			t.Fatalf("session %d: replay fingerprint %s, want %s", i, got, fr.Fingerprint)
 		}
+		// Regression: flight records must carry the commutation-class
+		// fingerprint alongside the order-sensitive one, and a bit-exact
+		// replay must land in the recorded class.
+		if fr.ClassFingerprint == "" {
+			t.Fatalf("session %d: flight record missing class fingerprint", i)
+		}
+		if got := hexHash(rp.ClassHash); got != fr.ClassFingerprint {
+			t.Fatalf("session %d: replay class fingerprint %s, want %s", i, got, fr.ClassFingerprint)
+		}
 	}
 	// Dumps land under the directory with sanitized names.
 	ents, err := os.ReadDir(dir)

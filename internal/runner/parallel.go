@@ -96,6 +96,7 @@ func runSession(ctx context.Context, tgt Target, algName string, cfg Config, ses
 	if cfg.Coverage {
 		sess.Cov = &Coverage{
 			Interleavings: make(map[uint64]int),
+			Classes:       make(map[uint64]int),
 			Behaviors:     make(map[string]int),
 		}
 	}
@@ -152,8 +153,18 @@ func runSession(ctx context.Context, tgt Target, algName string, cfg Config, ses
 			Tracer:      tracer,
 		}
 		var r *sched.Result
+		abandon := false
 		if i == 0 && !cfg.DisableCheckpoint {
 			r, cp = pool.RunPrefix(tgt.Prog, alg, opts)
+			// Prefix-class early abandon (opt-in, see Config.PrefixFilter):
+			// every schedule of the session replays this forced prefix, so
+			// one saturated-class verdict retires the whole session. The
+			// first schedule still counts — it ran — so the check only
+			// short-circuits the loop after this iteration's accounting.
+			if cfg.PrefixFilter != nil && cp != nil &&
+				cfg.PrefixFilter.SaturatedPrefix(cp.ClassPrefix()) {
+				abandon = true
+			}
 		} else {
 			r = pool.RunFrom(cp, tgt.Prog, alg, opts)
 		}
@@ -166,6 +177,9 @@ func runSession(ctx context.Context, tgt Target, algName string, cfg Config, ses
 		}
 		if sess.Cov != nil {
 			sess.Cov.Interleavings[r.InterleavingHash]++
+			if sess.Cov.Classes[r.ClassHash]++; sess.Cov.Classes[r.ClassHash] > 1 {
+				sess.Cov.DupSchedules++
+			}
 			if r.Behavior != "" {
 				sess.Cov.Behaviors[r.Behavior]++
 			}
@@ -174,6 +188,7 @@ func runSession(ctx context.Context, tgt Target, algName string, cfg Config, ses
 					Schedules:     i + 1,
 					Interleavings: len(sess.Cov.Interleavings),
 					Behaviors:     len(sess.Cov.Behaviors),
+					Classes:       len(sess.Cov.Classes),
 				})
 			}
 		}
@@ -192,6 +207,9 @@ func runSession(ctx context.Context, tgt Target, algName string, cfg Config, ses
 					break
 				}
 			}
+		}
+		if abandon {
+			break
 		}
 	}
 	if cfg.Store != nil {
@@ -217,24 +235,26 @@ func dumpFlight(tgt Target, algName string, cfg Config, session, schedule int,
 	res := sched.Run(tgt.Prog, rec, opts)
 
 	fr := &obs.FlightRecord{
-		Version:     obs.FlightVersion,
-		Target:      tgt.Name,
-		Algorithm:   alg.Name(),
-		Session:     session,
-		Schedule:    schedule,
-		Seed:        opts.Seed,
-		ProgSeed:    opts.ProgSeed,
-		MaxSteps:    opts.MaxSteps,
-		Recording:   rec.Recording().String(),
-		BugID:       orig.BugID(),
-		FailStep:    orig.Failure.Step,
-		FailKind:    orig.Failure.Kind.String(),
-		FailMsg:     orig.Failure.Msg,
-		Steps:       orig.Steps,
-		Threads:     orig.Threads,
-		Fingerprint: fmt.Sprintf("%016x", orig.InterleavingHash),
+		Version:          obs.FlightVersion,
+		Target:           tgt.Name,
+		Algorithm:        alg.Name(),
+		Session:          session,
+		Schedule:         schedule,
+		Seed:             opts.Seed,
+		ProgSeed:         opts.ProgSeed,
+		MaxSteps:         opts.MaxSteps,
+		Recording:        rec.Recording().String(),
+		BugID:            orig.BugID(),
+		FailStep:         orig.Failure.Step,
+		FailKind:         orig.Failure.Kind.String(),
+		FailMsg:          orig.Failure.Msg,
+		Steps:            orig.Steps,
+		Threads:          orig.Threads,
+		Fingerprint:      fmt.Sprintf("%016x", orig.InterleavingHash),
+		ClassFingerprint: fmt.Sprintf("%016x", orig.ClassHash),
 		Reproduced: res.BugID() == orig.BugID() &&
-			res.InterleavingHash == orig.InterleavingHash,
+			res.InterleavingHash == orig.InterleavingHash &&
+			res.ClassHash == orig.ClassHash,
 		LastDecisions: obs.CollectorRecords(col),
 	}
 	if opts.Info != nil {

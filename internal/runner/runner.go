@@ -79,6 +79,17 @@ type Config struct {
 	// way (the crosscheck oracle holds this); the switch exists for A/B
 	// verification and for isolating perf regressions.
 	DisableCheckpoint bool
+	// PrefixFilter, when non-nil, enables prefix-class early abandon: after
+	// a session's first schedule captures the forced prefix (shared by all
+	// of the session's schedules), the filter is consulted with the
+	// prefix's class fingerprint, and a session whose prefix lands in a
+	// saturated commutation class stops without spending the rest of its
+	// schedule budget. This deliberately trades the bit-identity guarantee
+	// for throughput — a fleet-wide approximation, never enabled by the
+	// byte-identity smokes — so it is opt-in and off everywhere by default.
+	// internal/remote's worker backs it with the coordinator's shared
+	// seen-class filter.
+	PrefixFilter PrefixClassFilter
 	// Store, when non-nil, makes the batch resumable: each session's key is
 	// looked up before it runs (a hit is returned without executing a single
 	// schedule) and every freshly executed session is persisted on
@@ -89,6 +100,17 @@ type Config struct {
 	// internal/campaign). Resumed sessions do not re-run, so they feed
 	// neither Metrics nor the flight recorder.
 	Store SessionStore
+}
+
+// PrefixClassFilter decides prefix-class early abandon (see
+// Config.PrefixFilter). SaturatedPrefix receives the class fingerprint of
+// a session's forced decision prefix and returns true when that class is
+// already saturated fleet-wide, in which case the session stops early.
+// Implementations must be safe for concurrent use (parallel sessions
+// consult the filter concurrently) and should fail open: return false on
+// any doubt or transport error.
+type PrefixClassFilter interface {
+	SaturatedPrefix(classPrefix uint64) bool
 }
 
 // SessionKey identifies one session's work deterministically: everything
@@ -176,18 +198,25 @@ func effectiveEvery(cfg Config) int {
 	return cfg.Limit/50 + 1
 }
 
-// CovPoint is one point of a coverage curve.
+// CovPoint is one point of a coverage curve. Classes counts the distinct
+// commutation classes (sched.Result.ClassHash) seen so far — the
+// deduplicated counterpart of Interleavings.
 type CovPoint struct {
 	Schedules     int
 	Interleavings int
 	Behaviors     int
+	Classes       int
 }
 
-// Coverage tallies the distinct interleavings and behaviours one session
-// witnessed.
+// Coverage tallies the distinct interleavings, commutation classes and
+// behaviours one session witnessed. DupSchedules counts the schedules
+// whose class fingerprint had already been seen within the session — the
+// schedules an ideal dedup-aware sampler would not have spent.
 type Coverage struct {
 	Interleavings map[uint64]int
+	Classes       map[uint64]int
 	Behaviors     map[string]int
+	DupSchedules  int
 	Series        []CovPoint
 }
 
@@ -379,12 +408,19 @@ func (s *Session) equal(o *Session) bool {
 
 func (c *Coverage) equal(o *Coverage) bool {
 	if len(c.Interleavings) != len(o.Interleavings) ||
+		len(c.Classes) != len(o.Classes) ||
 		len(c.Behaviors) != len(o.Behaviors) ||
+		c.DupSchedules != o.DupSchedules ||
 		len(c.Series) != len(o.Series) {
 		return false
 	}
 	for h, n := range c.Interleavings {
 		if o.Interleavings[h] != n {
+			return false
+		}
+	}
+	for h, n := range c.Classes {
+		if o.Classes[h] != n {
 			return false
 		}
 	}

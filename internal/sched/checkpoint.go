@@ -31,6 +31,14 @@ type Checkpoint struct {
 	ilvHash uint64     // interleaving hash after the prefix
 	trace   []Event    // prefix trace (only when captured with RecordTrace)
 
+	// Class-fingerprint state after the prefix: the classAcc accumulator,
+	// every thread's hash-clock and every object's (lastWriteH, readAcc)
+	// pair, snapshotted at seal time. Replay adopts them wholesale when the
+	// prefix ends instead of re-running classEvent per forced step.
+	classAcc uint64
+	clocks   []uint64
+	objClass []objClass
+
 	open    bool // still capturing (run not yet past its first free choice)
 	invalid bool // capture aborted (slow path or fast-engine bail)
 
@@ -51,6 +59,24 @@ func (cp *Checkpoint) Decisions() int {
 	return cp.steps
 }
 
+// ClassPrefix returns the class fingerprint of the forced prefix: the
+// classAcc accumulator after the prefix's events. Every schedule of a
+// session shares the prefix, so this is the session-level key the runner's
+// prefix-class early abandon (Config.PrefixFilter) consults. Nil-safe.
+func (cp *Checkpoint) ClassPrefix() uint64 {
+	if cp == nil {
+		return 0
+	}
+	return cp.classAcc
+}
+
+// objClass is an object's class-fingerprint state as snapshotted into a
+// Checkpoint (see objState.lastWriteH/readAcc).
+type objClass struct {
+	lastWriteH uint64
+	readAcc    uint64
+}
+
 // closeCapture seals the capture at the current point: just before the
 // first free (multi-choice) decision, or at schedule end when every
 // decision was forced.
@@ -59,6 +85,15 @@ func (ex *Execution) closeCapture() {
 	cp.open = false
 	cp.steps = ex.steps
 	cp.ilvHash = ex.ilvHash
+	cp.classAcc = ex.classAcc
+	cp.clocks = make([]uint64, len(ex.threads))
+	for i, t := range ex.threads {
+		cp.clocks[i] = t.clock
+	}
+	cp.objClass = make([]objClass, len(ex.objs))
+	for i := range ex.objs {
+		cp.objClass[i] = objClass{lastWriteH: ex.objs[i].lastWriteH, readAcc: ex.objs[i].readAcc}
+	}
 	if ex.opts.RecordTrace {
 		cp.trace = append([]Event(nil), ex.trace[:ex.steps]...)
 	}

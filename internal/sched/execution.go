@@ -77,6 +77,7 @@ type Execution struct {
 
 	trace       []Event
 	ilvHash     uint64
+	classAcc    uint64 // commutation-canonical class fingerprint accumulator
 	deltaHash   uint64
 	interesting func(Event) bool
 	filter      func(Event) bool
@@ -146,6 +147,12 @@ type objState struct {
 	// object (fast engine): pending OpLock/OpWakeLock/OpRLock on a mutex,
 	// pending OpSemP on a semaphore.
 	waitMask uint64
+
+	// Class-fingerprint state (see classEvent): lastWriteH is the hash of
+	// the last writer-like event on this object, readAcc the commutative
+	// (wrapping-sum) accumulator of reader hashes since that write.
+	lastWriteH uint64
+	readAcc    uint64
 
 	val int64 // ObjVar
 	ref any   // ObjVar (Ref payload)
@@ -228,6 +235,7 @@ func (ex *Execution) reset(opts Options, alg Algorithm) {
 	ex.behavior = ""
 	ex.trace = ex.trace[:0]
 	ex.ilvHash = fnvOffset
+	ex.classAcc = 0
 	ex.deltaHash = 0
 	ex.interesting = nil
 	ex.filter = opts.TraceFilter
@@ -333,6 +341,7 @@ func (ex *Execution) runWith(prog func(*Thread), alg Algorithm, opts Options, ca
 		Steps:            ex.steps,
 		Truncated:        ex.truncated,
 		InterleavingHash: ex.ilvHash,
+		ClassHash:        ex.classAcc,
 		DeltaHash:        ex.deltaHash,
 		Behavior:         ex.behavior,
 		Threads:          len(ex.threads),
@@ -442,9 +451,47 @@ func (ex *Execution) recordEvent(ev Event) {
 	if ex.interesting != nil && ex.interesting(ev) {
 		ex.deltaHash = fnvMix(fnvMix(ex.deltaHash, ev.PathHash), uint64(ev.Kind)<<32^ev.ObjHash)
 	}
+	ex.classEvent(ev)
 	if ex.opts.RecordTrace {
 		ex.trace = append(ex.trace, ev)
 	}
+}
+
+// classReader reports whether k only observes its object: concurrent
+// readers commute with each other, so the class fingerprint folds them in
+// order-insensitively. Every other object operation is writer-like — it
+// orders against all accesses of the same object. This is the dependence
+// relation of DESIGN.md §11.
+func classReader(k OpKind) bool { return k == OpRead || k == OpRLock || k == OpRUnlock }
+
+// classEvent folds ev into the commutation-canonical class fingerprint.
+// Each thread carries a hash-clock (Thread.clock) chaining its own events;
+// each object carries the hash of its last writer-like event and a
+// commutative sum of reader hashes since (objState.lastWriteH/readAcc).
+// An event's hash mixes its thread clock with the clocks of its dependence
+// predecessors — the last write (readers), the last write plus the pending
+// readers (writers), or the joined thread's final clock (join) — and the
+// schedule fingerprint is the wrapping sum of event hashes, so independent
+// events commute and dependent reorderings do not.
+func (ex *Execution) classEvent(ev Event) {
+	t := ex.threads[ev.TID]
+	h := fnvMix(t.clock, uint64(ev.Kind)<<32^ev.ObjHash)
+	switch {
+	case ev.Obj != 0:
+		o := &ex.objs[ev.Obj-1]
+		if classReader(ev.Kind) {
+			h = fnvMix(h, o.lastWriteH)
+			o.readAcc += h
+		} else {
+			h = fnvMix(fnvMix(h, o.lastWriteH), o.readAcc)
+			o.lastWriteH = h
+			o.readAcc = 0
+		}
+	case ev.Kind == OpJoin:
+		h = fnvMix(h, ex.threads[t.joinTarget].clock)
+	}
+	t.clock = h
+	ex.classAcc += h
 }
 
 // pump is the coroutine trampoline: it resumes t and, each time the
@@ -629,6 +676,7 @@ func (ex *Execution) addThread(parent *Thread, body func(*Thread)) *Thread {
 		t.parent = -1
 		t.pathHash = rootPathHash
 		t.memoP, t.memoI = -1, 0
+		t.clock = fnvMix(0, rootPathHash)
 	} else {
 		idx := parent.spawned
 		t.memoP, t.memoI = int32(parent.id), int32(idx)
@@ -653,6 +701,11 @@ func (ex *Execution) addThread(parent *Thread, body func(*Thread)) *Thread {
 		}
 		parent.spawned++
 		t.parent = parent.id
+		// Spawn edge of the class fingerprint: the child's clock chains
+		// from the parent's clock at spawn time, which is a class
+		// invariant (the parent's event prefix up to the spawn is fixed by
+		// program order and its hash by the dependence structure).
+		t.clock = fnvMix(parent.clock, t.pathHash)
 	}
 	ex.threads = append(ex.threads, t)
 	ex.byPathDirty = true

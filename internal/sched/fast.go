@@ -405,8 +405,21 @@ func (ex *Execution) replayStep(t *Thread) bool {
 		ex.deltaHash = fnvMix(fnvMix(ex.deltaHash, ev.PathHash), uint64(ev.Kind)<<32^ev.ObjHash)
 	}
 	if ex.replayPos == len(cp.forced) {
-		// Prefix done: adopt the captured interleaving hash and trace.
+		// Prefix done: adopt the captured interleaving hash, class state
+		// and trace. The clock/object snapshots were taken after the last
+		// forced event's grant, so they may cover threads and objects this
+		// run has not created yet (spawned during that grant); those are
+		// re-derived identically by addThread/addObj as the grant replays,
+		// seeded from the clocks adopted here.
 		ex.ilvHash = cp.ilvHash
+		ex.classAcc = cp.classAcc
+		for i := 0; i < len(cp.clocks) && i < len(ex.threads); i++ {
+			ex.threads[i].clock = cp.clocks[i]
+		}
+		for i := 0; i < len(cp.objClass) && i < len(ex.objs); i++ {
+			ex.objs[i].lastWriteH = cp.objClass[i].lastWriteH
+			ex.objs[i].readAcc = cp.objClass[i].readAcc
+		}
 		if ex.opts.RecordTrace {
 			ex.trace = append(ex.trace, cp.trace...)
 		}

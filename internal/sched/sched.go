@@ -205,6 +205,15 @@ type Result struct {
 	// Options.TraceFilter (all events by default). Two schedules with equal
 	// hashes witnessed the same (filtered) interleaving.
 	InterleavingHash uint64
+	// ClassHash is the commutation-canonical (Mazurkiewicz-trace) class
+	// fingerprint: it is order-sensitive only across *dependent* event
+	// pairs — same-object accesses where at least one side is writer-like,
+	// spawn/join edges, and program order — so two schedules that differ
+	// only by commuting adjacent independent events share a ClassHash.
+	// Unlike InterleavingHash it ignores Options.TraceFilter: the class is
+	// a property of the full schedule. See DESIGN.md §11 for the
+	// dependence relation and the incremental hash-clock construction.
+	ClassHash uint64
 	// DeltaHash fingerprints the subsequence of interesting events, when the
 	// algorithm ran with a ProgramInfo carrying an Interesting predicate.
 	DeltaHash uint64

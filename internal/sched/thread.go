@@ -44,6 +44,7 @@ type Thread struct {
 	state       threadState
 	next        Event
 	seq         int
+	clock       uint64 // class-fingerprint hash-clock (see Execution.classEvent)
 	spawned     int
 	joinTarget  ThreadID
 	gated       ObjID  // object whose waitMask holds this thread's bit (fast engine)
@@ -192,6 +193,13 @@ func (t *Thread) sync(kind OpKind, obj ObjID) {
 	var objHash uint64
 	if obj != 0 {
 		objHash = t.ex.obj(obj).hash
+	} else if kind == OpJoin {
+		// A join carries the joined thread's path hash so traces are
+		// self-describing: fingerprints and the crosscheck dependence
+		// oracle can resolve the join edge without out-of-band state.
+		// joinTarget is always set here (Thread.Join assigns it first, and
+		// deferred priming never caches joins — see deferrable).
+		objHash = t.ex.threads[t.joinTarget].pathHash
 	}
 	ev := Event{TID: t.id, Seq: t.seq, Kind: kind, Obj: obj, PathHash: t.pathHash, ObjHash: objHash}
 	if t.deferredPrime {

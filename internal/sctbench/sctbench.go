@@ -31,8 +31,8 @@ func Targets() []runner.Target {
 	}
 }
 
-// ByName returns the target with the given name — from the Table 4 rows or
-// the trivial set — or ok=false.
+// ByName returns the target with the given name — from the Table 4 rows,
+// the trivial set, or the coverage probes — or ok=false.
 func ByName(name string) (runner.Target, bool) {
 	for _, t := range Targets() {
 		if t.Name == name {
@@ -44,18 +44,26 @@ func ByName(name string) (runner.Target, bool) {
 			return t, true
 		}
 	}
+	for _, t := range CoverageTargets() {
+		if t.Name == name {
+			return t, true
+		}
+	}
 	return runner.Target{}, false
 }
 
 // Names lists all target names: the Table 4 rows in order, then the
-// trivial set.
+// trivial set, then the coverage probes.
 func Names() []string {
 	ts := Targets()
-	out := make([]string, 0, len(ts)+11)
+	out := make([]string, 0, len(ts)+13)
 	for _, t := range ts {
 		out = append(out, t.Name)
 	}
 	for _, t := range TrivialTargets() {
+		out = append(out, t.Name)
+	}
+	for _, t := range CoverageTargets() {
 		out = append(out, t.Name)
 	}
 	return out

@@ -39,8 +39,9 @@ func TestTargetsWellFormed(t *testing.T) {
 	if _, ok := ByName("nope"); ok {
 		t.Fatal("ByName found a ghost")
 	}
-	if got := len(Names()); got != 38+11 {
-		t.Fatalf("Names() = %d entries, want 49 (38 table rows + 11 trivial)", got)
+	if got := len(Names()); got != 38+11+len(CoverageTargets()) {
+		t.Fatalf("Names() = %d entries, want 38 table rows + 11 trivial + %d coverage probes",
+			got, len(CoverageTargets()))
 	}
 }
 
@@ -228,13 +229,16 @@ func TestTrivialTargetsAreTrivial(t *testing.T) {
 	}
 }
 
-// TestNamesIncludeTrivials checks the lookup surface covers both sets.
+// TestNamesIncludeTrivials checks the lookup surface covers every set.
 func TestNamesIncludeTrivials(t *testing.T) {
-	if len(Names()) != 38+11 {
+	if len(Names()) != 38+11+len(CoverageTargets()) {
 		t.Fatalf("Names() = %d entries", len(Names()))
 	}
 	if _, ok := ByName("CS/sigma"); !ok {
 		t.Fatal("trivial target not resolvable")
+	}
+	if _, ok := ByName("Fig1/bitshift_4"); !ok {
+		t.Fatal("coverage probe not resolvable")
 	}
 }
 

@@ -30,6 +30,15 @@ type Options struct {
 	// fingerprints (nil = all events), mirroring sched.Options.TraceFilter
 	// so enumerated class sets are comparable with filtered sampling runs.
 	TraceFilter func(sched.Event) bool
+	// RecordTrace records the full event sequence of every executed
+	// schedule (sched.Options.RecordTrace), for Observe consumers that
+	// need the trace — e.g. the crosscheck equivalence oracle.
+	RecordTrace bool
+	// Observe, when non-nil, is called with every executed schedule's
+	// Result before it is folded into the exploration summary. The Result
+	// (including its Trace when RecordTrace is set) is owned by the
+	// callee; Explore never touches it again.
+	Observe func(*sched.Result)
 }
 
 // Result summarizes an exploration.
@@ -135,8 +144,12 @@ func Explore(prog func(*sched.Thread), opts Options) *Result {
 			MaxSteps:    opts.MaxSteps,
 			ProgSeed:    opts.ProgSeed,
 			TraceFilter: opts.TraceFilter,
+			RecordTrace: opts.RecordTrace,
 		})
 		res.Schedules++
+		if opts.Observe != nil {
+			opts.Observe(r)
+		}
 		if r.Truncated {
 			res.Exhausted = false
 		}
