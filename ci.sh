@@ -191,6 +191,46 @@ awk -v r="$DUPRATE" 'BEGIN { exit (r > 0 ? 0 : 1) }'
 kill $DASH_PID 2>/dev/null || true
 trap - EXIT
 
+# Fleet tracing smoke: the same bitshift campaign once more, now with
+# distributed tracing on (-fleet-trace) and the full worker observability
+# surface exercised (-metrics, -trace, -watchdog). Two invariants, both
+# sides of the DESIGN §12 covenant:
+#   1. aggregates.json is byte-identical to the untraced local reference
+#      (kref above) — tracing perturbs nothing;
+#   2. surwobs assembles at least one complete lease→submit trace from
+#      the coordinator's span log — tracing observed everything.
+# The disabled-path cost is pinned elsewhere: the pooled allocs gate above
+# runs with the nil tracer, and TestNilSpanLogZeroAllocs holds the nil
+# SpanLog at exactly zero allocs/op.
+/tmp/surw-campaign/surwbench -coordinate 127.0.0.1:18074 -campaign /tmp/surw-campaign/tdist \
+    -lease-batch 2 -fleet-trace /tmp/surw-campaign/fleet.spans.jsonl \
+    $KCELLS -q sct > /tmp/surw-campaign/tdist.log 2>&1 &
+COORD_PID=$!
+trap 'kill $COORD_PID 2>/dev/null || true' EXIT
+for i in $(seq 1 50); do
+    curl -sf http://127.0.0.1:18074/v1/status > /dev/null 2>&1 && break
+    sleep 0.2
+done
+/tmp/surw-campaign/surwworker -coordinator http://127.0.0.1:18074 -name t1 -workers 2 \
+    -metrics 127.0.0.1:18075 -trace /tmp/surw-campaign/t1.spans.jsonl -watchdog 60s -q &
+T1_PID=$!
+/tmp/surw-campaign/surwworker -coordinator http://127.0.0.1:18074 -name t2 -workers 2 -q &
+T2_PID=$!
+wait $T1_PID
+wait $T2_PID
+wait $COORD_PID
+trap - EXIT
+cmp /tmp/surw-campaign/kref/aggregates.json /tmp/surw-campaign/tdist/aggregates.json
+# The traced worker wrote its local span view.
+test -s /tmp/surw-campaign/t1.spans.jsonl
+# Assemble the fleet log: exits non-zero unless >=1 trace is complete
+# (single lease root, resolving parents, session/prefix-replay/submit
+# spans, >=2 tracks). Then render it and hold the rendering to the same
+# Chrome trace_event validation the decision traces pass.
+go run ./cmd/surwobs -assemble-trace /tmp/surw-campaign/fleet.spans.jsonl \
+    -out /tmp/surw-campaign/fleet.json
+go run ./cmd/surwobs -check-trace /tmp/surw-campaign/fleet.json
+
 # Fuzz smoke: a short coverage-guided run of each native fuzz target (the
 # full checked-in seed corpora already ran as part of `go test` above).
 FUZZTIME=10s make fuzz-smoke

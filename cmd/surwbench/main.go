@@ -85,6 +85,7 @@ func main() {
 		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "coordinator: lease time-to-live between worker heartbeats")
 		leaseBatch = flag.Int("lease-batch", 4, "coordinator: sessions per lease")
 		dedupThr   = flag.Int("dedup-threshold", 0, "coordinator: seen-class filter saturation threshold (0 = default)")
+		fleetTrace = flag.String("fleet-trace", "", "coordinator: enable distributed tracing and write the assembled span log (JSONL) to this file")
 		version    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -206,11 +207,12 @@ func main() {
 			LeaseTTL:       *leaseTTL,
 			BatchSize:      *leaseBatch,
 			ClassThreshold: *dedupThr,
+			Tracing:        *fleetTrace != "",
 		})
 	}
 	if dashSrv != nil {
 		if coord != nil {
-			dashSrv.SetRemote(coord.Status)
+			dashSrv.SetRemote(func() (*campaign.RemoteStatus, error) { return coord.Status(), nil })
 		}
 		go func() {
 			if err := http.ListenAndServe(*serveAddr, dashSrv); err != nil {
@@ -241,6 +243,20 @@ func main() {
 		}
 		_ = ln.Close()
 		fmt.Fprintf(os.Stderr, "distributed execution complete; rendering tables from the store\n")
+		if *fleetTrace != "" {
+			spans := coord.Spans()
+			f, err := os.Create(*fleetTrace)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if err := obs.WriteSpansJSONL(f, spans); err != nil {
+				fatalf("write fleet trace: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("write fleet trace: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "fleet trace (%d spans) written to %s\n", len(spans), *fleetTrace)
+		}
 	}
 
 	nWorkers := workpool.Normalize(sc.Workers)

@@ -10,10 +10,12 @@
 // For a distributed campaign (surwbench -coordinate, see internal/remote),
 // -remote names the coordinator's base URL; the dashboard then also shows
 // the worker fleet — per-worker utilization, leases in flight, expiries,
-// duplicates, and the seen-class filter's distinct-class / duplicate-rate
-// gauges — and /metrics gains the surw_remote_* gauges. The status
-// fetch is best-effort: an unreachable coordinator (finished, restarting)
-// just drops the fleet section from the page, never the page itself.
+// duplicates, the fleet latency percentiles, the stall-detection health
+// panel, and the seen-class filter's distinct-class / duplicate-rate
+// gauges — and /metrics gains the surw_remote_* gauges. The status fetch
+// never breaks the page: an unreachable or misspelled coordinator URL
+// surfaces as an error banner (and as remote_error in /api/campaign)
+// instead of silently rendering an empty fleet view.
 //
 // Endpoints:
 //
@@ -83,26 +85,26 @@ func main() {
 	}
 }
 
-// remoteStatus fetches the coordinator's /v1/status snapshot on demand,
-// best-effort: nil on any transport or decode error, so a coordinator
-// that has exited (or is mid-restart) degrades the dashboard to its
-// local-campaign view instead of breaking it.
-func remoteStatus(base string) func() *campaign.RemoteStatus {
+// remoteStatus fetches the coordinator's /v1/status snapshot on demand.
+// Errors are returned, not swallowed: the dashboard renders them as a
+// banner, so a wrong -remote URL (or an exited coordinator) is visible on
+// the page instead of masquerading as an empty fleet.
+func remoteStatus(base string) func() (*campaign.RemoteStatus, error) {
 	client := &http.Client{Timeout: 2 * time.Second}
-	return func() *campaign.RemoteStatus {
+	return func() (*campaign.RemoteStatus, error) {
 		resp, err := client.Get(base + remote.PathStatus)
 		if err != nil {
-			return nil
+			return nil, fmt.Errorf("fetch %s%s: %w", base, remote.PathStatus, err)
 		}
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
-			return nil
+			return nil, fmt.Errorf("fetch %s%s: %s", base, remote.PathStatus, resp.Status)
 		}
 		var rs campaign.RemoteStatus
 		if err := json.NewDecoder(resp.Body).Decode(&rs); err != nil {
-			return nil
+			return nil, fmt.Errorf("decode %s%s: %w", base, remote.PathStatus, err)
 		}
-		return &rs
+		return &rs, nil
 	}
 }
 

@@ -9,12 +9,19 @@
 //	surwobs -gate 'BenchmarkPooledSchedule/pooled.allocs/op<=11' -in bench.txt
 //	surwobs -check-trace results/trace.json
 //	surwobs -check-flight results/flight/flight_....json
+//	surwobs -assemble-trace results/fleet.spans.jsonl [-out fleet.json]
 //
 // -gate may be repeated; gates read benchmark text from -in (or stdin) and
 // the command exits non-zero on the first violated gate. -check-trace
 // verifies a file is well-formed Chrome trace_event JSON as Perfetto
 // expects; -check-flight verifies a flight dump parses and is marked
-// reproduced.
+// reproduced. -assemble-trace reads a fleet span log (JSONL, one span per
+// line, as written by surwbench -fleet-trace or surwworker -trace), groups
+// the spans into distributed traces, and reports how many are complete —
+// a single lease root with prefix-replay, session, and submit children
+// spanning at least two tracks. It exits non-zero when no complete trace
+// exists; with -out it also renders the spans as Chrome trace_event JSON
+// (one Perfetto track per worker) for visual inspection.
 package main
 
 import (
@@ -41,6 +48,7 @@ func main() {
 		out        = flag.String("out", "", "output file for -bench2json (default stdout)")
 		checkTrace = flag.String("check-trace", "", "validate a Chrome trace_event JSON file")
 		checkFl    = flag.String("check-flight", "", "validate a flight-recorder dump")
+		assemble   = flag.String("assemble-trace", "", "assemble distributed traces from a span-log JSONL file and verify at least one is complete")
 		version    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Var(&gates, "gate", "benchmark regression gate 'name.metric<=value' (repeatable)")
@@ -51,6 +59,35 @@ func main() {
 	}
 
 	switch {
+	case *assemble != "":
+		spans, err := obs.ReadSpansFile(*assemble)
+		if err != nil {
+			fatal(err)
+		}
+		complete, total, firstErr := obs.CountComplete(spans)
+		fmt.Printf("surwobs: %s: %d spans, %d traces, %d complete (lease→submit)\n",
+			*assemble, len(spans), total, complete)
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			if err := obs.WriteSpanChromeTrace(f, spans); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("surwobs: Chrome trace written to %s\n", *out)
+		}
+		if complete == 0 {
+			if firstErr != nil {
+				fatal(fmt.Errorf("no complete distributed trace: %w", firstErr))
+			}
+			fatal(fmt.Errorf("no complete distributed trace in %s", *assemble))
+		}
+
 	case *checkTrace != "":
 		f, err := os.Open(*checkTrace)
 		if err != nil {

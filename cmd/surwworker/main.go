@@ -13,6 +13,19 @@
 // makes redundant. The process exits 0 when the coordinator reports the
 // campaign complete, and a SIGINT/SIGTERM abandons in-flight leases
 // cleanly (they expire server-side and are re-leased).
+//
+// Observability (none of it changes any session record):
+//
+//	-metrics ADDR   serve the per-worker /metrics Prometheus page; also
+//	                attaches the scheduler-level collector, which disables
+//	                the batched fast path (results stay byte-identical)
+//	-pprof ADDR     serve net/http/pprof for the process lifetime
+//	-trace FILE     retain this worker's spans and write them as JSONL on
+//	                exit (the coordinator assembles fleet-wide traces; this
+//	                is the worker-local view for offline inspection)
+//	-watchdog DUR   self-watchdog: if a lease makes no session progress for
+//	                DUR, log a stall warning and dump all goroutine stacks
+//	                to stderr, then re-arm
 package main
 
 import (
@@ -20,12 +33,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"surw/internal/buildinfo"
+	"surw/internal/obs"
 	"surw/internal/remote"
 	"surw/internal/runner"
 	"surw/internal/sctbench"
@@ -37,6 +53,10 @@ func main() {
 		name        = flag.String("name", "", "worker name shown on the dashboard (default host:pid)")
 		workers     = flag.Int("workers", 0, "parallel sessions per lease (1 = sequential; 0 = one per CPU)")
 		dedup       = flag.Bool("dedup-abandon", false, "early-abandon sessions whose forced prefix lands in a fleet-saturated commutation class (trades byte-identity for throughput)")
+		metricsAddr = flag.String("metrics", "", "serve this worker's Prometheus /metrics page on this address (attaches the scheduler collector; results stay byte-identical)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address for the process lifetime")
+		traceOut    = flag.String("trace", "", "write this worker's retained spans as JSONL to this file on exit")
+		watchdog    = flag.Duration("watchdog", 0, "dump goroutine stacks to stderr when a lease makes no progress for this long (0 = off)")
 		quiet       = flag.Bool("q", false, "suppress progress output")
 		version     = flag.Bool("version", false, "print the build version and exit")
 	)
@@ -65,6 +85,25 @@ func main() {
 		},
 		Workers:         *workers,
 		UsePrefixFilter: *dedup,
+		Watchdog:        *watchdog,
+		RetainSpans:     *traceOut != "",
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "surwworker %s: pprof: %v\n", *name, err)
+			}
+		}()
+	}
+	if *metricsAddr != "" {
+		w.Metrics = obs.NewMetrics()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", w.Metrics.Handler())
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "surwworker %s: metrics: %v\n", *name, err)
+			}
+		}()
 	}
 	if !*quiet {
 		w.Logf = func(format string, args ...any) {
@@ -75,6 +114,13 @@ func main() {
 
 	start := time.Now()
 	err := w.Run(ctx)
+	if *traceOut != "" {
+		if werr := writeSpans(*traceOut, w.Spans()); werr != nil {
+			fmt.Fprintf(os.Stderr, "surwworker %s: %v\n", *name, werr)
+		} else {
+			fmt.Fprintf(os.Stderr, "surwworker %s: spans written to %s\n", *name, *traceOut)
+		}
+	}
 	switch {
 	case err == nil:
 		fmt.Fprintf(os.Stderr, "surwworker %s: done in %s\n", *name, time.Since(start).Round(time.Millisecond))
@@ -85,4 +131,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "surwworker %s: %v\n", *name, err)
 		os.Exit(1)
 	}
+}
+
+// writeSpans dumps the worker's retained span log as JSONL.
+func writeSpans(path string, spans []obs.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteSpansJSONL(f, spans); err != nil {
+		f.Close()
+		return fmt.Errorf("write spans: %w", err)
+	}
+	return f.Close()
 }

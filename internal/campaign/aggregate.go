@@ -23,6 +23,12 @@ type Aggregates struct {
 	Cells    []CellAggregate  `json:"cells"`
 	Metrics  *MetricsSnapshot `json:"metrics,omitempty"` // live only, see Serve
 	Remote   *RemoteStatus    `json:"remote,omitempty"`  // live only: distributed campaigns
+	// RemoteErr carries the error of a failed remote-status fetch (e.g.
+	// surwdash -remote pointed at a wrong or dead coordinator), so the
+	// dashboard can say why the fleet view is missing instead of silently
+	// rendering an empty one. Live only, like Remote: WriteAggregates
+	// builds from the store alone, so it never reaches aggregates.json.
+	RemoteErr string `json:"remote_error,omitempty"`
 }
 
 // MetricsSnapshot is the JSON form of the obs.Metrics aggregate attached to

@@ -14,6 +14,8 @@ package campaign
 import (
 	"fmt"
 	"io"
+
+	"surw/internal/obs"
 )
 
 // RemoteStatus is a point-in-time snapshot of a coordinator.
@@ -46,6 +48,13 @@ type RemoteStatus struct {
 	// Workers lists every worker that ever contacted the coordinator,
 	// sorted by name.
 	Workers []RemoteWorker `json:"workers,omitempty"`
+	// Latencies is the fleet-wide latency view (the coordinator's own
+	// histograms merged with the latest snapshot from each worker), sorted
+	// by operation name.
+	Latencies []obs.LatencySnap `json:"latencies,omitempty"`
+	// Health is the stall-detection report, present when the coordinator
+	// runs the health engine.
+	Health *HealthReport `json:"health,omitempty"`
 }
 
 // RemoteWorker is the coordinator's view of one worker.
@@ -97,6 +106,14 @@ func (rs *RemoteStatus) WritePrometheus(w io.Writer) error {
 		for _, wk := range rs.Workers {
 			fmt.Fprintf(w, "surw_remote_worker_inflight_leases{worker=%q} %d\n", wk.Name, wk.Leases)
 		}
+	}
+	if err := obs.WriteLatencyPrometheus(w, "surw_fleet_latency_seconds",
+		"Fleet-wide operation latency (coordinator plus latest worker snapshots).",
+		rs.Latencies); err != nil {
+		return err
+	}
+	if rs.Health != nil {
+		return rs.Health.WritePrometheus(w)
 	}
 	return nil
 }

@@ -29,8 +29,8 @@ import (
 // Server serves the campaign dashboard for one store.
 type Server struct {
 	store   *Store
-	metrics *obs.Metrics         // optional: live-campaign throughput
-	remote  func() *RemoteStatus // optional: distributed-campaign coordinator
+	metrics *obs.Metrics                  // optional: live-campaign throughput
+	remote  func() (*RemoteStatus, error) // optional: distributed-campaign coordinator
 	mux     *http.ServeMux
 }
 
@@ -50,9 +50,12 @@ func NewServer(store *Store, metrics *obs.Metrics) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // SetRemote attaches a distributed-campaign status source (the remote
-// coordinator's Status method). The dashboard then shows the worker table
-// and /metrics gains the surw_remote_* gauges. Call before serving.
-func (s *Server) SetRemote(status func() *RemoteStatus) { s.remote = status }
+// coordinator's Status method, or surwdash's HTTP fetch). The dashboard
+// then shows the worker table and /metrics gains the surw_remote_* gauges.
+// A source that fails returns its error, which the dashboard surfaces as a
+// banner (and /api/campaign as remote_error) instead of silently showing
+// an empty fleet view. Call before serving.
+func (s *Server) SetRemote(status func() (*RemoteStatus, error)) { s.remote = status }
 
 // aggregates builds the rollup, attaching the live metrics snapshot when
 // the server is embedded in a running campaign.
@@ -69,7 +72,13 @@ func (s *Server) aggregates() *Aggregates {
 		}
 	}
 	if s.remote != nil {
-		agg.Remote = s.remote()
+		rs, err := s.remote()
+		switch {
+		case err != nil:
+			agg.RemoteErr = err.Error()
+		case rs != nil:
+			agg.Remote = rs
+		}
 	}
 	return agg
 }
@@ -124,9 +133,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		_ = s.metrics.WritePrometheus(w)
 	}
 	if s.remote != nil {
-		// The source may return nil (a surwdash -remote fetch that failed);
-		// the page then simply omits the surw_remote_* family.
-		if rs := s.remote(); rs != nil {
+		// A failed fetch (surwdash -remote against a dead coordinator)
+		// omits the surw_remote_* family; the dashboard page carries the
+		// error, the metrics page stays parseable.
+		if rs, err := s.remote(); err == nil && rs != nil {
 			_ = rs.WritePrometheus(w)
 		}
 	}
@@ -321,8 +331,23 @@ func growthSVG(pts []AccumPoint) template.HTML {
 	return template.HTML(b.String())
 }
 
+// fmtSec renders a latency in seconds with a human unit (µs/ms/s).
+func fmtSec(sec float64) string {
+	switch {
+	case sec <= 0:
+		return "0"
+	case sec < 0.001:
+		return fmt.Sprintf("%.0fµs", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.1fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", sec)
+	}
+}
+
 var dashTemplate = template.Must(template.New("dash").Funcs(template.FuncMap{
 	"mul100": func(v float64) float64 { return v * 100 },
+	"sec":    fmtSec,
 }).Parse(`<!doctype html>
 <html lang="en">
 <head>
@@ -349,6 +374,11 @@ var dashTemplate = template.Must(template.New("dash").Funcs(template.FuncMap{
  .tick { font-size: 9px; fill: #8a9098; }
  #live { color: #5a6068; font-size: .85rem; }
  .wk { font-size: .95rem; color: #5a6068; margin: 0 0 .5rem; font-weight: 600; }
+ .err { background: #fdecea; border: 1px solid #e5b4ae; color: #8a2418; border-radius: 6px; padding: .5rem .8rem; margin-bottom: 1rem; }
+ .health { border-radius: 6px; padding: .5rem .8rem; margin-bottom: 1rem; }
+ .health.ok { background: #edf7ee; border: 1px solid #b7dcb9; color: #1f5c23; }
+ .health.bad { background: #fdf3e7; border: 1px solid #e8c79a; color: #7a4c10; }
+ .health ul { margin: .3rem 0 0 1.2rem; padding: 0; }
 </style>
 </head>
 <body>
@@ -357,8 +387,18 @@ var dashTemplate = template.Must(template.New("dash").Funcs(template.FuncMap{
 {{- with .Agg.Metrics}} · {{printf "%.0f" .SchedulesPerSec}} schedules/s live{{end}}
  · <span id="live">stored <span id="stored">{{.Agg.Sessions}}</span></span></p>
 
+{{with .Agg.RemoteErr}}
+<p class="err">remote status unavailable: {{.}}</p>
+{{end}}
+
 {{with .Agg.Remote}}
 <h2 class="wk">distributed: {{.SessionsDone}}/{{.SessionsPlanned}} sessions · {{.InFlightLeases}} leases in flight · {{.PendingBatches}} batches pending · {{.LeaseExpiries}} expiries · {{.DuplicateResults}} duplicates{{if .ClassObservations}} · {{.DistinctClasses}} distinct classes · {{printf "%.1f%%" (mul100 .DuplicateRate)}} dup rate{{end}}</h2>
+{{with .Health}}
+{{if .Healthy}}<p class="health ok">fleet healthy</p>
+{{else}}<div class="health bad">fleet: {{.StaleWorkers}} stale workers · {{.SlowCells}} slow cells · {{.AgingLeases}} aging leases
+<ul>{{range .Issues}}<li><strong>{{.Kind}}</strong> {{.Subject}} — {{.Detail}}</li>{{end}}</ul>
+</div>{{end}}
+{{end}}
 <table>
 <tr><th>worker</th><th>leases</th><th>sessions</th><th>busy s</th><th>utilization</th><th>last seen</th></tr>
 {{range .Workers}}<tr>
@@ -367,6 +407,15 @@ var dashTemplate = template.Must(template.New("dash").Funcs(template.FuncMap{
  <td>{{printf "%.0fs ago" .SecondsSinceSeen}}</td>
 </tr>{{end}}
 </table>
+{{with .Latencies}}
+<table>
+<tr><th>operation</th><th>count</th><th>p50</th><th>p95</th><th>p99</th></tr>
+{{range .}}<tr>
+ <td>{{.Op}}</td><td>{{.Count}}</td>
+ <td>{{sec .P50}}</td><td>{{sec .P95}}</td><td>{{sec .P99}}</td>
+</tr>{{end}}
+</table>
+{{end}}
 {{end}}
 
 <table>

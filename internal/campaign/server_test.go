@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -125,6 +126,203 @@ func TestServerEventsSSE(t *testing.T) {
 	if typ != "session" || ev.Session != 90 || ev.Stored != 5 {
 		t.Fatalf("second event = %s %+v, want the appended session", typ, ev)
 	}
+}
+
+// A dashboard client that disconnects must have its event subscription
+// reclaimed, and a fresh client must get a fresh snapshot — the
+// disconnect/reconnect cycle every browser tab exercises.
+func TestServerEventsDisconnectReconnect(t *testing.T) {
+	st, srv := testServer(t)
+	broker := st.Events()
+
+	waitSubs := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for broker.Subscribers() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("subscribers = %d, want %d", broker.Subscribers(), want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	connect := func(ctx context.Context) (*http.Response, *bufio.Reader) {
+		t.Helper()
+		req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/events", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, bufio.NewReader(resp.Body)
+	}
+	readSnapshot := func(r *bufio.Reader) campaign.Event {
+		t.Helper()
+		var ev campaign.Event
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				t.Fatalf("sse read: %v", err)
+			}
+			if strings.HasPrefix(line, "data: ") {
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(strings.TrimSpace(line), "data: ")), &ev); err != nil {
+					t.Fatal(err)
+				}
+				return ev
+			}
+		}
+	}
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	resp1, r1 := connect(ctx1)
+	if ev := readSnapshot(r1); ev.Stored != 4 {
+		t.Fatalf("first snapshot: %+v", ev)
+	}
+	waitSubs(1)
+
+	// Drop the client mid-stream: the handler must notice and unsubscribe.
+	cancel1()
+	resp1.Body.Close()
+	waitSubs(0)
+
+	// The store keeps moving while nobody is watching.
+	if _, err := st.Store(key(91), session(3)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A reconnecting client starts from a snapshot that includes what it
+	// missed, then streams live events again.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	resp2, r2 := connect(ctx2)
+	defer resp2.Body.Close()
+	if ev := readSnapshot(r2); ev.Stored != 5 {
+		t.Fatalf("reconnect snapshot: %+v, want the appended session counted", ev)
+	}
+	go func() {
+		if _, err := st.Store(key(92), session(3)); err != nil {
+			t.Error(err)
+		}
+	}()
+	if ev := readSnapshot(r2); ev.Session != 92 {
+		t.Fatalf("post-reconnect event: %+v, want session 92", ev)
+	}
+}
+
+// An unreachable coordinator surfaces as an error banner and as
+// remote_error in the API — never as a silently empty fleet view — and
+// the metrics page stays parseable.
+func TestServerRemoteErrorSurfaces(t *testing.T) {
+	st, err := campaign.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	campaignCells(t, st, 1, 1)
+	s := campaign.NewServer(st, nil)
+	s.SetRemote(func() (*campaign.RemoteStatus, error) {
+		return nil, fmt.Errorf("fetch http://coordinator:7071/v1/status: connection refused")
+	})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	var agg campaign.Aggregates
+	resp, err := http.Get(srv.URL + "/api/campaign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&agg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if agg.Remote != nil {
+		t.Fatal("failed fetch still produced a remote view")
+	}
+	if !strings.Contains(agg.RemoteErr, "connection refused") {
+		t.Fatalf("remote_error = %q", agg.RemoteErr)
+	}
+
+	page := get(t, srv.URL+"/")
+	if !strings.Contains(page, "remote status unavailable") || !strings.Contains(page, "connection refused") {
+		t.Fatalf("dashboard hides the remote error:\n%s", page)
+	}
+
+	metrics := get(t, srv.URL+"/metrics")
+	if err := obs.LintPrometheus(strings.NewReader(metrics)); err != nil {
+		t.Fatalf("metrics page with failing remote does not lint: %v", err)
+	}
+}
+
+// The health panel and latency table render from a remote status, and the
+// full metrics page — campaign counters, obs aggregate, remote gauges,
+// fleet latency histograms, health gauges — passes the Prometheus lint.
+func TestServerHealthPanelAndMetricsLint(t *testing.T) {
+	_, srv := testServer(t)
+	page := get(t, srv.URL+"/metrics")
+	if err := obs.LintPrometheus(strings.NewReader(page)); err != nil {
+		t.Fatalf("base metrics page does not lint: %v", err)
+	}
+
+	st, err := campaign.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	campaignCells(t, st, 1, 1)
+	var lat obs.LatencySet
+	lat.Observe("session", 40*time.Millisecond)
+	lat.Observe("lease_rpc", 2*time.Millisecond)
+	rs := &campaign.RemoteStatus{
+		SessionsPlanned: 8, SessionsDone: 4,
+		Latencies: lat.Snapshots(),
+		Health: &campaign.HealthReport{
+			StaleWorkers: 1,
+			Issues: []campaign.HealthIssue{{
+				Kind: campaign.HealthStaleWorker, Subject: "w-lost",
+				Detail: "no request for 4m0s",
+			}},
+		},
+	}
+	s := campaign.NewServer(st, nil)
+	s.SetRemote(func() (*campaign.RemoteStatus, error) { return rs, nil })
+	srv2 := httptest.NewServer(s)
+	defer srv2.Close()
+
+	html := get(t, srv2.URL+"/")
+	for _, want := range []string{"stale workers", "w-lost", "p95", "lease_rpc"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+	metrics := get(t, srv2.URL+"/metrics")
+	for _, want := range []string{"surw_health_ok 0", "surw_fleet_latency_seconds_bucket"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics page missing %q", want)
+		}
+	}
+	if err := obs.LintPrometheus(strings.NewReader(metrics)); err != nil {
+		t.Fatalf("remote metrics page does not lint: %v", err)
+	}
+
+	// A healthy fleet renders the quiet banner.
+	rs.Health = &campaign.HealthReport{Healthy: true}
+	if html := get(t, srv2.URL+"/"); !strings.Contains(html, "fleet healthy") {
+		t.Error("healthy fleet banner missing")
+	}
+}
+
+// get fetches a URL's body as a string.
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	if _, err := bufio.NewReader(resp.Body).WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
 }
 
 func TestServerIndexAndBuildinfo(t *testing.T) {

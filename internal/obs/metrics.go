@@ -60,6 +60,8 @@ type Metrics struct {
 	items atomic.Int64
 	cap_  atomic.Int64 // meter: summed workers*wall nanos
 
+	lat LatencySet
+
 	mu   sync.Mutex
 	algs map[string]*AlgStats
 }
@@ -132,6 +134,14 @@ func (t *MetricsTracer) Decide(d sched.Decision, st *sched.State) {
 // EndSchedule implements sched.Tracer.
 func (t *MetricsTracer) EndSchedule(*sched.Result) {}
 
+// Latency returns the named latency histogram (creating it if needed).
+// Callers on repeated paths grab the *Histogram once and hold it.
+func (m *Metrics) Latency(op string) *Histogram { return m.lat.Hist(op) }
+
+// Latencies exposes the aggregator's latency set, e.g. to merge worker
+// wire snapshots into a fleet view.
+func (m *Metrics) Latencies() *LatencySet { return &m.lat }
+
 // ItemDone implements workpool.Meter: one work item ran for d.
 func (m *Metrics) ItemDone(d time.Duration) {
 	m.items.Add(1)
@@ -170,6 +180,7 @@ type Snapshot struct {
 	WorkerItems     int64
 	Utilization     float64 // busy time / (workers x wall) over metered Map calls
 	Algorithms      []AlgSnapshot
+	Latencies       []LatencySnap
 }
 
 // Snapshot computes the current aggregate.
@@ -219,6 +230,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.Algorithms = append(s.Algorithms, as)
 	}
 	m.mu.Unlock()
+	s.Latencies = m.lat.Snapshots()
 	return s
 }
 
@@ -281,22 +293,27 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		for _, a := range s.Algorithms {
 			fmt.Fprintf(&b, "surw_mean_branching{alg=%q} %g\n", a.Algorithm, a.MeanBranch)
 		}
-		fmt.Fprintf(&b, "# HELP surw_branching_decisions Consulted decisions by enabled-set size (last bucket is %d+).\n# TYPE surw_branching_decisions counter\n", histBuckets-1)
+		fmt.Fprintf(&b, "# HELP surw_branching_decisions_total Consulted decisions by enabled-set size (last bucket is %d+).\n# TYPE surw_branching_decisions_total counter\n", histBuckets-1)
 		for _, a := range s.Algorithms {
 			for i := 1; i < histBuckets; i++ {
 				if a.Branch[i] > 0 {
-					fmt.Fprintf(&b, "surw_branching_decisions{alg=%q,enabled=\"%d\"} %d\n", a.Algorithm, i, a.Branch[i])
+					fmt.Fprintf(&b, "surw_branching_decisions_total{alg=%q,enabled=\"%d\"} %d\n", a.Algorithm, i, a.Branch[i])
 				}
 			}
 		}
-		fmt.Fprintf(&b, "# HELP surw_pick_position Consulted decisions by chosen position in the enabled set.\n# TYPE surw_pick_position counter\n")
+		fmt.Fprintf(&b, "# HELP surw_pick_position_total Consulted decisions by chosen position in the enabled set.\n# TYPE surw_pick_position_total counter\n")
 		for _, a := range s.Algorithms {
 			for i := 0; i < histBuckets; i++ {
 				if a.Pick[i] > 0 {
-					fmt.Fprintf(&b, "surw_pick_position{alg=%q,pos=\"%d\"} %d\n", a.Algorithm, i, a.Pick[i])
+					fmt.Fprintf(&b, "surw_pick_position_total{alg=%q,pos=\"%d\"} %d\n", a.Algorithm, i, a.Pick[i])
 				}
 			}
 		}
+	}
+	if err := WriteLatencyPrometheus(&b, "surw_latency_seconds",
+		"Operation latency (log2 buckets): lease_rpc, queue_wait, session, checkpoint_fork, submit.",
+		s.Latencies); err != nil {
+		return err
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

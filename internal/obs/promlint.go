@@ -1,0 +1,275 @@
+package obs
+
+// LintPrometheus: a self-contained checker for the Prometheus text
+// exposition format (version 0.0.4) that every `/metrics` page of this
+// repository must pass. It is deliberately stricter than a scraper needs
+// to be — the point is keeping our own series consistent:
+//
+//   - every sample's family has a # HELP and # TYPE line before its first
+//     sample, and at most one of each;
+//   - TYPE values are legal (counter/gauge/histogram/summary/untyped);
+//   - surw_* metric names match ^surw_[a-z0-9_]+$ and counters end _total;
+//   - histogram families carry `le` labels on _bucket samples, cumulative
+//     counts are nondecreasing per label set, the mandatory +Inf bucket is
+//     present and equals the family's _count.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	promNameRe     = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*`)
+	promSurwNameRe = regexp.MustCompile(`^surw_[a-z0-9_]+$`)
+)
+
+// promFamily accumulates what the linter knows about one metric family.
+type promFamily struct {
+	help, typ  string
+	sampleSeen bool
+	// histogram bookkeeping, keyed by the label set minus `le`:
+	buckets map[string][]promBucket
+	counts  map[string]float64
+	sums    map[string]bool
+}
+
+type promBucket struct {
+	le  float64
+	val float64
+}
+
+// baseFamily strips the histogram/summary sample suffixes so
+// foo_bucket/foo_sum/foo_count group under foo when foo is declared as a
+// histogram or summary.
+func baseFamily(name string, fams map[string]*promFamily) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if f := fams[base]; f != nil && (f.typ == "histogram" || f.typ == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// LintPrometheus reads a text-format metrics page and returns the first
+// violation found, or nil if the page is clean.
+func LintPrometheus(r io.Reader) error {
+	fams := make(map[string]*promFamily)
+	family := func(name string) *promFamily {
+		f := fams[name]
+		if f == nil {
+			f = &promFamily{buckets: make(map[string][]promBucket),
+				counts: make(map[string]float64), sums: make(map[string]bool)}
+			fams[name] = f
+		}
+		return f
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name, f := fields[2], family(fields[2])
+			switch fields[1] {
+			case "HELP":
+				if f.help != "" {
+					return fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				if len(fields) < 4 || strings.TrimSpace(fields[3]) == "" {
+					return fmt.Errorf("line %d: empty HELP text for %s", lineNo, name)
+				}
+				f.help = fields[3]
+			case "TYPE":
+				if f.typ != "" {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if f.sampleSeen {
+					return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: TYPE line for %s has no type", lineNo, name)
+				}
+				typ := strings.TrimSpace(fields[3])
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					f.typ = typ
+				default:
+					return fmt.Errorf("line %d: invalid TYPE %q for %s", lineNo, typ, name)
+				}
+			}
+			continue
+		}
+
+		// Sample line: name[{labels}] value [timestamp]
+		name := promNameRe.FindString(line)
+		if name == "" {
+			return fmt.Errorf("line %d: unparseable sample %q", lineNo, line)
+		}
+		rest := line[len(name):]
+		labels := ""
+		if strings.HasPrefix(rest, "{") {
+			end := strings.Index(rest, "}")
+			if end < 0 {
+				return fmt.Errorf("line %d: unterminated label set in %q", lineNo, line)
+			}
+			labels = rest[1:end]
+			rest = rest[end+1:]
+		}
+		valStr := strings.Fields(rest)
+		if len(valStr) == 0 {
+			return fmt.Errorf("line %d: sample %s has no value", lineNo, name)
+		}
+		val, err := parsePromValue(valStr[0])
+		if err != nil {
+			return fmt.Errorf("line %d: sample %s: %v", lineNo, name, err)
+		}
+
+		base := baseFamily(name, fams)
+		f := fams[base]
+		if f == nil || f.typ == "" || f.help == "" {
+			return fmt.Errorf("line %d: sample %s before HELP+TYPE for %s", lineNo, name, base)
+		}
+		f.sampleSeen = true
+
+		if strings.HasPrefix(base, "surw") && !promSurwNameRe.MatchString(base) {
+			return fmt.Errorf("line %d: surw metric %s violates ^surw_[a-z0-9_]+$", lineNo, base)
+		}
+		if f.typ == "counter" && !strings.HasSuffix(base, "_total") {
+			return fmt.Errorf("line %d: counter %s must end in _total", lineNo, base)
+		}
+		if val < 0 && (f.typ == "counter" || f.typ == "histogram") {
+			return fmt.Errorf("line %d: %s %s has negative value %g", lineNo, f.typ, base, val)
+		}
+
+		if f.typ == "histogram" && base != name {
+			key, le, hasLE, err := splitLELabel(labels)
+			if err != nil {
+				return fmt.Errorf("line %d: %s: %v", lineNo, name, err)
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if !hasLE {
+					return fmt.Errorf("line %d: histogram bucket %s lacks an le label", lineNo, name)
+				}
+				f.buckets[key] = append(f.buckets[key], promBucket{le: le, val: val})
+			case strings.HasSuffix(name, "_count"):
+				if hasLE {
+					return fmt.Errorf("line %d: %s carries an le label", lineNo, name)
+				}
+				f.counts[key] = val
+			case strings.HasSuffix(name, "_sum"):
+				f.sums[key] = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	// Cross-sample histogram checks.
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		if f.typ != "histogram" {
+			continue
+		}
+		for key, bs := range f.buckets {
+			last, lastLE := -1.0, math.Inf(-1)
+			sawInf := false
+			for _, b := range bs {
+				if b.le < lastLE {
+					return fmt.Errorf("histogram %s{%s}: le buckets out of order", name, key)
+				}
+				if b.val < last {
+					return fmt.Errorf("histogram %s{%s}: cumulative counts decrease at le=%g", name, key, b.le)
+				}
+				last, lastLE = b.val, b.le
+				if math.IsInf(b.le, 1) {
+					sawInf = true
+				}
+			}
+			if !sawInf {
+				return fmt.Errorf("histogram %s{%s}: missing mandatory +Inf bucket", name, key)
+			}
+			count, ok := f.counts[key]
+			if !ok {
+				return fmt.Errorf("histogram %s{%s}: no _count sample", name, key)
+			}
+			if last != count {
+				return fmt.Errorf("histogram %s{%s}: +Inf bucket %g != _count %g", name, key, last, count)
+			}
+			if !f.sums[key] {
+				return fmt.Errorf("histogram %s{%s}: no _sum sample", name, key)
+			}
+		}
+	}
+	return nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return 0, fmt.Errorf("NaN sample value")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+// splitLELabel canonicalizes a label string, returning it with any `le`
+// pair removed plus the parsed le bound.
+func splitLELabel(labels string) (key string, le float64, hasLE bool, err error) {
+	if labels == "" {
+		return "", 0, false, nil
+	}
+	var kept []string
+	for _, pair := range strings.Split(labels, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return "", 0, false, fmt.Errorf("bad label pair %q", pair)
+		}
+		val = strings.Trim(val, `"`)
+		if name == "le" {
+			hasLE = true
+			le, err = parsePromValue(val)
+			if err != nil {
+				return "", 0, false, fmt.Errorf("bad le %q", val)
+			}
+			continue
+		}
+		kept = append(kept, name+"="+val)
+	}
+	sort.Strings(kept)
+	return strings.Join(kept, ","), le, hasLE, nil
+}

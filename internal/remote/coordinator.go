@@ -39,6 +39,21 @@ type CoordinatorOptions struct {
 	// ClassFilterSize is the number of 8-bit counters backing the filter.
 	// Default DefaultFilterSize.
 	ClassFilterSize int
+	// Tracing enables fleet tracing: every lease gets a root span whose
+	// context travels to the worker, worker spans are ingested from result
+	// submissions, and the assembled log is served on /v1/spans. Off by
+	// default — untraced fleets record nothing and allocate nothing.
+	Tracing bool
+	// Track names the coordinator's span track. Default "coordinator".
+	Track string
+	// StaleWorkerAfter flags workers silent for this long (default 3x
+	// LeaseTTL); AgingLeaseAfter flags leases outstanding this long
+	// (default 5x LeaseTTL); SlowCellFraction flags cells below this
+	// fraction of the fleet-median schedules/s (default
+	// DefaultSlowCellFraction).
+	StaleWorkerAfter time.Duration
+	AgingLeaseAfter  time.Duration
+	SlowCellFraction float64
 }
 
 func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
@@ -50,6 +65,18 @@ func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = 500 * time.Millisecond
+	}
+	if o.Track == "" {
+		o.Track = "coordinator"
+	}
+	if o.StaleWorkerAfter <= 0 {
+		o.StaleWorkerAfter = defaultStaleWorkerTTLs * o.LeaseTTL
+	}
+	if o.AgingLeaseAfter <= 0 {
+		o.AgingLeaseAfter = defaultAgingLeaseTTLs * o.LeaseTTL
+	}
+	if o.SlowCellFraction <= 0 {
+		o.SlowCellFraction = DefaultSlowCellFraction
 	}
 	return o
 }
@@ -80,11 +107,24 @@ type Coordinator struct {
 	dupSchedules   int64 // of those, schedules in an already-seen class
 	classQueries   int64 // fingerprints queried over /v1/classes
 	classSaturated int64 // of those, answered saturated
+
+	// Observability. spans is nil unless opts.Tracing; lat holds the
+	// coordinator's own histograms (queue_wait); workerLat keeps the
+	// latest cumulative latency snapshot per worker (replaced, never
+	// merged in place, so cumulative shipping can't double-count); cells
+	// feeds the slow-cell health rule.
+	spans     *obs.SpanLog
+	lat       obs.LatencySet
+	workerLat map[string]map[string]obs.HistogramWire
+	cells     map[campaign.CellKey]*cellStat
 }
 
 // batch is a run of same-cell session keys, in session order.
 type batch struct {
 	keys []runner.SessionKey
+	// enqueued feeds the queue_wait histogram: batch creation or last
+	// requeue → lease grant.
+	enqueued time.Time
 }
 
 type lease struct {
@@ -92,6 +132,9 @@ type lease struct {
 	worker  string
 	keys    []runner.SessionKey
 	expires time.Time
+	granted time.Time    // feeds the aging-lease health rule
+	hb      int          // heartbeats seen
+	span    obs.OpenSpan // root "lease" span; inert unless tracing
 }
 
 type workerState struct {
@@ -115,12 +158,20 @@ func NewCoordinator(store runner.SessionStore, plan []runner.SessionKey, opts Co
 		total:   len(plan),
 		leases:  make(map[string]*lease),
 		workers: make(map[string]*workerState),
+
+		workerLat: make(map[string]map[string]obs.HistogramWire),
+		cells:     make(map[campaign.CellKey]*cellStat),
+	}
+	if c.opts.Tracing {
+		c.spans = obs.NewSpanLog(c.opts.Track)
 	}
 	c.filter = NewClassFilter(c.opts.ClassFilterSize, c.opts.ClassThreshold)
+	t0 := c.now()
 	var cur batch
 	var curCell campaign.CellKey
 	flush := func() {
 		if len(cur.keys) > 0 {
+			cur.enqueued = t0
 			c.pending = append(c.pending, cur)
 			cur = batch{}
 		}
@@ -147,6 +198,8 @@ func NewCoordinator(store runner.SessionStore, plan []runner.SessionKey, opts Co
 	c.mux.HandleFunc(PathResult, c.handleResult)
 	c.mux.HandleFunc(PathStatus, c.handleStatus)
 	c.mux.HandleFunc(PathClasses, c.handleClasses)
+	c.mux.HandleFunc(PathSpans, c.handleSpans)
+	c.mux.HandleFunc(PathHealth, c.handleHealth)
 	c.mux.HandleFunc("/metrics", c.handleMetrics)
 	return c
 }
@@ -197,11 +250,14 @@ func (c *Coordinator) expireStaleLocked(now time.Time) {
 	for id, l := range c.leases {
 		if now.After(l.expires) {
 			delete(c.leases, id)
-			c.pending = append(c.pending, batch{keys: l.keys})
+			c.pending = append(c.pending, batch{keys: l.keys, enqueued: now})
 			c.expiries++
 			if ws := c.workers[l.worker]; ws != nil {
 				ws.leases--
 			}
+			l.span.Span.Err = "expired"
+			l.span.Span.HB = l.hb
+			l.span.End()
 		}
 	}
 }
@@ -244,12 +300,16 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		if len(keys) == 0 {
 			continue
 		}
+		if !b.enqueued.IsZero() {
+			c.lat.Observe("queue_wait", now.Sub(b.enqueued))
+		}
 		c.seq++
 		l := &lease{
 			id:      fmt.Sprintf("l%06d", c.seq),
 			worker:  req.Worker,
 			keys:    keys,
 			expires: now.Add(c.opts.LeaseTTL),
+			granted: now,
 		}
 		c.leases[l.id] = l
 		ws.leases++
@@ -262,6 +322,19 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		}
 		for _, k := range keys {
 			out.Sessions = append(out.Sessions, k.Session)
+		}
+		if c.spans.Enabled() {
+			// Root of the end-to-end trace: one fresh TraceID per lease.
+			// The span stays open until the lease completes or expires;
+			// its context rides to the worker as a W3C traceparent.
+			root := c.spans.NewRoot()
+			l.span = c.spans.Start(obs.SpanContext{Trace: root.Trace}, "lease")
+			l.span.Span.Lease = l.id
+			l.span.Span.Worker = req.Worker
+			l.span.Span.Target = k0.Target
+			l.span.Span.Alg = k0.Algorithm
+			l.span.Span.N = len(keys)
+			out.Traceparent = l.span.Context().Traceparent()
 		}
 		writeJSON(w, LeaseResponse{Lease: out})
 		return
@@ -293,10 +366,12 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	l.expires = now.Add(c.opts.LeaseTTL)
+	l.hb++
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	submitStart := time.Now()
 	var req ResultRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -347,15 +422,73 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		ws.sessions++
 		c.ingestLocked(d.sess)
 	}
-	ws.busy += time.Duration(req.BusyMillis) * time.Millisecond
+	busy := time.Duration(req.BusyMillis) * time.Millisecond
+	ws.busy += busy
+	// Cell throughput for the slow-cell health rule. A lease never mixes
+	// cells, so the first record's cell owns the whole batch's busy time.
+	if len(recs) > 0 {
+		cell := CellOf(recs[0].key)
+		cs := c.cells[cell]
+		if cs == nil {
+			cs = &cellStat{}
+			c.cells[cell] = cs
+		}
+		for _, d := range recs {
+			cs.schedules += int64(d.sess.Schedules)
+		}
+		cs.busy += busy
+	}
+	// Latest cumulative latency snapshot per worker: replace, never fold,
+	// so repeated submissions of a growing snapshot can't double-count.
+	if len(req.Latencies) > 0 {
+		c.workerLat[req.Worker] = req.Latencies
+	}
+	if c.spans.Enabled() {
+		for _, s := range req.Spans {
+			c.spans.Add(s)
+		}
+		// The submit leg, measured server-side under the worker's execute
+		// span (from the request's traceparent header) — the one genuinely
+		// cross-process span of the trace.
+		if pctx, err := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); err == nil {
+			c.spans.Add(obs.Span{
+				Trace: pctx.Trace, Parent: pctx.Span, Name: "submit",
+				Start: submitStart.UnixNano(), Dur: int64(time.Since(submitStart)),
+				Worker: req.Worker, N: resp.Accepted,
+			})
+		}
+	}
 	// Completing the lease is best-effort: if it already expired (or the
 	// coordinator restarted), the records above were still accepted.
 	if l, ok := c.leases[req.LeaseID]; ok && l.worker == req.Worker {
 		delete(c.leases, req.LeaseID)
 		ws.leases--
+		l.span.Span.HB = l.hb
+		if resp.Duplicates > 0 {
+			l.span.Span.Err = fmt.Sprintf("%d duplicates", resp.Duplicates)
+		}
+		l.span.End()
 	}
 	writeJSON(w, resp)
 }
+
+// handleSpans serves the coordinator's assembled span log as JSONL —
+// coordinator root spans, ingested worker spans, and submit legs. Empty
+// (but well-formed) when tracing is off.
+func (c *Coordinator) handleSpans(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/jsonl")
+	_ = obs.WriteSpansJSONL(w, c.Spans())
+}
+
+// handleHealth serves the stall-detection report.
+func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = obs.WriteJSON(w, c.Health())
+}
+
+// Spans snapshots the fleet span log (nil when tracing is off) — what
+// surwbench -fleet-trace writes to disk at campaign end.
+func (c *Coordinator) Spans() []obs.Span { return c.spans.Snapshot() }
 
 // handleClasses answers saturation queries against the seen-class filter.
 // Fingerprints are hex (the campaign wire spelling); a malformed one is a
@@ -443,6 +576,16 @@ func (c *Coordinator) Status() *campaign.RemoteStatus {
 		}
 		rs.Workers = append(rs.Workers, wk)
 	}
+	// Fleet latency view: the coordinator's own histograms merged with the
+	// latest snapshot from each worker. Built fresh per call — merging
+	// cumulative worker snapshots into a long-lived set would double-count.
+	var fleet obs.LatencySet
+	fleet.Merge(c.lat.Wire())
+	for _, wl := range c.workerLat {
+		fleet.Merge(wl)
+	}
+	rs.Latencies = fleet.Snapshots()
+	rs.Health = c.healthLocked(now)
 	return rs
 }
 

@@ -1,0 +1,202 @@
+package remote
+
+// Stall-detection tests: each health rule exercised over the injectable
+// clock, plus the /api/health endpoint and the surw_health_* gauges.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"surw/internal/campaign"
+	"surw/internal/obs"
+)
+
+func TestHealthStaleWorker(t *testing.T) {
+	st := newMemStore()
+	clk := &clock{t: time.Unix(1_000_000, 0)}
+	c := NewCoordinator(st, syntheticPlan(4), CoordinatorOptions{LeaseTTL: time.Minute, BatchSize: 4})
+	c.now = clk.now
+	srv := httptest.NewServer(c)
+	defer srv.Close()
+
+	if h := c.Health(); !h.Healthy {
+		t.Fatalf("fresh coordinator unhealthy: %+v", h)
+	}
+	leaseFor(t, srv.URL, "a")
+	// StaleWorkerAfter defaults to 3x the TTL; 4 minutes of silence
+	// crosses it (and expires the lease, so no aging-lease issue).
+	clk.advance(4 * time.Minute)
+	h := c.Health()
+	if h.Healthy || h.StaleWorkers != 1 {
+		t.Fatalf("health after silence: %+v, want 1 stale worker", h)
+	}
+	if len(h.Issues) != 1 || h.Issues[0].Kind != campaign.HealthStaleWorker || h.Issues[0].Subject != "a" {
+		t.Fatalf("issues: %+v", h.Issues)
+	}
+	if h.AgingLeases != 0 {
+		t.Fatalf("expired lease still counted as aging: %+v", h)
+	}
+}
+
+func TestHealthAgingLease(t *testing.T) {
+	st := newMemStore()
+	clk := &clock{t: time.Unix(1_000_000, 0)}
+	c := NewCoordinator(st, syntheticPlan(4), CoordinatorOptions{LeaseTTL: time.Minute, BatchSize: 4})
+	c.now = clk.now
+	srv := httptest.NewServer(c)
+	defer srv.Close()
+
+	la := leaseFor(t, srv.URL, "a")
+	hb := HeartbeatRequest{Worker: "a", LeaseID: la.Lease.ID}
+	// Heartbeat every 30s for 6 minutes: the lease stays alive (the
+	// worker is not stale) but never finishes — the aging rule (5x TTL)
+	// is the only one that can see this.
+	for i := 0; i < 12; i++ {
+		clk.advance(30 * time.Second)
+		if code := postJSON(t, srv.URL+PathHeartbeat, hb, nil); code != http.StatusNoContent {
+			t.Fatalf("heartbeat %d: status %d", i, code)
+		}
+	}
+	h := c.Health()
+	if h.Healthy || h.AgingLeases != 1 || h.StaleWorkers != 0 {
+		t.Fatalf("health: %+v, want exactly 1 aging lease", h)
+	}
+	issue := h.Issues[0]
+	if issue.Kind != campaign.HealthAgingLease || issue.Subject != la.Lease.ID {
+		t.Fatalf("issue: %+v", issue)
+	}
+	if !strings.Contains(issue.Detail, "12 heartbeats") {
+		t.Fatalf("detail %q does not count the heartbeats", issue.Detail)
+	}
+}
+
+func TestHealthSlowCell(t *testing.T) {
+	st := newMemStore()
+	c := NewCoordinator(st, syntheticPlan(1), CoordinatorOptions{LeaseTTL: time.Minute})
+	// Inject observed throughput directly: two healthy cells at ~100
+	// schedules/s and one crawling at 1/s (median 100, floor 25).
+	c.mu.Lock()
+	c.cells[campaign.CellKey{Target: "t/fast1", Algorithm: "RW"}] = &cellStat{schedules: 1000, busy: 10 * time.Second}
+	c.cells[campaign.CellKey{Target: "t/fast2", Algorithm: "RW"}] = &cellStat{schedules: 1000, busy: 10 * time.Second}
+	c.cells[campaign.CellKey{Target: "t/hang", Algorithm: "SURW"}] = &cellStat{schedules: 10, busy: 10 * time.Second}
+	// Below minCellBusy: excluded from the rule even though its rate is 0.
+	c.cells[campaign.CellKey{Target: "t/new", Algorithm: "RW"}] = &cellStat{schedules: 1, busy: time.Millisecond}
+	c.mu.Unlock()
+
+	h := c.Health()
+	if h.Healthy || h.SlowCells != 1 {
+		t.Fatalf("health: %+v, want exactly 1 slow cell", h)
+	}
+	if h.Issues[0].Subject != "t/hang/SURW" {
+		t.Fatalf("slow cell subject: %q", h.Issues[0].Subject)
+	}
+	if h.FleetMedianSchedulesPerSec != 100 {
+		t.Fatalf("fleet median: %v, want 100", h.FleetMedianSchedulesPerSec)
+	}
+}
+
+// A single measured cell has no meaningful median: the rule stays quiet.
+func TestHealthSlowCellNeedsTwoMeasured(t *testing.T) {
+	st := newMemStore()
+	c := NewCoordinator(st, syntheticPlan(1), CoordinatorOptions{})
+	c.mu.Lock()
+	c.cells[campaign.CellKey{Target: "t/only", Algorithm: "RW"}] = &cellStat{schedules: 10, busy: 10 * time.Second}
+	c.mu.Unlock()
+	if h := c.Health(); !h.Healthy {
+		t.Fatalf("single-cell fleet flagged: %+v", h)
+	}
+}
+
+func TestHealthEndpointAndGauges(t *testing.T) {
+	st := newMemStore()
+	clk := &clock{t: time.Unix(1_000_000, 0)}
+	c := NewCoordinator(st, syntheticPlan(4), CoordinatorOptions{LeaseTTL: time.Minute, BatchSize: 4})
+	c.now = clk.now
+	srv := httptest.NewServer(c)
+	defer srv.Close()
+
+	leaseFor(t, srv.URL, "a")
+	clk.advance(4 * time.Minute)
+
+	resp, err := http.Get(srv.URL + PathHealth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h campaign.HealthReport
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Healthy || h.StaleWorkers != 1 {
+		t.Fatalf("/api/health: %+v", h)
+	}
+
+	// The same verdict rides RemoteStatus and its Prometheus page.
+	rs := c.Status()
+	if rs.Health == nil || rs.Health.StaleWorkers != 1 {
+		t.Fatalf("status health: %+v", rs.Health)
+	}
+	var b strings.Builder
+	if err := rs.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	page := b.String()
+	for _, want := range []string{"surw_health_ok 0", "surw_health_stale_workers 1"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("metrics page missing %q:\n%s", want, page)
+		}
+	}
+	if err := obs.LintPrometheus(strings.NewReader(page)); err != nil {
+		t.Errorf("remote status page fails lint: %v", err)
+	}
+}
+
+// Latency shipping: the coordinator folds its own queue-wait histogram
+// with the latest per-worker snapshots, replacing (not accumulating) a
+// worker's resubmitted cumulative set.
+func TestFleetLatencyAggregation(t *testing.T) {
+	st := newMemStore()
+	c := NewCoordinator(st, syntheticPlan(2), CoordinatorOptions{BatchSize: 1})
+	srv := httptest.NewServer(c)
+	defer srv.Close()
+
+	var wlat obs.LatencySet
+	wlat.Observe("session", 5*time.Millisecond)
+	la := leaseFor(t, srv.URL, "a")
+	req := ResultRequest{Worker: "a", LeaseID: la.Lease.ID,
+		Records: sessionRecordsFor(la.Lease), Latencies: wlat.Wire()}
+	if code := postJSON(t, srv.URL+PathResult, req, nil); code != 200 {
+		t.Fatalf("submit: status %d", code)
+	}
+
+	// Second submit ships a *cumulative* snapshot (2 observations). The
+	// fleet view must show 2, not 1+2.
+	wlat.Observe("session", 7*time.Millisecond)
+	lb := leaseFor(t, srv.URL, "a")
+	req = ResultRequest{Worker: "a", LeaseID: lb.Lease.ID,
+		Records: sessionRecordsFor(lb.Lease), Latencies: wlat.Wire()}
+	if code := postJSON(t, srv.URL+PathResult, req, nil); code != 200 {
+		t.Fatalf("submit 2: status %d", code)
+	}
+
+	rs := c.Status()
+	var sessions, queueWait *obs.LatencySnap
+	for i := range rs.Latencies {
+		switch rs.Latencies[i].Op {
+		case "session":
+			sessions = &rs.Latencies[i]
+		case "queue_wait":
+			queueWait = &rs.Latencies[i]
+		}
+	}
+	if sessions == nil || sessions.Count != 2 {
+		t.Fatalf("fleet session latency: %+v, want count 2 (latest snapshot, not a fold)", sessions)
+	}
+	if queueWait == nil || queueWait.Count != 2 {
+		t.Fatalf("fleet queue_wait latency: %+v, want one observation per grant", queueWait)
+	}
+}

@@ -40,7 +40,10 @@
 // without a thundering herd.
 package remote
 
-import "surw/internal/campaign"
+import (
+	"surw/internal/campaign"
+	"surw/internal/obs"
+)
 
 // Protocol endpoint paths.
 const (
@@ -49,6 +52,8 @@ const (
 	PathResult    = "/v1/result"
 	PathStatus    = "/v1/status"
 	PathClasses   = "/v1/classes"
+	PathSpans     = "/v1/spans"
+	PathHealth    = "/api/health"
 )
 
 // LeaseRequest asks for one batch of work.
@@ -86,6 +91,12 @@ type Lease struct {
 	// TTLMillis is the lease's time-to-live; the worker heartbeats at a
 	// fraction of it to keep the lease alive.
 	TTLMillis int64 `json:"ttl_ms"`
+	// Traceparent, when non-empty, is the W3C trace context of the
+	// coordinator's root "lease" span: the worker parents its execute /
+	// session / prefix-replay spans under it and ships them back in the
+	// ResultRequest, letting the coordinator assemble the end-to-end trace.
+	// Empty when fleet tracing is off — workers then record no spans.
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // HeartbeatRequest keeps a lease alive while its batch executes.
@@ -103,6 +114,15 @@ type ResultRequest struct {
 	// feeding the per-worker utilization gauges.
 	BusyMillis int64             `json:"busy_ms"`
 	Records    []campaign.Record `json:"records"`
+	// Spans are the worker-side spans of this lease's trace (execute,
+	// sessions, prefix replays); empty unless the lease carried a
+	// traceparent.
+	Spans []obs.Span `json:"spans,omitempty"`
+	// Latencies is the worker's cumulative latency snapshot (all ops since
+	// the worker started, not just this lease). The coordinator keeps the
+	// latest snapshot per worker and merges those into the fleet view, so
+	// shipping cumulative histograms never double-counts.
+	Latencies map[string]obs.HistogramWire `json:"latencies,omitempty"`
 }
 
 // ResultResponse reports how the submission landed.

@@ -17,9 +17,14 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"os"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"surw/internal/campaign"
+	"surw/internal/obs"
 	"surw/internal/runner"
 	"surw/internal/workpool"
 )
@@ -54,10 +59,51 @@ type Worker struct {
 	// byte-identity smokes. Queries fail open: any transport error means
 	// "not saturated".
 	UsePrefixFilter bool
+	// Metrics, when non-nil, is attached to every leased batch's
+	// runner.Config, aggregating schedule counters and decision histograms
+	// for the worker's own -metrics page. Results stay byte-identical, but
+	// the attached tracer disables the batched/checkpoint fast path, so
+	// this is opt-in (cmd/surwworker -metrics).
+	Metrics *obs.Metrics
+	// Watchdog, when > 0, arms a per-lease self-watchdog: if no session of
+	// the lease completes for this long, the worker logs the stall and
+	// dumps a goroutine profile to stderr — the "heartbeating but not
+	// finishing" failure the coordinator's aging-lease rule sees only from
+	// the outside. Off by default.
+	Watchdog time.Duration
+	// RetainSpans keeps a copy of every span the worker ships, so
+	// cmd/surwworker -trace can write them at exit. Off by default — spans
+	// normally leave with their ResultRequest and are dropped.
+	RetainSpans bool
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
 
 	rng *rand.Rand
+
+	// lat holds the worker's always-on latency histograms (lease_rpc,
+	// session, checkpoint_fork, submit); its cumulative snapshot ships with
+	// every result submission. Lock-free observes; see obs.LatencySet.
+	lat obs.LatencySet
+	// spans is created lazily on the first traced lease (nil records
+	// nothing, costing untraced fleets zero allocations).
+	spans *obs.SpanLog
+
+	retainMu sync.Mutex
+	retained []obs.Span
+
+	// stalled is the watchdog action; nil means the default (log + dump a
+	// goroutine profile to stderr). Overridable for tests.
+	stalled func(leaseID string, age time.Duration)
+}
+
+// Latencies exposes the worker's cumulative latency snapshot.
+func (w *Worker) Latencies() map[string]obs.HistogramWire { return w.lat.Wire() }
+
+// Spans returns the spans retained under RetainSpans, in ship order.
+func (w *Worker) Spans() []obs.Span {
+	w.retainMu.Lock()
+	defer w.retainMu.Unlock()
+	return append([]obs.Span(nil), w.retained...)
 }
 
 func (w *Worker) logf(format string, args ...any) {
@@ -108,7 +154,10 @@ func (w *Worker) Run(ctx context.Context) error {
 			return err
 		}
 		var resp LeaseResponse
-		if err := w.post(ctx, PathLease, LeaseRequest{Worker: w.Name}, &resp); err != nil {
+		leaseT0 := time.Now()
+		err := w.post(ctx, PathLease, LeaseRequest{Worker: w.Name}, &resp)
+		w.lat.Observe("lease_rpc", time.Since(leaseT0))
+		if err != nil {
 			w.logf("lease poll failed (%v), backing off %v", err, backoff)
 			if !sleepCtx(ctx, w.jittered(backoff)) {
 				return ctx.Err()
@@ -154,9 +203,59 @@ func (w *Worker) execute(ctx context.Context, l *Lease) error {
 		Coverage:       l.Coverage,
 		CoverageEvery:  l.CoverageEvery,
 		ProfileRuns:    l.ProfileRuns,
+		Metrics:        w.Metrics,
 	}
 	if w.UsePrefixFilter {
 		cfg.PrefixFilter = &coordPrefixFilter{w: w, ctx: ctx}
+	}
+
+	// Tracing: a lease carrying a traceparent gets an "execute" span on
+	// this worker's track, with one pre-minted span ID per session so the
+	// prefix-replay spans (reported through cfg.Phase mid-session) can
+	// parent under session spans recorded after the fact. An untraced
+	// lease pays one string compare — spans stays nil until the fleet
+	// actually traces.
+	var exec obs.OpenSpan
+	var sessIDs []obs.SpanID
+	sessionIdx := make(map[int]int, len(l.Sessions))
+	for i, s := range l.Sessions {
+		sessionIdx[s] = i
+	}
+	if l.Traceparent != "" {
+		if parent, err := obs.ParseTraceparent(l.Traceparent); err == nil {
+			if w.spans == nil {
+				w.spans = obs.NewSpanLog(w.Name)
+			}
+			exec = w.spans.Start(parent, "execute")
+			exec.Span.Lease = l.ID
+			exec.Span.Target = l.Target
+			exec.Span.Alg = l.Algorithm
+			exec.Span.N = len(l.Sessions)
+			sessIDs = make([]obs.SpanID, len(l.Sessions))
+			for i := range sessIDs {
+				sessIDs[i] = w.spans.NewSpanID()
+			}
+		} else {
+			w.logf("lease %s: bad traceparent %q: %v", l.ID, l.Traceparent, err)
+		}
+	}
+	// The phase hook feeds the checkpoint_fork histogram always (it is the
+	// only phase signal RunSession exposes) and, when traced, the
+	// prefix-replay spans. Consulted once per session, between schedules —
+	// it cannot perturb results.
+	cfg.Phase = func(session int, phase string, start time.Time, d time.Duration) {
+		if phase != "prefix" {
+			return
+		}
+		w.lat.Observe("checkpoint_fork", d)
+		if exec.Active() {
+			if i, ok := sessionIdx[session]; ok {
+				w.spans.Add(obs.Span{
+					Trace: exec.Span.Trace, Parent: sessIDs[i], Name: "prefix-replay",
+					Start: start.UnixNano(), Dur: int64(d), Session: session + 1,
+				})
+			}
+		}
 	}
 
 	// Heartbeat at a third of the TTL while the batch executes. A 410
@@ -166,16 +265,49 @@ func (w *Worker) execute(ctx context.Context, l *Lease) error {
 	// wrong, at worst redundant.
 	hbCtx, stopHB := context.WithCancel(ctx)
 	defer stopHB()
-	go w.heartbeatLoop(hbCtx, l)
+	go w.heartbeatLoop(hbCtx, l, exec)
+
+	// Self-watchdog: progress is "a session of this lease completed"; a
+	// lease making none for the deadline gets its stall dumped. This is
+	// the worker-side mirror of the coordinator's aging-lease rule — the
+	// coordinator can only say "stalled", the watchdog says where.
+	var progress atomic.Int64
+	if w.Watchdog > 0 {
+		wdCtx, stopWD := context.WithCancel(ctx)
+		defer stopWD()
+		stalled := w.stalled
+		if stalled == nil {
+			stalled = func(leaseID string, age time.Duration) {
+				w.logf("WATCHDOG lease %s: no session completed for %v; dumping goroutine profile", leaseID, age.Round(time.Millisecond))
+				if p := pprof.Lookup("goroutine"); p != nil {
+					_ = p.WriteTo(os.Stderr, 1)
+				}
+			}
+		}
+		go watchLease(wdCtx, w.Watchdog, &progress, func(age time.Duration) { stalled(l.ID, age) })
+	}
 
 	start := time.Now()
 	w.logf("lease %s: %s/%s sessions %v", l.ID, l.Target, l.Algorithm, l.Sessions)
 	records := make([]campaign.Record, len(l.Sessions))
 	_, err := workpool.Map(w.Workers, len(l.Sessions), func(i int) (struct{}, error) {
 		session := l.Sessions[i]
+		t0 := time.Now()
 		sess, err := runner.RunSession(ctx, tgt, l.Algorithm, cfg, session)
 		if err != nil {
 			return struct{}{}, err
+		}
+		d := time.Since(t0)
+		w.lat.Observe("session", d)
+		progress.Add(1)
+		if exec.Active() {
+			// Recorded retroactively under the pre-minted ID so the
+			// prefix-replay span already points at it.
+			w.spans.Add(obs.Span{
+				Trace: exec.Span.Trace, Parent: exec.Span.ID, ID: sessIDs[i],
+				Name: "session", Start: t0.UnixNano(), Dur: int64(d),
+				Session: session + 1,
+			})
 		}
 		records[i] = campaign.NewRecord(runner.KeyFor(tgt, l.Algorithm, cfg, session), sess)
 		return struct{}{}, nil
@@ -184,15 +316,57 @@ func (w *Worker) execute(ctx context.Context, l *Lease) error {
 	if err != nil {
 		return err
 	}
-	return w.submit(ctx, ResultRequest{
+	req := ResultRequest{
 		Worker:     w.Name,
 		LeaseID:    l.ID,
 		BusyMillis: time.Since(start).Milliseconds(),
 		Records:    records,
-	})
+		Latencies:  w.lat.Wire(),
+	}
+	if exec.Active() {
+		exec.End()
+		req.Spans = w.spans.Drain()
+		if w.RetainSpans {
+			w.retainMu.Lock()
+			w.retained = append(w.retained, req.Spans...)
+			w.retainMu.Unlock()
+		}
+	}
+	return w.submit(ctx, req, exec)
 }
 
-func (w *Worker) heartbeatLoop(ctx context.Context, l *Lease) {
+// watchLease fires stalled whenever progress makes no forward motion for a
+// full deadline. It checks at deadline/4 granularity and re-arms after
+// firing, so a lease stalled for N deadlines reports ~N times, not
+// continuously. Factored out of execute for testability.
+func watchLease(ctx context.Context, deadline time.Duration, progress *atomic.Int64, stalled func(age time.Duration)) {
+	tick := deadline / 4
+	if tick <= 0 {
+		tick = deadline
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	last := progress.Load()
+	lastChange := time.Now()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if cur := progress.Load(); cur != last {
+				last = cur
+				lastChange = time.Now()
+				continue
+			}
+			if age := time.Since(lastChange); age >= deadline {
+				stalled(age)
+				lastChange = time.Now() // re-arm
+			}
+		}
+	}
+}
+
+func (w *Worker) heartbeatLoop(ctx context.Context, l *Lease, exec obs.OpenSpan) {
 	ttl := time.Duration(l.TTLMillis) * time.Millisecond
 	if ttl <= 0 {
 		ttl = 30 * time.Second
@@ -204,7 +378,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context, l *Lease) {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			err := w.post(ctx, PathHeartbeat, HeartbeatRequest{Worker: w.Name, LeaseID: l.ID}, nil)
+			err := w.postTraced(ctx, PathHeartbeat, spanHeader(exec), HeartbeatRequest{Worker: w.Name, LeaseID: l.ID}, nil)
 			if err == errLeaseGone {
 				w.logf("lease %s lost; finishing batch anyway (submission is idempotent)", l.ID)
 				return
@@ -219,13 +393,15 @@ func (w *Worker) heartbeatLoop(ctx context.Context, l *Lease) {
 // submit pushes the batch's records, retrying forever with backoff — the
 // records are the valuable half of the protocol, and the coordinator may
 // be mid-restart. Duplicate drops are success.
-func (w *Worker) submit(ctx context.Context, req ResultRequest) error {
+func (w *Worker) submit(ctx context.Context, req ResultRequest, exec obs.OpenSpan) error {
 	lo, hi := w.backoffBounds()
 	backoff := lo
 	for {
 		var resp ResultResponse
-		err := w.post(ctx, PathResult, req, &resp)
+		t0 := time.Now()
+		err := w.postTraced(ctx, PathResult, spanHeader(exec), req, &resp)
 		if err == nil {
+			w.lat.Observe("submit", time.Since(t0))
 			w.logf("lease %s: %d accepted, %d duplicate", req.LeaseID, resp.Accepted, resp.Duplicates)
 			return nil
 		}
@@ -266,10 +442,25 @@ func (p *coordPrefixFilter) SaturatedPrefix(class uint64) bool {
 // transport errors (retry).
 var errLeaseGone = fmt.Errorf("remote: lease gone")
 
+// spanHeader renders a span's traceparent header value, "" when inert.
+func spanHeader(o obs.OpenSpan) string {
+	if !o.Active() {
+		return ""
+	}
+	return o.Context().Traceparent()
+}
+
 // post sends one JSON request; out may be nil when only the status
 // matters. 4xx other than 410 is returned verbatim — retrying a request
 // the coordinator rejects as malformed cannot succeed.
 func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	return w.postTraced(ctx, path, "", in, out)
+}
+
+// postTraced is post with a traceparent header, propagating the worker's
+// execute-span context on heartbeat and submit calls so the coordinator
+// can record the server-side submit leg under it.
+func (w *Worker) postTraced(ctx context.Context, path, traceparent string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
@@ -279,6 +470,9 @@ func (w *Worker) post(ctx context.Context, path string, in, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set(obs.TraceparentHeader, traceparent)
+	}
 	resp, err := w.client().Do(req)
 	if err != nil {
 		return err

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"time"
 
 	"surw/internal/core"
 	"surw/internal/obs"
@@ -155,7 +156,23 @@ func runSession(ctx context.Context, tgt Target, algName string, cfg Config, ses
 		var r *sched.Result
 		abandon := false
 		if i == 0 && !cfg.DisableCheckpoint {
+			// Observe the prefix capture (schedule 0's RunPrefix doubles as
+			// the checkpoint fork) when anyone is watching. Once per
+			// session, between schedules — never on the schedule hot path.
+			var prefixStart time.Time
+			if cfg.Metrics != nil || cfg.Phase != nil {
+				prefixStart = time.Now()
+			}
 			r, cp = pool.RunPrefix(tgt.Prog, alg, opts)
+			if !prefixStart.IsZero() {
+				d := time.Since(prefixStart)
+				if cfg.Metrics != nil {
+					cfg.Metrics.Latency("checkpoint_fork").Observe(d)
+				}
+				if cfg.Phase != nil {
+					cfg.Phase(session, "prefix", prefixStart, d)
+				}
+			}
 			// Prefix-class early abandon (opt-in, see Config.PrefixFilter):
 			// every schedule of the session replays this forced prefix, so
 			// one saturated-class verdict retires the whole session. The

@@ -65,9 +65,17 @@ type Config struct {
 	// Results are bit-identical under every setting; see parallel.go.
 	Workers int
 	// Metrics, when non-nil, aggregates observability counters (schedule
-	// throughput, decision histograms, worker utilization) across the batch.
-	// Attaching it never changes results; see internal/obs.
+	// throughput, decision histograms, worker utilization, phase latency
+	// histograms) across the batch. Attaching it never changes results; see
+	// internal/obs.
 	Metrics *obs.Metrics
+	// Phase, when non-nil, is called at session phase boundaries — today
+	// once per session after the prefix capture ("prefix", schedule 0's
+	// RunPrefix) — with the phase's start time and duration. Strictly
+	// observational: it is consulted only between schedules and must not
+	// block. The distributed worker uses it to parent prefix-replay spans
+	// under session spans; everything else leaves it nil.
+	Phase func(session int, phase string, start time.Time, d time.Duration)
 	// FlightDir, when non-empty, enables the flight recorder: each session's
 	// first failing schedule is re-executed with a replay recorder attached
 	// and dumped as a JSON flight record under this directory (replayable
@@ -341,10 +349,17 @@ func RunTargetContext(ctx context.Context, tgt Target, algName string, cfg Confi
 	start := time.Now()
 	sessions, err := workpool.MapMetered(cfg.Workers, cfg.Sessions, meter, func(s int) (Session, error) {
 		pool := pc.get()
+		var t0 time.Time
+		if cfg.Metrics != nil {
+			t0 = time.Now()
+		}
 		sess, err := runSession(ctx, tgt, algName, cfg, s, pool)
 		pc.put(pool)
 		if err != nil {
 			return Session{}, fmt.Errorf("runner: %s/%s session %d: %w", tgt.Name, algName, s, err)
+		}
+		if cfg.Metrics != nil {
+			cfg.Metrics.Latency("session").Observe(time.Since(t0))
 		}
 		return *sess, nil
 	})
