@@ -29,10 +29,14 @@ race:
 
 # Benchmarks. The throughput-critical pair (pooled scheduling and parallel
 # sessions) is additionally parsed into BENCH_obs.json so regressions can be
-# gated on and reports can embed machine-readable numbers.
+# gated on and reports can embed machine-readable numbers; every run also
+# appends a timestamped record to the BENCH_history.jsonl trajectory
+# (BENCH_obs.json stays the latest snapshot). `surwobs -bench-compare
+# old.json new.json` gates schedules/s between any two snapshots.
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ . | tee BENCH_obs.txt
 	$(GO) run ./cmd/surwobs -bench2json -in BENCH_obs.txt -out BENCH_obs.json \
+		-bench-history BENCH_history.jsonl \
 		-gate 'BenchmarkPooledSchedule/pooled.allocs/op<=11'
 
 # Short coverage-guided fuzz runs of the native fuzz targets: the

@@ -58,7 +58,19 @@ for attempt in 1 2 3; do
 done
 test "$sched_gate_ok" -eq 1 || go run ./cmd/surwobs -in /tmp/surw-bench-par.txt -gate 'BenchmarkParallelSessions/workers_1.schedules/s>=27595'
 test -s BENCH_obs.json
-go run ./cmd/surwobs -bench2json -in /tmp/surw-bench-par.txt -out /dev/null
+go run ./cmd/surwobs -bench2json -in /tmp/surw-bench-par.txt -out /tmp/surw-bench-par.json
+
+# Benchmark trajectory gate: -bench-compare must accept an unchanged
+# snapshot and reject one whose schedules/s collapsed — the tool ci.sh and
+# release branches use against the committed BENCH_obs.json baseline. The
+# degraded copy is the real snapshot with its throughput forced to 1, a
+# >10% drop by any measure.
+go run ./cmd/surwobs -bench-compare /tmp/surw-bench-par.json /tmp/surw-bench-par.json
+sed -E 's|"schedules/s": [0-9.eE+-]+|"schedules/s": 1|' /tmp/surw-bench-par.json > /tmp/surw-bench-bad.json
+if go run ./cmd/surwobs -bench-compare /tmp/surw-bench-par.json /tmp/surw-bench-bad.json > /dev/null 2>&1; then
+    echo "FAIL: -bench-compare accepted a collapsed schedules/s"
+    exit 1
+fi
 
 # Observability smoke: export a Chrome trace and validate it, then dump a
 # flight record from a failing SCTBench target, validate it, and replay it
@@ -230,6 +242,74 @@ test -s /tmp/surw-campaign/t1.spans.jsonl
 go run ./cmd/surwobs -assemble-trace /tmp/surw-campaign/fleet.spans.jsonl \
     -out /tmp/surw-campaign/fleet.json
 go run ./cmd/surwobs -check-trace /tmp/surw-campaign/fleet.json
+
+# Exploration-atlas smoke: the bitshift coverage grid once more with the
+# atlas attached. Three invariants:
+#   1. aggregates.json stays byte-identical to the atlas-less reference
+#      (kref) — cartography observes, never perturbs;
+#   2. surwobs validates the atlas.json export and renders the SVG atlas;
+#   3. the drift verdicts are right: URW really is uniform over the
+#      probe's 70 classes (ok), while RW — literally the unweighted
+#      random walk the paper corrects — is biased enough that 600
+#      samples trip the chi-square drift alarm (DRIFT).
+/tmp/surw-campaign/surwbench -campaign /tmp/surw-campaign/atl -workers 2 -atlas $KCELLS -q sct \
+    > /tmp/surw-campaign/atl.log 2>&1
+cmp /tmp/surw-campaign/kref/aggregates.json /tmp/surw-campaign/atl/aggregates.json
+test -s /tmp/surw-campaign/atl/atlas.json
+go run ./cmd/surwobs -atlas /tmp/surw-campaign/atl/atlas.json \
+    -out /tmp/surw-campaign/atl.svg > /tmp/surw-campaign/atl-cells.txt
+grep '<svg' /tmp/surw-campaign/atl.svg > /dev/null
+grep 'atlas cell Fig1/bitshift_4/URW: .* ok$' /tmp/surw-campaign/atl-cells.txt
+grep 'atlas cell Fig1/bitshift_4/RW: .* DRIFT$' /tmp/surw-campaign/atl-cells.txt
+
+# Yield-guided leasing smoke: the same grid sharded over a coordinator with
+# -yield-leases and two atlas-carrying workers. The weighted draw reorders
+# grants (nonzero yield-weighted count) but sessions are deterministic, so
+# aggregates stay byte-identical to the local reference; the coordinator
+# merges the workers' atlases into DIR/atlas.json, and the dashboard served
+# over the finished store renders the heatmap, depth profile, uniformity
+# gauges, and yield panel from it.
+/tmp/surw-campaign/surwbench -coordinate 127.0.0.1:18076 -campaign /tmp/surw-campaign/ydist \
+    -lease-batch 2 -yield-leases $KCELLS -q sct > /tmp/surw-campaign/ydist.log 2>&1 &
+COORD_PID=$!
+trap 'kill $COORD_PID 2>/dev/null || true' EXIT
+for i in $(seq 1 50); do
+    curl -sf http://127.0.0.1:18076/v1/status > /dev/null 2>&1 && break
+    sleep 0.2
+done
+/tmp/surw-campaign/surwworker -coordinator http://127.0.0.1:18076 -name y1 -workers 2 -atlas -q &
+Y1_PID=$!
+/tmp/surw-campaign/surwworker -coordinator http://127.0.0.1:18076 -name y2 -workers 2 -atlas -q &
+Y2_PID=$!
+wait $Y1_PID
+wait $Y2_PID
+wait $COORD_PID
+trap - EXIT
+cmp /tmp/surw-campaign/kref/aggregates.json /tmp/surw-campaign/ydist/aggregates.json
+grep -E 'coordinator: [1-9][0-9]* yield-weighted grants' /tmp/surw-campaign/ydist.log
+test -s /tmp/surw-campaign/ydist/atlas.json
+go run ./cmd/surwobs -atlas /tmp/surw-campaign/ydist/atlas.json > /tmp/surw-campaign/ydist-cells.txt
+grep 'atlas cell Fig1/bitshift_4/RW: .* DRIFT$' /tmp/surw-campaign/ydist-cells.txt
+/tmp/surw-campaign/surwdash -store /tmp/surw-campaign/ydist -addr 127.0.0.1:18077 > /dev/null 2>&1 &
+DASH_PID=$!
+trap 'kill $DASH_PID 2>/dev/null || true' EXIT
+for i in $(seq 1 50); do
+    curl -sf http://127.0.0.1:18077/buildinfo > /dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -s http://127.0.0.1:18077/ > /tmp/surw-campaign/ydash.html
+grep -q 'exploration atlas' /tmp/surw-campaign/ydash.html
+grep -q 'atlas-heatmap' /tmp/surw-campaign/ydash.html
+grep -q 'atlas-depth' /tmp/surw-campaign/ydash.html
+grep -q 'discovery yield' /tmp/surw-campaign/ydash.html
+grep -q 'uniformity p' /tmp/surw-campaign/ydash.html
+curl -s http://127.0.0.1:18077/api/yield | grep -q '"cells"'
+curl -s http://127.0.0.1:18077/metrics > /tmp/surw-campaign/ymetrics.txt
+grep -q 'surw_yield_score{target="Fig1/bitshift_4"' /tmp/surw-campaign/ymetrics.txt
+grep -q 'surw_atlas_uniformity_p{target="Fig1/bitshift_4"' /tmp/surw-campaign/ymetrics.txt
+grep -q 'surw_atlas_drift_alarm{target="Fig1/bitshift_4",algorithm="RW"} 1' /tmp/surw-campaign/ymetrics.txt
+kill $DASH_PID 2>/dev/null || true
+trap - EXIT
 
 # Fuzz smoke: a short coverage-guided run of each native fuzz target (the
 # full checked-in seed corpora already ran as part of `go test` above).

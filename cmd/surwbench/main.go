@@ -38,6 +38,18 @@
 // run's tables and aggregates.json are byte-identical to a local run's.
 // -lease-ttl and -lease-batch tune the queue; with -serve, the dashboard
 // additionally shows the worker fleet and /metrics gains surw_remote_*.
+//
+// -atlas attaches the exploration atlas (internal/atlas) to the sct
+// experiment: schedule-space cartography (per-depth branching, prefix
+// density heatmaps) and per-cell uniformity drift, written to
+// DIR/atlas.json at campaign end and rendered live on the -serve
+// dashboard. Observation only — it never changes a schedule, a table, or
+// an aggregate byte. In coordinate mode the written atlas is the fleet
+// merge of every worker's (workers opt in with surwworker -atlas).
+// -yield-leases makes the coordinator weight lease grants by per-cell
+// discovery yield (deterministically, seeded from the campaign seed);
+// like the prefix filter it reorders execution, so it is opt-in and
+// excluded from the byte-identity smokes.
 package main
 
 import (
@@ -51,6 +63,7 @@ import (
 	"strings"
 	"time"
 
+	"surw/internal/atlas"
 	"surw/internal/buildinfo"
 	"surw/internal/campaign"
 	"surw/internal/experiments"
@@ -86,6 +99,8 @@ func main() {
 		leaseBatch = flag.Int("lease-batch", 4, "coordinator: sessions per lease")
 		dedupThr   = flag.Int("dedup-threshold", 0, "coordinator: seen-class filter saturation threshold (0 = default)")
 		fleetTrace = flag.String("fleet-trace", "", "coordinator: enable distributed tracing and write the assembled span log (JSONL) to this file")
+		atlasOn    = flag.Bool("atlas", false, "accumulate the exploration atlas (cartography + uniformity drift) for sct cells; written to DIR/atlas.json with -campaign")
+		yieldLease = flag.Bool("yield-leases", false, "coordinator: weight lease grants by per-cell discovery yield (deterministic, seeded from the campaign seed)")
 		version    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -130,6 +145,9 @@ func main() {
 		sc.SCTAlgs = splitList(*sctAlgs)
 	}
 	sc.SCTCoverage = *sctCov
+	if *atlasOn {
+		sc.Atlas = atlas.New()
+	}
 
 	var store *campaign.Store
 	if *campDir != "" {
@@ -208,11 +226,30 @@ func main() {
 			BatchSize:      *leaseBatch,
 			ClassThreshold: *dedupThr,
 			Tracing:        *fleetTrace != "",
+			YieldLeases:    *yieldLease,
+			YieldSeed:      sc.Seed,
 		})
+	} else if *yieldLease {
+		fatalf("-yield-leases requires -coordinate (it weights the coordinator's lease grants)")
+	}
+	// The dashboard's atlas source: the fleet merge in coordinate mode
+	// (workers ship cumulative snapshots with every submission), the local
+	// accumulator otherwise.
+	atlasSnap := func() *atlas.Snapshot {
+		if coord != nil {
+			return coord.AtlasSnapshot()
+		}
+		if sc.Atlas != nil {
+			return sc.Atlas.Snapshot()
+		}
+		return nil
 	}
 	if dashSrv != nil {
 		if coord != nil {
 			dashSrv.SetRemote(func() (*campaign.RemoteStatus, error) { return coord.Status(), nil })
+		}
+		if coord != nil || sc.Atlas != nil {
+			dashSrv.SetAtlas(func() (*atlas.Snapshot, error) { return atlasSnap(), nil })
 		}
 		go func() {
 			if err := http.ListenAndServe(*serveAddr, dashSrv); err != nil {
@@ -241,8 +278,19 @@ func main() {
 				}
 			}
 		}
+		// Linger until every worker has heard "done" (capped, for workers
+		// that died mid-campaign): closing the listener the instant the
+		// last record lands strands any worker still sleeping out its
+		// retry hint — it wakes to a dead socket and, unable to tell a
+		// finished campaign from a restarting coordinator, retries forever.
+		for deadline := time.Now().Add(3 * time.Second); time.Now().Before(deadline) && !coord.AllWorkersNotified(); {
+			time.Sleep(50 * time.Millisecond)
+		}
 		_ = ln.Close()
 		fmt.Fprintf(os.Stderr, "distributed execution complete; rendering tables from the store\n")
+		if *yieldLease {
+			fmt.Fprintf(os.Stderr, "coordinator: %d yield-weighted grants\n", coord.Status().YieldGrants)
+		}
 		if *fleetTrace != "" {
 			spans := coord.Spans()
 			f, err := os.Create(*fleetTrace)
@@ -320,6 +368,23 @@ func main() {
 			fatalf("write aggregates: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "campaign aggregates written to %s\n", path)
+		// Atlas export: the local or fleet-merged snapshot, next to
+		// aggregates.json but never inside it — cartography is execution
+		// observation, and aggregates stay byte-identical with or without it.
+		if snap := atlasSnap(); snap != nil && len(snap.Cells) > 0 {
+			apath := filepath.Join(store.Dir(), "atlas.json")
+			af, err := os.Create(apath)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if err := obs.WriteJSON(af, snap); err != nil {
+				fatalf("write atlas: %v", err)
+			}
+			if err := af.Close(); err != nil {
+				fatalf("write atlas: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "exploration atlas (%d cells) written to %s\n", len(snap.Cells), apath)
+		}
 		// Dedup footer: per-cell distinct commutation classes and duplicate
 		// rate from the stored records. Stderr like the other wall-adjacent
 		// footers, so stdout stays byte-identical across runs.

@@ -17,6 +17,11 @@
 // surfaces as an error banner (and as remote_error in /api/campaign)
 // instead of silently rendering an empty fleet view.
 //
+// When the store directory holds an atlas.json (written by surwbench
+// -atlas), the dashboard also serves the exploration-atlas panels —
+// prefix-density heatmaps, depth profiles, uniformity drift — and
+// /api/yield reports per-cell discovery yield.
+//
 // Endpoints:
 //
 //	/              HTML dashboard (inline-SVG survival and coverage curves)
@@ -35,8 +40,10 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
 	"time"
 
+	"surw/internal/atlas"
 	"surw/internal/buildinfo"
 	"surw/internal/campaign"
 	"surw/internal/remote"
@@ -77,6 +84,25 @@ func main() {
 	if *remoteURL != "" {
 		srv.SetRemote(remoteStatus(*remoteURL))
 	}
+	// A campaign run with -atlas leaves DIR/atlas.json beside
+	// aggregates.json; serve its heatmaps, depth profiles, and uniformity
+	// verdicts post-hoc. Re-read per request, so a campaign that rewrites
+	// the file (or writes it for the first time) shows up without a restart.
+	atlasPath := filepath.Join(*storeDir, "atlas.json")
+	srv.SetAtlas(func() (*atlas.Snapshot, error) {
+		data, err := os.ReadFile(atlasPath)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil, nil
+			}
+			return nil, err
+		}
+		var snap atlas.Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return nil, fmt.Errorf("parse %s: %w", atlasPath, err)
+		}
+		return &snap, nil
+	})
 
 	fmt.Printf("surwdash %s serving %s (%d sessions) on http://%s/\n",
 		buildinfo.Version, *storeDir, store.Len(), *addr)

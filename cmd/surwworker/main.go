@@ -26,6 +26,11 @@
 //	-watchdog DUR   self-watchdog: if a lease makes no session progress for
 //	                DUR, log a stall warning and dump all goroutine stacks
 //	                to stderr, then re-arm
+//	-atlas          accumulate the exploration atlas (schedule-space
+//	                cartography, see internal/atlas) across this worker's
+//	                sessions and ship the cumulative snapshot with every
+//	                submission; the coordinator merges the fleet. Keeps the
+//	                batched fast path, unlike -metrics.
 package main
 
 import (
@@ -40,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"surw/internal/atlas"
 	"surw/internal/buildinfo"
 	"surw/internal/obs"
 	"surw/internal/remote"
@@ -57,6 +63,7 @@ func main() {
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address for the process lifetime")
 		traceOut    = flag.String("trace", "", "write this worker's retained spans as JSONL to this file on exit")
 		watchdog    = flag.Duration("watchdog", 0, "dump goroutine stacks to stderr when a lease makes no progress for this long (0 = off)")
+		atlasOn     = flag.Bool("atlas", false, "accumulate the exploration atlas and ship snapshots to the coordinator")
 		quiet       = flag.Bool("q", false, "suppress progress output")
 		version     = flag.Bool("version", false, "print the build version and exit")
 	)
@@ -87,6 +94,9 @@ func main() {
 		UsePrefixFilter: *dedup,
 		Watchdog:        *watchdog,
 		RetainSpans:     *traceOut != "",
+	}
+	if *atlasOn {
+		w.Atlas = atlas.New()
 	}
 	if *pprofAddr != "" {
 		go func() {

@@ -1,0 +1,91 @@
+package atlas
+
+import "surw/internal/stats"
+
+// Uniformity-drift thresholds. The alarm is deliberately conservative: a
+// genuinely uniform sampler's p-value is itself uniform on (0,1), and the
+// tracker re-tests every driftCheckEvery samples with a latched alarm, so
+// the false-alarm threshold must sit far below any plausible check count
+// times a per-check tolerance. A biased sampler's p collapses toward zero
+// exponentially in the sample count, so 1e-6 loses no sensitivity.
+const (
+	// DriftAlarmP is the p-value below which a cell is declared drifted.
+	DriftAlarmP = 1e-6
+	// driftCheckEvery is how often (in observed schedules) the streaming
+	// tracker recomputes the chi-square.
+	driftCheckEvery = 64
+	// driftMinSamples is the minimum stream length before the alarm can
+	// arm; below it the chi-square approximation is too coarse to trust.
+	driftMinSamples = 200
+)
+
+// Drift is a streaming uniformity test over one cell's class-fingerprint
+// stream: the observed-support chi-square against "every seen class
+// equally likely", the distribution URW provably samples (and SURW
+// samples within a Δ) on targets whose classes biject with filtered
+// interleavings. The alarm latches: once a checkpoint rejects uniformity,
+// the cell stays flagged even if later samples wash the statistic out.
+type Drift struct {
+	counts  map[uint64]int
+	samples int
+	alarmed bool
+}
+
+// Observe feeds one schedule's class fingerprint.
+func (d *Drift) Observe(class uint64) {
+	if d.counts == nil {
+		d.counts = make(map[uint64]int)
+	}
+	d.counts[class]++
+	d.samples++
+	if d.samples%driftCheckEvery == 0 {
+		if s := d.test(); s.Alarm {
+			d.alarmed = true
+		}
+	}
+}
+
+// Snapshot returns the current test state, including the latched alarm.
+func (d *Drift) Snapshot() DriftSnapshot {
+	s := d.test()
+	s.Alarm = s.Alarm || d.alarmed
+	return s
+}
+
+func (d *Drift) test() DriftSnapshot {
+	s := driftTest(stats.CountsOfMap(d.counts), d.samples)
+	return s
+}
+
+// DriftSnapshot is the exported uniformity state of one cell.
+type DriftSnapshot struct {
+	Samples   int     `json:"samples"`
+	Classes   int     `json:"classes"`
+	ChiSquare float64 `json:"chi_square"`
+	P         float64 `json:"p"`
+	Alarm     bool    `json:"alarm"`
+}
+
+// DriftFromCounts computes the same uniformity test from a complete
+// class-count map — the coordinator's path, where the per-cell counts are
+// a pure function of the ingested run-store and need no latching to be
+// deterministic.
+func DriftFromCounts(counts map[uint64]int) DriftSnapshot {
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return driftTest(stats.CountsOfMap(counts), n)
+}
+
+func driftTest(counts []int, samples int) DriftSnapshot {
+	s := DriftSnapshot{Samples: samples, Classes: len(counts), P: 1}
+	k := len(counts)
+	if k < 2 {
+		return s
+	}
+	s.ChiSquare = stats.ChiSquareUniform(counts, k)
+	s.P = stats.ChiSquareSF(s.ChiSquare, k-1)
+	s.Alarm = samples >= driftMinSamples && samples >= 3*k && s.P < DriftAlarmP
+	return s
+}

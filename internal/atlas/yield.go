@@ -1,0 +1,133 @@
+package atlas
+
+import "surw/internal/stats"
+
+// Yield is one cell's discovery-yield estimate: how much is left to find
+// there, on a [0,1] scale, decomposed into the three signals it is built
+// from. A cell fresh out of the plan scores 1 (maximum uncertainty); a
+// cell whose class stream has gone all-duplicates and whose survival
+// curve went flat early scores near 0.
+type Yield struct {
+	// Score is the combined estimate in [0,1].
+	Score float64 `json:"score"`
+	// GTUnseen is the Good-Turing unseen-class mass of the class-unique
+	// stream: the probability the next schedule lands in a class never
+	// seen before.
+	GTUnseen float64 `json:"gt_unseen"`
+	// SurvivalSlope is the late-half drop of the no-bug survival curve:
+	// S(T/2) − S(T). Cells still finding first bugs late in the budget
+	// have headroom.
+	SurvivalSlope float64 `json:"survival_slope"`
+	// NewClassRate is the marginal new-class rate over the most recent
+	// session relative to the cell's lifetime average — a trend term:
+	// near 1 means discovery has not slowed, near 0 means it has dried up.
+	NewClassRate float64 `json:"new_class_rate"`
+}
+
+// yieldWeights: unseen mass is the direct estimator of the quantity we
+// care about and dominates; the survival slope and the discovery trend
+// are corrections for bug-finding and saturation dynamics.
+const (
+	wUnseen   = 0.5
+	wSurvival = 0.25
+	wTrend    = 0.25
+)
+
+// ScoreYield combines the three component signals (each clamped to
+// [0,1]) into the final score.
+func ScoreYield(gtUnseen, survivalSlope, newClassRate float64) float64 {
+	return wUnseen*clamp01(gtUnseen) + wSurvival*clamp01(survivalSlope) + wTrend*clamp01(newClassRate)
+}
+
+// LateSurvivalDrop measures S(mid) − S(end) of a no-bug survival curve
+// given as parallel schedule/surviving-fraction slices: the fraction of
+// sessions whose first bug arrived in the second half of the budget.
+// Returns 0 for empty or degenerate curves.
+func LateSurvivalDrop(schedules []int, surviving []float64) float64 {
+	n := len(schedules)
+	if n == 0 || len(surviving) != n {
+		return 0
+	}
+	end := schedules[n-1]
+	if end <= 0 {
+		return 0
+	}
+	mid := surviving[0]
+	for i := 0; i < n; i++ {
+		if schedules[i] <= end/2 {
+			mid = surviving[i]
+		}
+	}
+	drop := mid - surviving[n-1]
+	return clamp01(drop)
+}
+
+// RecentNewRate compares the marginal new-class discovery rate over the
+// most recent growth step to the lifetime average. sessions/distinct are
+// the class-growth curve (distinct classes after each session count).
+// Returns 1 (no evidence of slowdown) when the curve has fewer than two
+// points, 0 when the last step found nothing new.
+func RecentNewRate(sessions, distinct []int) float64 {
+	n := len(sessions)
+	if n < 2 || len(distinct) != n || sessions[n-1] <= 0 || distinct[n-1] <= 0 {
+		return 1
+	}
+	lastSessions := sessions[n-1] - sessions[n-2]
+	lastNew := distinct[n-1] - distinct[n-2]
+	if lastSessions <= 0 {
+		return 1
+	}
+	recent := float64(lastNew) / float64(lastSessions)
+	avg := float64(distinct[n-1]) / float64(sessions[n-1])
+	if avg <= 0 {
+		return 1
+	}
+	return clamp01(recent / avg)
+}
+
+// leaseWeightFloor keeps every pending cell grantable: yield weighting
+// reorders exploration, it must never starve a cell outright.
+const leaseWeightFloor = 0.05
+
+// LeaseWeight maps a cell's ingested class counts to a lease-grant
+// weight: the Good-Turing unseen mass, floored. A cell with no coverage
+// data yet weighs 1 — maximum uncertainty reads as maximum yield, so
+// fresh cells are explored first rather than last.
+func LeaseWeight(classCounts []int) float64 {
+	if len(classCounts) == 0 {
+		return 1
+	}
+	w := stats.GoodTuringUnseen(classCounts)
+	if w < leaseWeightFloor {
+		return leaseWeightFloor
+	}
+	return clamp01(w)
+}
+
+// Mix64 is SplitMix64's finalizer: a cheap, high-quality 64-bit mixing
+// function used for the deterministic weighted lease pick (seeded from
+// the campaign seed and the draw counter, so reruns replay identically).
+func Mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Unit maps a 64-bit hash to the unit interval [0,1).
+func Unit(x uint64) float64 {
+	return float64(x>>11) / (1 << 53)
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case x < 0 || x != x: // NaN guards to 0
+		return 0
+	case x > 1:
+		return 1
+	}
+	return x
+}

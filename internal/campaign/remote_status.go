@@ -45,6 +45,9 @@ type RemoteStatus struct {
 	DuplicateRate     float64 `json:"duplicate_rate,omitempty"`
 	ClassQueries      int64   `json:"class_queries,omitempty"`
 	ClassesSaturated  int64   `json:"classes_saturated,omitempty"`
+	// YieldGrants counts leases granted through the coordinator's
+	// yield-weighted draw; zero when -yield-leases is off.
+	YieldGrants int64 `json:"yield_grants,omitempty"`
 	// Workers lists every worker that ever contacted the coordinator,
 	// sorted by name.
 	Workers []RemoteWorker `json:"workers,omitempty"`
@@ -88,6 +91,7 @@ func (rs *RemoteStatus) WritePrometheus(w io.Writer) error {
 	fmt.Fprintf(w, "# HELP surw_remote_duplicate_rate Fraction of ingested schedules that re-sampled an already-seen class.\n# TYPE surw_remote_duplicate_rate gauge\nsurw_remote_duplicate_rate %.6f\n", rs.DuplicateRate)
 	fmt.Fprintf(w, "# HELP surw_remote_class_queries_total Class fingerprints queried over /v1/classes.\n# TYPE surw_remote_class_queries_total counter\nsurw_remote_class_queries_total %d\n", rs.ClassQueries)
 	fmt.Fprintf(w, "# HELP surw_remote_classes_saturated_total Queried fingerprints answered saturated.\n# TYPE surw_remote_classes_saturated_total counter\nsurw_remote_classes_saturated_total %d\n", rs.ClassesSaturated)
+	fmt.Fprintf(w, "# HELP surw_remote_yield_grants_total Leases granted through the yield-weighted draw.\n# TYPE surw_remote_yield_grants_total counter\nsurw_remote_yield_grants_total %d\n", rs.YieldGrants)
 	fmt.Fprintf(w, "# HELP surw_remote_workers Workers that have contacted the coordinator.\n# TYPE surw_remote_workers gauge\nsurw_remote_workers %d\n", len(rs.Workers))
 	if len(rs.Workers) > 0 {
 		fmt.Fprintf(w, "# HELP surw_remote_worker_sessions_total Accepted session records per worker.\n# TYPE surw_remote_worker_sessions_total counter\n")

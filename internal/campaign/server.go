@@ -22,16 +22,18 @@ import (
 	"net/http"
 	"strings"
 
+	"surw/internal/atlas"
 	"surw/internal/buildinfo"
 	"surw/internal/obs"
 )
 
 // Server serves the campaign dashboard for one store.
 type Server struct {
-	store   *Store
-	metrics *obs.Metrics                  // optional: live-campaign throughput
-	remote  func() (*RemoteStatus, error) // optional: distributed-campaign coordinator
-	mux     *http.ServeMux
+	store    *Store
+	metrics  *obs.Metrics                    // optional: live-campaign throughput
+	remote   func() (*RemoteStatus, error)   // optional: distributed-campaign coordinator
+	atlasSrc func() (*atlas.Snapshot, error) // optional: exploration atlas
+	mux      *http.ServeMux
 }
 
 // NewServer builds the dashboard handler. metrics may be nil (standalone
@@ -40,6 +42,7 @@ func NewServer(store *Store, metrics *obs.Metrics) *Server {
 	s := &Server{store: store, metrics: metrics, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/api/campaign", s.handleAPI)
+	s.mux.HandleFunc("/api/yield", s.handleYield)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/events", s.handleEvents)
 	s.mux.HandleFunc("/buildinfo", s.handleBuildinfo)
@@ -56,6 +59,69 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // banner (and /api/campaign as remote_error) instead of silently showing
 // an empty fleet view. Call before serving.
 func (s *Server) SetRemote(status func() (*RemoteStatus, error)) { s.remote = status }
+
+// SetAtlas attaches an exploration-atlas source (internal/atlas): the
+// live registry's Snapshot for an embedded campaign, the coordinator's
+// merged fleet view for a distributed one, or a loader over a written
+// atlas.json for surwdash. The dashboard then renders the sample-density
+// heatmaps, the depth profile, and the per-cell uniformity gauges, and
+// /metrics gains the surw_atlas_* family. A failing source is treated
+// like an absent one (the panel disappears; nothing breaks). Call before
+// serving.
+func (s *Server) SetAtlas(src func() (*atlas.Snapshot, error)) { s.atlasSrc = src }
+
+// atlasSnapshot resolves the attached atlas source, nil when absent,
+// failed, or empty.
+func (s *Server) atlasSnapshot() *atlas.Snapshot {
+	if s.atlasSrc == nil {
+		return nil
+	}
+	snap, err := s.atlasSrc()
+	if err != nil || snap == nil || len(snap.Cells) == 0 {
+		return nil
+	}
+	return snap
+}
+
+// handleYield serves the per-cell discovery-yield scores, with the
+// atlas's uniformity state joined in when an atlas is attached.
+func (s *Server) handleYield(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = obs.WriteJSON(w, s.yieldReport())
+}
+
+// YieldReport is the /api/yield payload.
+type YieldReport struct {
+	Cells []YieldCell `json:"cells"`
+}
+
+// YieldCell is CellYield plus the cell's live uniformity state (atlas
+// runs only; absent for store-only views without an atlas.json).
+type YieldCell struct {
+	CellYield
+	Uniformity *atlas.DriftSnapshot `json:"uniformity,omitempty"`
+}
+
+func (s *Server) yieldReport() *YieldReport {
+	yields := s.store.Aggregate().Yields()
+	rep := &YieldReport{Cells: make([]YieldCell, 0, len(yields))}
+	drift := make(map[CellKey]*atlas.DriftSnapshot)
+	if snap := s.atlasSnapshot(); snap != nil {
+		for _, c := range snap.Cells {
+			if c.Uniformity != nil {
+				d := *c.Uniformity
+				drift[CellKey{Target: c.Target, Algorithm: c.Algorithm}] = &d
+			}
+		}
+	}
+	for _, y := range yields {
+		rep.Cells = append(rep.Cells, YieldCell{
+			CellYield:  y,
+			Uniformity: drift[CellKey{Target: y.Target, Algorithm: y.Algorithm}],
+		})
+	}
+	return rep
+}
 
 // aggregates builds the rollup, attaching the live metrics snapshot when
 // the server is embedded in a running campaign.
@@ -129,6 +195,56 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "surw_campaign_cell_duplicate_rate{target=%q,algorithm=%q} %.6f\n", c.Target, c.Algorithm, c.Coverage.Dedup.DuplicateRate)
 		}
 	}
+	// Discovery-yield gauges: one score per scoreable cell (cells with no
+	// class stream are simply absent, never NaN).
+	var scoreable []CellYield
+	for _, y := range agg.Yields() {
+		if y.Scoreable {
+			scoreable = append(scoreable, y)
+		}
+	}
+	if len(scoreable) > 0 {
+		fmt.Fprintf(w, "# HELP surw_yield_score Discovery-yield score per cell (0..1, higher = more left to find).\n# TYPE surw_yield_score gauge\n")
+		for _, y := range scoreable {
+			fmt.Fprintf(w, "surw_yield_score{target=%q,algorithm=%q} %.6f\n", y.Target, y.Algorithm, y.Yield.Score)
+		}
+		fmt.Fprintf(w, "# HELP surw_yield_gt_unseen Good-Turing unseen class mass per cell.\n# TYPE surw_yield_gt_unseen gauge\n")
+		for _, y := range scoreable {
+			fmt.Fprintf(w, "surw_yield_gt_unseen{target=%q,algorithm=%q} %.6f\n", y.Target, y.Algorithm, y.Yield.GTUnseen)
+		}
+	}
+	// Atlas gauges, when an atlas source is attached: cartography volume
+	// plus the per-cell uniformity state.
+	if snap := s.atlasSnapshot(); snap != nil {
+		fmt.Fprintf(w, "# HELP surw_atlas_schedules Schedules observed by the exploration atlas per cell.\n# TYPE surw_atlas_schedules gauge\n")
+		for _, c := range snap.Cells {
+			fmt.Fprintf(w, "surw_atlas_schedules{target=%q,algorithm=%q} %d\n", c.Target, c.Algorithm, c.Schedules)
+		}
+		fmt.Fprintf(w, "# HELP surw_atlas_decisions True scheduling decisions observed per cell.\n# TYPE surw_atlas_decisions gauge\n")
+		for _, c := range snap.Cells {
+			fmt.Fprintf(w, "surw_atlas_decisions{target=%q,algorithm=%q} %d\n", c.Target, c.Algorithm, c.Decisions)
+		}
+		var withDrift []atlas.CellSnapshot
+		for _, c := range snap.Cells {
+			if c.Uniformity != nil {
+				withDrift = append(withDrift, c)
+			}
+		}
+		if len(withDrift) > 0 {
+			fmt.Fprintf(w, "# HELP surw_atlas_uniformity_p Streaming chi-square uniformity p-value per cell.\n# TYPE surw_atlas_uniformity_p gauge\n")
+			for _, c := range withDrift {
+				fmt.Fprintf(w, "surw_atlas_uniformity_p{target=%q,algorithm=%q} %.6g\n", c.Target, c.Algorithm, c.Uniformity.P)
+			}
+			fmt.Fprintf(w, "# HELP surw_atlas_drift_alarm 1 when the cell's sampler has drifted from uniform (latched).\n# TYPE surw_atlas_drift_alarm gauge\n")
+			for _, c := range withDrift {
+				alarm := 0
+				if c.Uniformity.Alarm {
+					alarm = 1
+				}
+				fmt.Fprintf(w, "surw_atlas_drift_alarm{target=%q,algorithm=%q} %d\n", c.Target, c.Algorithm, alarm)
+			}
+		}
+	}
 	if s.metrics != nil {
 		_ = s.metrics.WritePrometheus(w)
 	}
@@ -187,11 +303,13 @@ func writeSSE(w http.ResponseWriter, ev Event) {
 // --- HTML dashboard -------------------------------------------------------
 
 type dashData struct {
-	Dir     string
-	Build   buildinfo.Info
-	Agg     *Aggregates
-	Cells   []dashCell
-	Targets int
+	Dir        string
+	Build      buildinfo.Info
+	Agg        *Aggregates
+	Cells      []dashCell
+	Yields     []dashYield
+	AtlasCells []dashAtlas
+	Targets    int
 }
 
 type dashCell struct {
@@ -203,6 +321,35 @@ type dashCell struct {
 	DupRate      string
 	SurvivalSVG  template.HTML
 	GrowthSVG    template.HTML
+}
+
+// dashYield is one pre-formatted row of the discovery-yield panel.
+// Unscoreable cells (zero completed sessions, or no class stream) keep
+// every column at "—" — the degenerate-cell guard the template tests pin.
+type dashYield struct {
+	Target      string
+	Algorithm   string
+	Samples     string
+	Score       string
+	GTUnseen    string
+	Slope       string
+	NewRate     string
+	UniformityP string
+	Alarm       bool
+}
+
+// dashAtlas is one cell of the exploration-atlas section: the rendered
+// heatmap and depth profile plus a pre-formatted uniformity gauge.
+type dashAtlas struct {
+	Target      string
+	Algorithm   string
+	Schedules   uint64
+	Decisions   uint64
+	MaxDepth    int
+	UniformityP string
+	Alarm       bool
+	HeatmapSVG  template.HTML
+	DepthSVG    template.HTML
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -232,6 +379,50 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		data.Cells = append(data.Cells, dc)
 	}
 	data.Targets = len(targets)
+	snap := s.atlasSnapshot()
+	drift := make(map[CellKey]*atlas.DriftSnapshot)
+	if snap != nil {
+		for _, c := range snap.Cells {
+			if c.Uniformity != nil {
+				d := *c.Uniformity
+				drift[CellKey{Target: c.Target, Algorithm: c.Algorithm}] = &d
+			}
+		}
+	}
+	for _, y := range agg.Yields() {
+		row := dashYield{
+			Target: y.Target, Algorithm: y.Algorithm,
+			Samples: "—", Score: "—", GTUnseen: "—", Slope: "—", NewRate: "—", UniformityP: "—",
+		}
+		if y.Scoreable {
+			row.Samples = fmt.Sprintf("%d", y.Samples)
+			row.Score = fmt.Sprintf("%.2f", y.Yield.Score)
+			row.GTUnseen = fmt.Sprintf("%.3f", y.Yield.GTUnseen)
+			row.Slope = fmt.Sprintf("%.3f", y.Yield.SurvivalSlope)
+			row.NewRate = fmt.Sprintf("%.3f", y.Yield.NewClassRate)
+		}
+		if d := drift[CellKey{Target: y.Target, Algorithm: y.Algorithm}]; d != nil {
+			row.UniformityP = fmt.Sprintf("%.3g", d.P)
+			row.Alarm = d.Alarm
+		}
+		data.Yields = append(data.Yields, row)
+	}
+	if snap != nil {
+		for _, c := range snap.Cells {
+			ac := dashAtlas{
+				Target: c.Target, Algorithm: c.Algorithm,
+				Schedules: c.Schedules, Decisions: c.Decisions, MaxDepth: c.MaxDepth,
+				UniformityP: "—",
+				HeatmapSVG:  template.HTML(atlas.HeatmapSVG(c)),
+				DepthSVG:    template.HTML(atlas.DepthProfileSVG(c)),
+			}
+			if c.Uniformity != nil {
+				ac.UniformityP = fmt.Sprintf("%.3g", c.Uniformity.P)
+				ac.Alarm = c.Uniformity.Alarm
+			}
+			data.AtlasCells = append(data.AtlasCells, ac)
+		}
+	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	_ = dashTemplate.Execute(w, data)
 }
@@ -345,9 +536,20 @@ func fmtSec(sec float64) string {
 	}
 }
 
+// fmtMedian renders the fleet-median throughput, "—" until enough worker
+// samples exist to take a median (a zero here means "no data", and the
+// dashboard must never dress no-data up as a measured 0 schedules/s).
+func fmtMedian(v float64) string {
+	if v <= 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.0f schedules/s", v)
+}
+
 var dashTemplate = template.Must(template.New("dash").Funcs(template.FuncMap{
 	"mul100": func(v float64) float64 { return v * 100 },
 	"sec":    fmtSec,
+	"median": fmtMedian,
 }).Parse(`<!doctype html>
 <html lang="en">
 <head>
@@ -379,6 +581,8 @@ var dashTemplate = template.Must(template.New("dash").Funcs(template.FuncMap{
  .health.ok { background: #edf7ee; border: 1px solid #b7dcb9; color: #1f5c23; }
  .health.bad { background: #fdf3e7; border: 1px solid #e8c79a; color: #7a4c10; }
  .health ul { margin: .3rem 0 0 1.2rem; padding: 0; }
+ .alarm { background: #c0392b; color: #fff; padding: 0 .35em; border-radius: 3px; font-size: .8em; font-weight: 700; }
+ tr.drift td { background: #fdecea; }
 </style>
 </head>
 <body>
@@ -394,8 +598,8 @@ var dashTemplate = template.Must(template.New("dash").Funcs(template.FuncMap{
 {{with .Agg.Remote}}
 <h2 class="wk">distributed: {{.SessionsDone}}/{{.SessionsPlanned}} sessions · {{.InFlightLeases}} leases in flight · {{.PendingBatches}} batches pending · {{.LeaseExpiries}} expiries · {{.DuplicateResults}} duplicates{{if .ClassObservations}} · {{.DistinctClasses}} distinct classes · {{printf "%.1f%%" (mul100 .DuplicateRate)}} dup rate{{end}}</h2>
 {{with .Health}}
-{{if .Healthy}}<p class="health ok">fleet healthy</p>
-{{else}}<div class="health bad">fleet: {{.StaleWorkers}} stale workers · {{.SlowCells}} slow cells · {{.AgingLeases}} aging leases
+{{if .Healthy}}<p class="health ok">fleet healthy · median {{median .FleetMedianSchedulesPerSec}}</p>
+{{else}}<div class="health bad">fleet: {{.StaleWorkers}} stale workers · {{.SlowCells}} slow cells · {{.AgingLeases}} aging leases · median {{median .FleetMedianSchedulesPerSec}}
 <ul>{{range .Issues}}<li><strong>{{.Kind}}</strong> {{.Subject}} — {{.Detail}}</li>{{end}}</ul>
 </div>{{end}}
 {{end}}
@@ -429,6 +633,18 @@ var dashTemplate = template.Must(template.New("dash").Funcs(template.FuncMap{
 </tr>{{end}}
 </table>
 
+{{if .Yields}}
+<h2 class="wk">discovery yield</h2>
+<table class="yield">
+<tr><th>target</th><th>algorithm</th><th>samples</th><th>yield</th><th>GT unseen</th><th>survival slope</th><th>new-class rate</th><th>uniformity p</th></tr>
+{{range .Yields}}<tr{{if .Alarm}} class="drift"{{end}}>
+ <td>{{.Target}}</td><td>{{.Algorithm}}</td><td>{{.Samples}}</td>
+ <td>{{.Score}}</td><td>{{.GTUnseen}}</td><td>{{.Slope}}</td><td>{{.NewRate}}</td>
+ <td>{{.UniformityP}}{{if .Alarm}} <span class="alarm">DRIFT</span>{{end}}</td>
+</tr>{{end}}
+</table>
+{{end}}
+
 <div class="cells">
 {{range .Cells}}<div class="cell">
  <h2>{{.Target}} · {{.Algorithm}}</h2>
@@ -436,6 +652,18 @@ var dashTemplate = template.Must(template.New("dash").Funcs(template.FuncMap{
  {{.GrowthSVG}}
 </div>{{end}}
 </div>
+
+{{if .AtlasCells}}
+<h2 class="wk">exploration atlas</h2>
+<div class="cells">
+{{range .AtlasCells}}<div class="cell">
+ <h2>{{.Target}} · {{.Algorithm}}</h2>
+ <p class="meta">{{.Schedules}} schedules · {{.Decisions}} decisions · depth {{.MaxDepth}} · uniformity p {{.UniformityP}}{{if .Alarm}} <span class="alarm">DRIFT</span>{{end}}</p>
+ {{.HeatmapSVG}}
+ {{.DepthSVG}}
+</div>{{end}}
+</div>
+{{end}}
 
 <script>
 (function () {

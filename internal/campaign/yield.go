@@ -1,0 +1,83 @@
+package campaign
+
+// Discovery-yield estimation: how much is left to find in each cell.
+// Served at /api/yield, exported as surw_yield_* gauges, rendered on the
+// dashboard's yield panel, and (independently recomputed from its own
+// ingested view) used by the coordinator's -yield-leases grant weighting.
+// Like every aggregate, a pure function of the record set.
+
+import "surw/internal/atlas"
+
+// CellYield is one cell's discovery-yield estimate.
+type CellYield struct {
+	CellKey
+	// SessionsStored mirrors the aggregate's session count.
+	SessionsStored int `json:"sessions_stored"`
+	// Samples is the size of the class stream the estimate is built on
+	// (commutation classes when recorded, interleaving classes otherwise).
+	Samples int `json:"samples"`
+	// Scoreable reports whether the cell has enough data to score at all;
+	// unscoreable cells render as "—", never as NaN or a fake zero.
+	Scoreable bool `json:"scoreable"`
+	// Yield is the score and its components (see atlas.Yield).
+	Yield atlas.Yield `json:"yield"`
+}
+
+// Yields scores every cell of the rollup.
+func (a *Aggregates) Yields() []CellYield {
+	out := make([]CellYield, 0, len(a.Cells))
+	for _, c := range a.Cells {
+		out = append(out, yieldOfCell(c))
+	}
+	return out
+}
+
+func yieldOfCell(c CellAggregate) CellYield {
+	y := CellYield{CellKey: c.CellKey, SessionsStored: c.SessionsStored}
+	if c.SessionsStored == 0 {
+		return y
+	}
+	sch := make([]int, len(c.Survival))
+	surv := make([]float64, len(c.Survival))
+	for i, p := range c.Survival {
+		sch[i] = p.Schedules
+		surv[i] = p.Surviving
+	}
+	slope := atlas.LateSurvivalDrop(sch, surv)
+
+	var gt float64
+	rate := 1.0
+	switch {
+	case c.Coverage != nil && c.Coverage.Dedup != nil && c.Coverage.Dedup.Samples > 0:
+		dd := c.Coverage.Dedup
+		gt, y.Samples = dd.GoodTuringUnseen, dd.Samples
+		rate = growthRate(dd.Growth)
+	case c.Coverage != nil && c.Coverage.Samples > 0:
+		cov := c.Coverage
+		gt, y.Samples = cov.GoodTuringUnseen, cov.Samples
+		rate = growthRate(cov.Growth)
+	default:
+		// No class stream recorded: there is nothing to estimate unseen
+		// mass from, so the cell is unscoreable (the survival component
+		// alone would masquerade as a full score).
+		return y
+	}
+	y.Scoreable = true
+	y.Yield = atlas.Yield{
+		Score:         atlas.ScoreYield(gt, slope, rate),
+		GTUnseen:      gt,
+		SurvivalSlope: slope,
+		NewClassRate:  rate,
+	}
+	return y
+}
+
+func growthRate(pts []AccumPoint) float64 {
+	sessions := make([]int, len(pts))
+	distinct := make([]int, len(pts))
+	for i, p := range pts {
+		sessions[i] = p.Session
+		distinct[i] = p.Distinct
+	}
+	return atlas.RecentNewRate(sessions, distinct)
+}

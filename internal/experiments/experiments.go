@@ -8,6 +8,7 @@ package experiments
 import (
 	"sync"
 
+	"surw/internal/atlas"
 	"surw/internal/obs"
 	"surw/internal/runner"
 	"surw/internal/sched"
@@ -50,6 +51,13 @@ type Scale struct {
 	// across every RunTarget the drivers issue. Purely observational:
 	// attaching it never changes any table or figure. See internal/obs.
 	Metrics *obs.Metrics
+
+	// Atlas, when non-nil, accumulates schedule-space cartography and
+	// per-cell uniformity drift across every SCTBench grid cell (see
+	// internal/atlas). Execution plumbing like Metrics — it never changes
+	// a session key, a table, or a figure, and unlike Metrics it keeps the
+	// batched fast path.
+	Atlas *atlas.Atlas
 
 	// Store, when non-nil, makes every RunTarget-backed driver (sct, rb,
 	// ftp) crash-safe and resumable: completed sessions are persisted as

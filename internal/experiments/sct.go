@@ -78,6 +78,7 @@ func sctConfig(sc Scale, tgt runner.Target) runner.Config {
 		Workers:        sc.Workers,
 		Metrics:        sc.Metrics,
 		Store:          sc.Store,
+		Atlas:          sc.Atlas,
 	}
 }
 

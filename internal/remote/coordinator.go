@@ -17,9 +17,11 @@ import (
 	"sync"
 	"time"
 
+	"surw/internal/atlas"
 	"surw/internal/campaign"
 	"surw/internal/obs"
 	"surw/internal/runner"
+	"surw/internal/stats"
 )
 
 // CoordinatorOptions tunes the lease queue; zero values take defaults.
@@ -54,6 +56,18 @@ type CoordinatorOptions struct {
 	StaleWorkerAfter time.Duration
 	AgingLeaseAfter  time.Duration
 	SlowCellFraction float64
+	// YieldLeases weights lease grants by per-cell discovery yield: the
+	// coordinator draws the next batch with probability proportional to
+	// atlas.LeaseWeight over the cell's ingested class tallies, so cells
+	// with more unseen mass get leased first. The draw is deterministic —
+	// seeded by YieldSeed and the grant sequence, independent of wall
+	// clock — so the same store, plan, and request order grant the same
+	// leases. Like the prefix filter this reorders (and with StopAtFirstBug
+	// can reshape) execution, so it is opt-in and never enabled by the
+	// byte-identity smokes; with the flag off the FIFO order is untouched.
+	YieldLeases bool
+	// YieldSeed seeds the yield-weighted draw. Default 1.
+	YieldSeed int64
 }
 
 func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
@@ -77,6 +91,9 @@ func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
 	}
 	if o.SlowCellFraction <= 0 {
 		o.SlowCellFraction = DefaultSlowCellFraction
+	}
+	if o.YieldSeed == 0 {
+		o.YieldSeed = 1
 	}
 	return o
 }
@@ -117,6 +134,17 @@ type Coordinator struct {
 	lat       obs.LatencySet
 	workerLat map[string]map[string]obs.HistogramWire
 	cells     map[campaign.CellKey]*cellStat
+
+	// Yield-guided leasing state. cellClasses tallies ingested class
+	// fingerprints per cell (a pure function of the store, so it survives
+	// coordinator restarts); workerAtlas keeps the latest cumulative atlas
+	// snapshot per worker (replaced like workerLat); yieldGrants counts
+	// leases granted through the weighted draw, yieldDraws the draws made
+	// (the deterministic stream position).
+	cellClasses map[campaign.CellKey]map[uint64]int
+	workerAtlas map[string][]atlas.CellSnapshot
+	yieldGrants int64
+	yieldDraws  uint64
 }
 
 // batch is a run of same-cell session keys, in session order.
@@ -143,6 +171,7 @@ type workerState struct {
 	sessions  int           // accepted records
 	busy      time.Duration // worker-reported execution time
 	leases    int           // currently held
+	toldDone  bool          // answered a lease poll with Done: true
 }
 
 // NewCoordinator builds the lease queue for a plan. Keys the store
@@ -161,6 +190,9 @@ func NewCoordinator(store runner.SessionStore, plan []runner.SessionKey, opts Co
 
 		workerLat: make(map[string]map[string]obs.HistogramWire),
 		cells:     make(map[campaign.CellKey]*cellStat),
+
+		cellClasses: make(map[campaign.CellKey]map[uint64]int),
+		workerAtlas: make(map[string][]atlas.CellSnapshot),
 	}
 	if c.opts.Tracing {
 		c.spans = obs.NewSpanLog(c.opts.Track)
@@ -180,10 +212,11 @@ func NewCoordinator(store runner.SessionStore, plan []runner.SessionKey, opts Co
 		c.planned[k] = true
 		if s, ok := store.Lookup(k); ok {
 			c.done++
-			// A restarted coordinator rebuilds the seen-class filter from
-			// the records it resumes over, so saturation verdicts survive
-			// restarts with the store.
-			c.ingestLocked(s)
+			// A restarted coordinator rebuilds the seen-class filter (and
+			// the per-cell yield tallies) from the records it resumes over,
+			// so saturation verdicts and grant weights survive restarts
+			// with the store.
+			c.ingestLocked(k, s)
 			continue
 		}
 		if cell := CellOf(k); len(cur.keys) == 0 || cell != curCell || len(cur.keys) >= c.opts.BatchSize {
@@ -205,16 +238,24 @@ func NewCoordinator(store runner.SessionStore, plan []runner.SessionKey, opts Co
 }
 
 // ingestLocked folds one session record's class tallies into the
-// seen-class filter and the fleet duplicate-rate tallies: each class adds
-// one filter observation, and every schedule beyond the first of an
-// already-seen class counts as a duplicate. Sessions without coverage
-// contribute nothing. Caller holds c.mu (or is still constructing c).
-func (c *Coordinator) ingestLocked(s *runner.Session) {
+// seen-class filter, the fleet duplicate-rate tallies, and the per-cell
+// class tallies behind yield-guided leasing: each class adds one filter
+// observation, and every schedule beyond the first of an already-seen
+// class counts as a duplicate. Sessions without coverage contribute
+// nothing. Caller holds c.mu (or is still constructing c).
+func (c *Coordinator) ingestLocked(k runner.SessionKey, s *runner.Session) {
 	if s.Cov == nil {
 		return
 	}
+	cell := CellOf(k)
+	tally := c.cellClasses[cell]
+	if tally == nil {
+		tally = make(map[uint64]int)
+		c.cellClasses[cell] = tally
+	}
 	for class, n := range s.Cov.Classes {
 		c.schedules += int64(n)
+		tally[class] += n
 		dup := int64(n - 1)
 		if !c.filter.Add(class) {
 			dup++ // the class itself was already known fleet-wide
@@ -287,10 +328,15 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	// Pop batches until one still has unstored keys. A requeued batch may
 	// have been completed by another worker's idempotent submission in the
 	// meantime; filtering at grant time (not requeue time) keeps every
-	// handler O(batch).
+	// handler O(batch). With YieldLeases on, the pop is a deterministic
+	// weighted draw over the queue instead of FIFO.
 	for len(c.pending) > 0 {
-		b := c.pending[0]
-		c.pending = c.pending[1:]
+		idx := 0
+		if c.opts.YieldLeases {
+			idx = c.pickYieldLocked()
+		}
+		b := c.pending[idx]
+		c.pending = append(c.pending[:idx], c.pending[idx+1:]...)
 		keys := b.keys[:0:0]
 		for _, k := range b.keys {
 			if _, ok := c.store.Lookup(k); !ok {
@@ -313,6 +359,9 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		}
 		c.leases[l.id] = l
 		ws.leases++
+		if c.opts.YieldLeases {
+			c.yieldGrants++
+		}
 		k0 := keys[0]
 		out := &Lease{
 			ID: l.id, Target: k0.Target, Algorithm: k0.Algorithm,
@@ -340,10 +389,56 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if c.done >= c.total {
+		ws.toldDone = true
 		writeJSON(w, LeaseResponse{Done: true})
 		return
 	}
 	writeJSON(w, LeaseResponse{RetryMillis: c.opts.RetryAfter.Milliseconds()})
+}
+
+// AllWorkersNotified reports whether every worker that ever contacted the
+// coordinator has been answered Done on a lease poll. A completed
+// coordinator that tears its listener down before this point races the
+// idle pollers: a worker sleeping out its RetryMillis hint wakes to a dead
+// socket and retries forever (by design — it cannot tell a finished
+// campaign from a restarting coordinator). Callers should linger until
+// this returns true, with a short cap for workers that died and will
+// never poll again.
+func (c *Coordinator) AllWorkersNotified() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ws := range c.workers {
+		if !ws.toldDone {
+			return false
+		}
+	}
+	return true
+}
+
+// pickYieldLocked draws a pending-batch index with probability
+// proportional to its cell's lease weight (atlas.LeaseWeight over the
+// cell's ingested class tallies: Good-Turing unseen mass, floored so
+// saturated cells starve but never deadlock; cells with no data yet get
+// full weight). The draw consumes one position of a SplitMix64 stream
+// seeded by YieldSeed, so the grant sequence is a pure function of the
+// plan, the store, and the request order — never of the wall clock.
+func (c *Coordinator) pickYieldLocked() int {
+	weights := make([]float64, len(c.pending))
+	total := 0.0
+	for i, b := range c.pending {
+		w := atlas.LeaseWeight(stats.CountsOfMap(c.cellClasses[CellOf(b.keys[0])]))
+		weights[i] = w
+		total += w
+	}
+	c.yieldDraws++
+	u := atlas.Unit(atlas.Mix64(uint64(c.opts.YieldSeed)+c.yieldDraws*0x9E3779B97F4A7C15)) * total
+	for i, w := range weights {
+		u -= w
+		if u < 0 {
+			return i
+		}
+	}
+	return len(c.pending) - 1
 }
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
@@ -420,7 +515,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		resp.Accepted++
 		c.done++
 		ws.sessions++
-		c.ingestLocked(d.sess)
+		c.ingestLocked(d.key, d.sess)
 	}
 	busy := time.Duration(req.BusyMillis) * time.Millisecond
 	ws.busy += busy
@@ -442,6 +537,10 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	// so repeated submissions of a growing snapshot can't double-count.
 	if len(req.Latencies) > 0 {
 		c.workerLat[req.Worker] = req.Latencies
+	}
+	// Same replace-never-fold rule for the worker's cumulative atlas.
+	if len(req.Atlas) > 0 {
+		c.workerAtlas[req.Worker] = req.Atlas
 	}
 	if c.spans.Enabled() {
 		for _, s := range req.Spans {
@@ -489,6 +588,51 @@ func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
 // Spans snapshots the fleet span log (nil when tracing is off) — what
 // surwbench -fleet-trace writes to disk at campaign end.
 func (c *Coordinator) Spans() []obs.Span { return c.spans.Snapshot() }
+
+// AtlasSnapshot assembles the fleet's exploration atlas: the latest
+// cumulative cartography snapshot from each worker, merged cell-wise,
+// with each cell's uniformity drift recomputed from the coordinator's own
+// ingested class tallies (a pure function of the store, so the drift
+// verdicts — unlike the merged density grids — survive worker restarts
+// and coordinator restarts alike). Nil when no worker ever shipped one.
+func (c *Coordinator) AtlasSnapshot() *atlas.Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.workerAtlas) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(c.workerAtlas))
+	for name := range c.workerAtlas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	groups := make([][]atlas.CellSnapshot, 0, len(names))
+	for _, name := range names {
+		groups = append(groups, c.workerAtlas[name])
+	}
+	merged := atlas.MergeCells(groups...)
+	// Drift per (target, algorithm), summed over every cell configuration
+	// that maps there (one, in any sane plan).
+	classes := make(map[[2]string]map[uint64]int)
+	for k, tally := range c.cellClasses {
+		key := [2]string{k.Target, k.Algorithm}
+		m := classes[key]
+		if m == nil {
+			m = make(map[uint64]int, len(tally))
+			classes[key] = m
+		}
+		for class, n := range tally {
+			m[class] += n
+		}
+	}
+	for i := range merged {
+		if m := classes[[2]string{merged[i].Target, merged[i].Algorithm}]; len(m) > 0 {
+			d := atlas.DriftFromCounts(m)
+			merged[i].Uniformity = &d
+		}
+	}
+	return &atlas.Snapshot{Version: atlas.Version, Cells: merged}
+}
 
 // handleClasses answers saturation queries against the seen-class filter.
 // Fingerprints are hex (the campaign wire spelling); a malformed one is a
@@ -553,6 +697,7 @@ func (c *Coordinator) Status() *campaign.RemoteStatus {
 		DistinctClasses:   distinct,
 		ClassQueries:      c.classQueries,
 		ClassesSaturated:  c.classSaturated,
+		YieldGrants:       c.yieldGrants,
 	}
 	if c.schedules > 0 {
 		rs.DuplicateRate = float64(c.dupSchedules) / float64(c.schedules)

@@ -41,6 +41,7 @@
 package remote
 
 import (
+	"surw/internal/atlas"
 	"surw/internal/campaign"
 	"surw/internal/obs"
 )
@@ -123,6 +124,12 @@ type ResultRequest struct {
 	// latest snapshot per worker and merges those into the fleet view, so
 	// shipping cumulative histograms never double-counts.
 	Latencies map[string]obs.HistogramWire `json:"latencies,omitempty"`
+	// Atlas is the worker's cumulative exploration-atlas snapshot (every
+	// cell the worker has observed since it started), present only when
+	// the worker runs with an atlas attached. Cumulative-and-replaced like
+	// Latencies: the coordinator keeps the latest snapshot per worker and
+	// merges those into the fleet cartography, never folding increments.
+	Atlas []atlas.CellSnapshot `json:"atlas,omitempty"`
 }
 
 // ResultResponse reports how the submission landed.

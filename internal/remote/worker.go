@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"surw/internal/atlas"
 	"surw/internal/campaign"
 	"surw/internal/obs"
 	"surw/internal/runner"
@@ -65,6 +66,13 @@ type Worker struct {
 	// the attached tracer disables the batched/checkpoint fast path, so
 	// this is opt-in (cmd/surwworker -metrics).
 	Metrics *obs.Metrics
+	// Atlas, when non-nil, accumulates schedule-space cartography and
+	// uniformity drift over every leased session this worker executes
+	// (cmd/surwworker -atlas). Unlike Metrics it keeps the fast path —
+	// lock-free atomic counters off the decision hot loop — and its
+	// cumulative snapshot ships with every result submission so the
+	// coordinator can assemble the fleet atlas. Never perturbs a schedule.
+	Atlas *atlas.Atlas
 	// Watchdog, when > 0, arms a per-lease self-watchdog: if no session of
 	// the lease completes for this long, the worker logs the stall and
 	// dumps a goroutine profile to stderr — the "heartbeating but not
@@ -204,6 +212,7 @@ func (w *Worker) execute(ctx context.Context, l *Lease) error {
 		CoverageEvery:  l.CoverageEvery,
 		ProfileRuns:    l.ProfileRuns,
 		Metrics:        w.Metrics,
+		Atlas:          w.Atlas,
 	}
 	if w.UsePrefixFilter {
 		cfg.PrefixFilter = &coordPrefixFilter{w: w, ctx: ctx}
@@ -322,6 +331,9 @@ func (w *Worker) execute(ctx context.Context, l *Lease) error {
 		BusyMillis: time.Since(start).Milliseconds(),
 		Records:    records,
 		Latencies:  w.lat.Wire(),
+	}
+	if w.Atlas != nil {
+		req.Atlas = w.Atlas.Snapshot().Cells
 	}
 	if exec.Active() {
 		exec.End()

@@ -110,6 +110,11 @@ func runSession(ctx context.Context, tgt Target, algName string, cfg Config, ses
 	if cfg.Metrics != nil {
 		tracer = cfg.Metrics.Tracer()
 	}
+	// The atlas cell is shared by all sessions of this (target, algorithm)
+	// pair; the engine writes lock-free atomic counters into its Accum and
+	// the per-schedule class fingerprint feeds its uniformity tracker
+	// below, strictly after each schedule completes.
+	atlasCell := cfg.Atlas.Cell(tgt.Name, algName)
 
 	// All schedules of the session share (and recycle) one pool of
 	// execution buffers and parked worker goroutines. RunTarget hands in a
@@ -152,6 +157,7 @@ func runSession(ctx context.Context, tgt Target, algName string, cfg Config, ses
 			Info:        info,
 			TraceFilter: tgt.TraceFilter,
 			Tracer:      tracer,
+			Atlas:       atlasCell.Accum(),
 		}
 		var r *sched.Result
 		abandon := false
@@ -192,6 +198,7 @@ func runSession(ctx context.Context, tgt Target, algName string, cfg Config, ses
 		if r.Truncated {
 			sess.Truncated++
 		}
+		atlasCell.ObserveSchedule(r.ClassHash)
 		if sess.Cov != nil {
 			sess.Cov.Interleavings[r.InterleavingHash]++
 			if sess.Cov.Classes[r.ClassHash]++; sess.Cov.Classes[r.ClassHash] > 1 {

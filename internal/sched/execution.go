@@ -5,6 +5,8 @@ import (
 	"iter"
 	"math/rand"
 	"strconv"
+
+	"surw/internal/atlas"
 )
 
 type threadState uint8
@@ -82,6 +84,13 @@ type Execution struct {
 	interesting func(Event) bool
 	filter      func(Event) bool
 	tracer      Tracer
+
+	// Exploration-atlas state (internal/atlas): cartography sink plus the
+	// per-schedule decision depth and running choice-prefix hash. Feeds
+	// only the atlas — never a result hash or a scheduling choice.
+	atlas      *atlas.Accum
+	atlasDepth int
+	atlasHash  uint64
 
 	state *State
 
@@ -240,6 +249,10 @@ func (ex *Execution) reset(opts Options, alg Algorithm) {
 	ex.interesting = nil
 	ex.filter = opts.TraceFilter
 	ex.tracer = opts.Tracer
+	ex.atlas = opts.Atlas
+	ex.atlasDepth = 0
+	ex.atlasHash = fnvOffset
+	ex.atlas.BeginSchedule()
 	if opts.Info != nil && opts.Info.Interesting != nil {
 		ex.interesting = opts.Info.Interesting
 		ex.deltaHash = fnvOffset
@@ -391,6 +404,11 @@ func (ex *Execution) loop() {
 			}
 		default:
 			tid = enabled[0]
+		}
+		if ex.atlas != nil && len(enabled) > 1 {
+			ex.atlasDepth++
+			ex.atlasHash = fnvMix(ex.atlasHash, uint64(tid)<<8|uint64(len(enabled)))
+			ex.atlas.Decision(ex.atlasDepth, len(enabled), ex.atlasHash)
 		}
 		t := ex.threads[tid]
 		ev := t.next

@@ -358,6 +358,11 @@ func (ex *Execution) decide(t *Thread) bool {
 			ex.closeCapture()
 		}
 	}
+	if ex.atlas != nil && n > 1 {
+		ex.atlasDepth++
+		ex.atlasHash = fnvMix(ex.atlasHash, uint64(tid)<<8|uint64(n))
+		ex.atlas.Decision(ex.atlasDepth, n, ex.atlasHash)
+	}
 	ex.decisionBits = ex.enabledBits
 	return ex.execute(t, tid)
 }

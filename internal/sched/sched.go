@@ -17,7 +17,11 @@
 // order on any decision path.
 package sched
 
-import "fmt"
+import (
+	"fmt"
+
+	"surw/internal/atlas"
+)
 
 // ThreadID identifies a thread within a single execution. IDs are assigned
 // in creation order starting from 0 (the root thread). Because creation
@@ -271,6 +275,15 @@ type Options struct {
 	// Tracer. Results are bit-identical either way; this exists for A/B
 	// verification and benchmarking of the fast engine (fast.go).
 	DisableBatching bool
+	// Atlas, when non-nil, accumulates schedule-space cartography (see
+	// internal/atlas): at every true decision point (≥2 enabled threads)
+	// the engine folds the depth, the enabled-set size and a running
+	// choice-prefix hash into its fixed atomic counters. Unlike Tracer it
+	// does NOT force the slow loop — the fast engine records the same
+	// decisions batched. A nil Atlas costs one predictable branch per
+	// decision and zero allocations; an attached one never changes which
+	// thread is scheduled or any result hash.
+	Atlas *atlas.Accum
 }
 
 // DefaultMaxSteps is the schedule step budget when Options.MaxSteps is 0.
