@@ -175,7 +175,7 @@ func BenchmarkDecision(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			steps := 0
 			for i := 0; i < b.N; i++ {
-				r := sched.Run(prog, alg, sched.Options{Seed: int64(i), Info: info})
+				r := sched.Run(prog, alg, sched.Options{Base: sched.Base{Seed: int64(i)}, Info: info})
 				steps += r.Steps
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(steps), "ns/decision")
@@ -190,7 +190,7 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	alg := core.NewRandomWalk()
 	steps := 0
 	for i := 0; i < b.N; i++ {
-		r := sched.Run(prog, alg, sched.Options{Seed: int64(i)})
+		r := sched.Run(prog, alg, sched.Options{Base: sched.Base{Seed: int64(i)}})
 		steps += r.Steps
 	}
 	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "events/s")
@@ -247,14 +247,14 @@ func BenchmarkPooledSchedule(b *testing.B) {
 	b.Run("fresh", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			sched.Run(prog, alg, sched.Options{Seed: int64(i)})
+			sched.Run(prog, alg, sched.Options{Base: sched.Base{Seed: int64(i)}})
 		}
 	})
 	b.Run("pooled", func(b *testing.B) {
 		b.ReportAllocs()
 		pool := sched.NewPool()
 		for i := 0; i < b.N; i++ {
-			pool.Run(prog, alg, sched.Options{Seed: int64(i)})
+			pool.Run(prog, alg, sched.Options{Base: sched.Base{Seed: int64(i)}})
 		}
 	})
 }
@@ -297,7 +297,7 @@ func BenchmarkPrefixFork(b *testing.B) {
 		pool := sched.NewPool()
 		decisions := 0
 		for i := 0; i < b.N; i++ {
-			_, cp := pool.RunPrefix(prog, alg, sched.Options{Seed: int64(i) + 1})
+			_, cp := pool.RunPrefix(prog, alg, sched.Options{Base: sched.Base{Seed: int64(i) + 1}})
 			if cp == nil {
 				b.Fatal("no checkpoint captured")
 			}
@@ -308,20 +308,20 @@ func BenchmarkPrefixFork(b *testing.B) {
 	b.Run("replay", func(b *testing.B) {
 		b.ReportAllocs()
 		pool := sched.NewPool()
-		_, cp := pool.RunPrefix(prog, alg, sched.Options{Seed: 1})
+		_, cp := pool.RunPrefix(prog, alg, sched.Options{Base: sched.Base{Seed: 1}})
 		if cp == nil {
 			b.Fatal("no checkpoint captured")
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			pool.RunFrom(cp, prog, alg, sched.Options{Seed: int64(i) + 2})
+			pool.RunFrom(cp, prog, alg, sched.Options{Base: sched.Base{Seed: int64(i) + 2}})
 		}
 	})
 	b.Run("full", func(b *testing.B) {
 		b.ReportAllocs()
 		pool := sched.NewPool()
 		for i := 0; i < b.N; i++ {
-			pool.Run(prog, alg, sched.Options{Seed: int64(i) + 2})
+			pool.Run(prog, alg, sched.Options{Base: sched.Base{Seed: int64(i) + 2}})
 		}
 	})
 }
@@ -345,7 +345,7 @@ func BenchmarkBatchedReplay(b *testing.B) {
 			b.ReportAllocs()
 			pool := sched.NewPool()
 			for i := 0; i < b.N; i++ {
-				pool.Run(tgt.Prog, alg, sched.Options{Seed: int64(i) + 1, DisableBatching: mode.disable})
+				pool.Run(tgt.Prog, alg, sched.Options{Base: sched.Base{Seed: int64(i) + 1}, DisableBatching: mode.disable})
 			}
 			b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)*1e9, "ns/schedule")
 		})
@@ -357,7 +357,7 @@ func BenchmarkBatchedReplay(b *testing.B) {
 func BenchmarkProfileCollect(b *testing.B) {
 	tgt, _ := sctbench.ByName("CS/twostage_20")
 	for i := 0; i < b.N; i++ {
-		if _, err := profile.Collect(tgt.Prog, profile.Options{Seed: int64(i)}); err != nil {
+		if _, err := profile.Collect(tgt.Prog, profile.Options{Base: sched.Base{Seed: int64(i)}}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -413,7 +413,7 @@ func BenchmarkAblationSpawnWeights(b *testing.B) {
 	run := func(alg sched.Algorithm) float64 {
 		counts := make(map[string]int)
 		for s := 0; s < 7000; s++ {
-			r := sched.Run(prog, alg, sched.Options{Seed: int64(s), Info: info})
+			r := sched.Run(prog, alg, sched.Options{Base: sched.Base{Seed: int64(s)}, Info: info})
 			counts[r.Behavior]++
 		}
 		xs := make([]int, 0, len(counts))
@@ -445,7 +445,7 @@ func BenchmarkAblationPickFrom(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				found := 0.0
-				prof, _ := profile.Collect(tgt.Prog, profile.Options{Seed: 17})
+				prof, _ := profile.Collect(tgt.Prog, profile.Options{Base: sched.Base{Seed: 17}})
 				rng := rand.New(rand.NewSource(3))
 				alg := core.NewSURW()
 				alg.PickUniform = uniform
@@ -454,9 +454,7 @@ func BenchmarkAblationPickFrom(b *testing.B) {
 					if !ok {
 						b.Fatal("no shared var")
 					}
-					r := sched.Run(tgt.Prog, alg, sched.Options{
-						Seed: int64(s), Info: prof.Instantiate(sel),
-					})
+					r := sched.Run(tgt.Prog, alg, sched.Options{Base: sched.Base{Seed: int64(s)}, Info: prof.Instantiate(sel)})
 					if r.Buggy() {
 						found = float64(s + 1)
 						break
@@ -520,7 +518,7 @@ func BenchmarkAblationCountNoise(b *testing.B) {
 				counts := make(map[string]int)
 				alg := core.NewURW()
 				for s := 0; s < 7000; s++ {
-					r := sched.Run(prog, alg, sched.Options{Seed: int64(s), Info: info})
+					r := sched.Run(prog, alg, sched.Options{Base: sched.Base{Seed: int64(s)}, Info: info})
 					counts[r.Behavior]++
 				}
 				xs := make([]int, 0, len(counts))
@@ -538,7 +536,7 @@ func BenchmarkFTPSchedule(b *testing.B) {
 	tgt := ftp.DefaultConfig().Target(3)
 	alg := core.NewRandomWalk()
 	for i := 0; i < b.N; i++ {
-		sched.Run(tgt.Prog, alg, sched.Options{Seed: int64(i), ProgSeed: 3})
+		sched.Run(tgt.Prog, alg, sched.Options{Base: sched.Base{Seed: int64(i), ProgSeed: 3}})
 	}
 }
 
@@ -546,7 +544,7 @@ func BenchmarkFTPSchedule(b *testing.B) {
 // LightFTP traces.
 func BenchmarkRaceDetect(b *testing.B) {
 	tgt := ftp.DefaultConfig().Target(3)
-	res := sched.Run(tgt.Prog, core.NewRandomWalk(), sched.Options{Seed: 1, ProgSeed: 3, RecordTrace: true})
+	res := sched.Run(tgt.Prog, core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: 1, ProgSeed: 3}, RecordTrace: true})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		race.Detect(res.Trace, res.ThreadPaths)
@@ -561,7 +559,7 @@ func BenchmarkMinimize(b *testing.B) {
 	var bugID string
 	found := false
 	for seed := int64(0); seed < 2000 && !found; seed++ {
-		res, r := replay.Record(tgt.Prog, core.NewRandomWalk(), sched.Options{Seed: seed})
+		res, r := replay.Record(tgt.Prog, core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: seed}})
 		if res.Buggy() {
 			rec, bugID, found = r, res.Failure.BugID, true
 		}

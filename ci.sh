@@ -26,7 +26,7 @@ awk '
   END { exit bad }
 ' /tmp/surw-cover.txt
 
-go test -race -short ./internal/workpool ./internal/sched ./internal/runner ./internal/experiments ./internal/crosscheck ./internal/campaign ./internal/remote
+go test -race -short ./internal/workpool ./internal/sched ./internal/runner ./internal/experiments ./internal/crosscheck ./internal/campaign ./internal/remote ./surwsync
 
 # Observability overhead gate: with tracing disabled the pooled scheduler
 # must stay at its allocation floor — the Tracer hook is a nil-check, not a
@@ -310,6 +310,30 @@ grep -q 'surw_atlas_uniformity_p{target="Fig1/bitshift_4"' /tmp/surw-campaign/ym
 grep -q 'surw_atlas_drift_alarm{target="Fig1/bitshift_4",algorithm="RW"} 1' /tmp/surw-campaign/ymetrics.txt
 kill $DASH_PID 2>/dev/null || true
 trap - EXIT
+
+# surwport smoke: the real-Go-code pipeline end to end (DESIGN §14).
+#   1. Re-port the stdlib worker pool and require the output to match the
+#      committed examples/workerpool/ported byte-for-byte — the committed
+#      port is never allowed to drift from what the tool emits.
+#   2. Run the ported pool as a campaign cell through the surwsync binding
+#      frontend and require SURW to find the seeded lost-wakeup deadlock.
+#   3. Re-run the cell at a different worker count and require
+#      byte-identical aggregates — the goroutine-binding registry must not
+#      break the runner's confinement model.
+rm -rf /tmp/surw-port
+mkdir -p /tmp/surw-port
+go run ./cmd/surwport -src examples/workerpool/pool -dst /tmp/surw-port/ported
+for f in examples/workerpool/ported/*.go; do
+    cmp "$f" "/tmp/surw-port/ported/$(basename "$f")"
+done
+go run ./examples/workerpool > /tmp/surw-port/demo.txt
+grep -q 'bug "deadlock" found at schedule' /tmp/surw-port/demo.txt
+grep -q 'replayed: deadlock' /tmp/surw-port/demo.txt
+WPCELLS='-sct-targets WP/pool_2w2j -sct-algs SURW,RW -sessions 3 -limit 300'
+/tmp/surw-campaign/surwbench -campaign /tmp/surw-port/w2 -workers 2 $WPCELLS -q sct > /dev/null
+/tmp/surw-campaign/surwbench -campaign /tmp/surw-port/w1 -workers 1 $WPCELLS -q sct > /dev/null
+cmp /tmp/surw-port/w2/aggregates.json /tmp/surw-port/w1/aggregates.json
+grep -q '"deadlock"' /tmp/surw-port/w2/aggregates.json
 
 # Fuzz smoke: a short coverage-guided run of each native fuzz target (the
 # full checked-in seed corpora already ran as part of `go test` above).

@@ -61,7 +61,7 @@ func main() {
 	for p := 0; p < *programs; p++ {
 		genSeed := *seed + int64(p)
 		prog := progfuzz.Gen(genSeed, cfg).Prog()
-		prof, err := profile.Collect(prog, profile.Options{Seed: genSeed ^ 0x5eed})
+		prof, err := profile.Collect(prog, profile.Options{Base: sched.Base{Seed: genSeed ^ 0x5eed}})
 		if err != nil {
 			report(&defects, "gen %d: profiling truncated: %v", genSeed, err)
 			continue
@@ -76,7 +76,7 @@ func main() {
 			info := infoFor(name, prof, selRng)
 			for s := 0; s < *schedules; s++ {
 				runs++
-				opts := sched.Options{Seed: int64(s), Info: info, MaxSteps: 200_000, Tracer: tracer}
+				opts := sched.Options{Base: sched.Base{Seed: int64(s), MaxSteps: 200_000}, Info: info, Tracer: tracer}
 				res, rec := replay.Record(prog, alg, opts)
 				if metrics != nil {
 					metrics.ObserveResult(name, res)

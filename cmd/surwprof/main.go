@@ -23,6 +23,7 @@ import (
 	"surw/internal/profile"
 	"surw/internal/race"
 	"surw/internal/report"
+	"surw/internal/sched"
 	"surw/internal/sctbench"
 	"surw/internal/systematic"
 )
@@ -74,9 +75,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "surwprof: unknown target %q (try surwrun -list)\n", *targetName)
 		os.Exit(2)
 	}
-	prof, err := profile.Collect(tgt.Prog, profile.Options{
-		Runs: *runs, Seed: *seed, ProgSeed: tgt.ProgSeed, MaxSteps: tgt.MaxSteps,
-	})
+	prof, err := profile.Collect(tgt.Prog, profile.Options{Base: sched.Base{Seed: *seed, ProgSeed: tgt.ProgSeed, MaxSteps: tgt.MaxSteps}, Runs: *runs})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "surwprof: %v (counts below are partial)\n", err)
 		if prof == nil {

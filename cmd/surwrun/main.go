@@ -254,13 +254,13 @@ func exportTrace(path string, tgt runner.Target, algName string, seed int64, lim
 	if err != nil {
 		return err
 	}
-	prof, _ := profile.Collect(tgt.Prog, profile.Options{Seed: seed + 17, ProgSeed: tgt.ProgSeed, MaxSteps: tgt.MaxSteps})
+	prof, _ := profile.Collect(tgt.Prog, profile.Options{Base: sched.Base{Seed: seed + 17, ProgSeed: tgt.ProgSeed, MaxSteps: tgt.MaxSteps}})
 	var info *sched.ProgramInfo
 	if prof != nil {
 		info = prof.Instantiate(prof.SelectAll())
 	}
 	col := obs.NewCollector(0) // keep every decision
-	opts := sched.Options{ProgSeed: tgt.ProgSeed, MaxSteps: tgt.MaxSteps, Info: info, Tracer: col, TraceFilter: tgt.TraceFilter}
+	opts := sched.Options{Base: sched.Base{ProgSeed: tgt.ProgSeed, MaxSteps: tgt.MaxSteps}, Info: info, Tracer: col, TraceFilter: tgt.TraceFilter}
 	for i := 0; i < limit; i++ {
 		opts.Seed = seed + int64(i)*2_000_033 + 1
 		if r := sched.Run(tgt.Prog, alg, opts); r.Buggy() {
@@ -305,11 +305,7 @@ func replayFlight(path string) error {
 		fr.Target, fr.Algorithm, fr.Session, fr.Schedule)
 	fmt.Printf("expect    bug %s (%s at step %d), fingerprint %s\n",
 		fr.BugID, fr.FailKind, fr.FailStep, fr.Fingerprint)
-	res, err := replay.ReplayStrict(tgt.Prog, rec, sched.Options{
-		ProgSeed:    fr.ProgSeed,
-		MaxSteps:    fr.MaxSteps,
-		TraceFilter: tgt.TraceFilter,
-	})
+	res, err := replay.ReplayStrict(tgt.Prog, rec, sched.Options{Base: sched.Base{ProgSeed: fr.ProgSeed, MaxSteps: fr.MaxSteps}, TraceFilter: tgt.TraceFilter})
 	if err != nil {
 		return fmt.Errorf("replay diverged: %w", err)
 	}
@@ -401,9 +397,9 @@ func lookupTarget(name string) (runner.Target, bool) {
 // minimized interleaving.
 func printFailingTrace(tgt runner.Target, algName string, seed int64, limit int) {
 	alg, _ := core.New(algName)
-	prof, _ := profile.Collect(tgt.Prog, profile.Options{Seed: seed + 17, ProgSeed: tgt.ProgSeed, MaxSteps: tgt.MaxSteps})
+	prof, _ := profile.Collect(tgt.Prog, profile.Options{Base: sched.Base{Seed: seed + 17, ProgSeed: tgt.ProgSeed, MaxSteps: tgt.MaxSteps}})
 	info := prof.Instantiate(prof.SelectAll())
-	opts := sched.Options{ProgSeed: tgt.ProgSeed, MaxSteps: tgt.MaxSteps, Info: info}
+	opts := sched.Options{Base: sched.Base{ProgSeed: tgt.ProgSeed, MaxSteps: tgt.MaxSteps}, Info: info}
 	for i := 0; i < limit; i++ {
 		opts.Seed = seed + int64(i)*2_000_033 + 1
 		r, rec := replay.Record(tgt.Prog, alg, opts)

@@ -16,7 +16,7 @@ func ExampleTest() {
 		t.Join(h1)
 		t.Join(h2)
 		t.Assert(c.Peek() == 2, "lost-update")
-	}, surw.Options{Schedules: 1000, Seed: 1})
+	}, surw.Options{Base: surw.Base{Seed: 1}, Schedules: 1000})
 	if err != nil {
 		panic(err)
 	}
@@ -47,7 +47,7 @@ func ExampleExplore() {
 		t.Join(a)
 		t.Join(b)
 		t.SetBehavior(fmt.Sprintf("%03b", x.Peek()))
-	}, surw.Options{Schedules: 400, Algorithm: "URW", Seed: 1})
+	}, surw.Options{Base: surw.Base{Seed: 1}, Schedules: 400, Algorithm: "URW"})
 	if err != nil {
 		panic(err)
 	}
@@ -73,7 +73,7 @@ func ExampleRecordRun() {
 		t.Join(chk)
 	}
 	for seed := int64(0); ; seed++ {
-		res, rec := surw.RecordRun(prog, surw.NewRandomWalk(), surw.RunOptions{Seed: seed})
+		res, rec := surw.RecordRun(prog, surw.NewRandomWalk(), surw.RunOptions{Base: surw.Base{Seed: seed}})
 		if !res.Buggy() {
 			continue
 		}

@@ -39,11 +39,7 @@ func main() {
 	const trials = 25_200 // 100 per class under perfect uniformity
 
 	for _, alg := range []string{"URW", "RW", "PCT-10"} {
-		ex, err := surw.Explore(bitshift, surw.Options{
-			Schedules: trials,
-			Algorithm: alg,
-			Seed:      1,
-		})
+		ex, err := surw.Explore(bitshift, surw.Options{Base: surw.Base{Seed: 1}, Schedules: trials, Algorithm: alg})
 		if err != nil {
 			panic(err)
 		}

@@ -82,12 +82,7 @@ func main() {
 	fmt.Printf("%-8s %14s %14s %10s %10s\n",
 		"alg", "interleavings", "behaviors", "ilv H", "beh H")
 	for _, alg := range []string{"SURW", "RW", "PCT-3", "POS"} {
-		ex, err := surw.Explore(server, surw.Options{
-			Schedules:   schedules,
-			Algorithm:   alg,
-			Seed:        5,
-			TraceFilter: fsMutations,
-		})
+		ex, err := surw.Explore(server, surw.Options{Base: surw.Base{Seed: 5}, Schedules: schedules, Algorithm: alg, TraceFilter: fsMutations})
 		if err != nil {
 			panic(err)
 		}

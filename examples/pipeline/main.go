@@ -48,7 +48,7 @@ func pipeline(t *surw.Thread) {
 }
 
 func main() {
-	opts := surw.Options{Schedules: 3000, Seed: 2}
+	opts := surw.Options{Base: surw.Base{Seed: 2}, Schedules: 3000}
 	report, err := surw.Test(pipeline, opts)
 	if err != nil {
 		log.Fatal(err)
@@ -59,12 +59,12 @@ func main() {
 	}
 
 	// Record the failure with the replay seed, then minimize the schedule.
-	res, rec := surw.RecordRun(pipeline, surw.NewRandomWalk(), surw.RunOptions{Seed: report.Seed})
+	res, rec := surw.RecordRun(pipeline, surw.NewRandomWalk(), surw.RunOptions{Base: surw.Base{Seed: report.Seed}})
 	if !res.Buggy() {
 		// The failing seed was found under SURW; hunt again with RW for a
 		// recordable repro.
 		for s := int64(0); s < 20000; s++ {
-			res, rec = surw.RecordRun(pipeline, surw.NewRandomWalk(), surw.RunOptions{Seed: s})
+			res, rec = surw.RecordRun(pipeline, surw.NewRandomWalk(), surw.RunOptions{Base: surw.Base{Seed: s}})
 			if res.Buggy() {
 				break
 			}

@@ -38,7 +38,7 @@ func account(t *surw.Thread) {
 }
 
 func main() {
-	opts := surw.Options{Schedules: 1000, Seed: 7}
+	opts := surw.Options{Base: surw.Base{Seed: 7}, Schedules: 1000}
 	report, err := surw.Test(account, opts)
 	if err != nil {
 		log.Fatal(err)

@@ -55,11 +55,7 @@ func main() {
 	for _, setters := range []int{2, 4, 9, 19} {
 		fmt.Printf("%-8s", fmt.Sprintf("%d", setters+1))
 		for _, alg := range algs {
-			rep, err := surw.Test(reorder(setters), surw.Options{
-				Schedules: budget,
-				Algorithm: alg,
-				Seed:      11,
-			})
+			rep, err := surw.Test(reorder(setters), surw.Options{Base: surw.Base{Seed: 11}, Schedules: budget, Algorithm: alg})
 			if err != nil {
 				panic(err)
 			}

@@ -185,8 +185,8 @@ func TestPCTDeterministicWithoutChangePoints(t *testing.T) {
 	// are identical, and the highest-priority thread runs first.
 	prog := bitshift(3)
 	info := bitshiftInfo(3, nil)
-	a := sched.Run(prog, NewPCT(1), sched.Options{Seed: 5, Info: info})
-	b := sched.Run(prog, NewPCT(1), sched.Options{Seed: 5, Info: info})
+	a := sched.Run(prog, NewPCT(1), sched.Options{Base: sched.Base{Seed: 5}, Info: info})
+	b := sched.Run(prog, NewPCT(1), sched.Options{Base: sched.Base{Seed: 5}, Info: info})
 	if a.Behavior != b.Behavior {
 		t.Fatal("PCT-1 with equal seeds diverged")
 	}
@@ -194,7 +194,7 @@ func TestPCTDeterministicWithoutChangePoints(t *testing.T) {
 	// before B or B fully before A.
 	seen := map[string]bool{}
 	for seed := int64(0); seed < 40; seed++ {
-		r := sched.Run(prog, NewPCT(1), sched.Options{Seed: seed, Info: info})
+		r := sched.Run(prog, NewPCT(1), sched.Options{Base: sched.Base{Seed: seed}, Info: info})
 		seen[r.Behavior] = true
 	}
 	if len(seen) != 2 {
@@ -209,7 +209,7 @@ func TestPCTChangePointCausesPreemption(t *testing.T) {
 	info := bitshiftInfo(3, nil)
 	seen := map[string]bool{}
 	for seed := int64(0); seed < 60; seed++ {
-		r := sched.Run(prog, NewPCT(8), sched.Options{Seed: seed, Info: info})
+		r := sched.Run(prog, NewPCT(8), sched.Options{Base: sched.Base{Seed: seed}, Info: info})
 		seen[r.Behavior] = true
 	}
 	if len(seen) <= 2 {
@@ -235,12 +235,12 @@ func TestPOSResamplingChangesOutcomes(t *testing.T) {
 	info := bitshiftInfo(4, nil)
 	pos := map[string]int{}
 	for seed := int64(0); seed < 4000; seed++ {
-		r := sched.Run(prog, NewPOS(), sched.Options{Seed: seed, Info: info})
+		r := sched.Run(prog, NewPOS(), sched.Options{Base: sched.Base{Seed: seed}, Info: info})
 		pos[r.Behavior]++
 	}
 	urw := map[string]int{}
 	for seed := int64(0); seed < 4000; seed++ {
-		r := sched.Run(prog, NewURW(), sched.Options{Seed: seed, Info: info})
+		r := sched.Run(prog, NewURW(), sched.Options{Base: sched.Base{Seed: seed}, Info: info})
 		urw[r.Behavior]++
 	}
 	xPOS := chiSquare(pos, binom(8, 4), 4000)
@@ -283,7 +283,7 @@ func TestSURWFallbackWhenIntendedBlocked(t *testing.T) {
 	info.TotalEvents = 39
 	info.Interesting = func(ev sched.Event) bool { return ev.Kind.IsMemAccess() }
 	for seed := int64(0); seed < 50; seed++ {
-		r := sched.Run(prog, NewSURW(), sched.Options{Seed: seed, Info: info, MaxSteps: 5000})
+		r := sched.Run(prog, NewSURW(), sched.Options{Base: sched.Base{Seed: seed, MaxSteps: 5000}, Info: info})
 		if r.Buggy() || r.Truncated {
 			t.Fatalf("seed %d: failure=%v truncated=%v (fallback livelocked?)", seed, r.Failure, r.Truncated)
 		}
@@ -299,7 +299,7 @@ func TestSURWNamesAndKnobs(t *testing.T) {
 	s.NoSpawnCorrection = true
 	info := bitshiftInfo(3, nil)
 	for seed := int64(0); seed < 20; seed++ {
-		r := sched.Run(bitshift(3), s, sched.Options{Seed: seed, Info: info})
+		r := sched.Run(bitshift(3), s, sched.Options{Base: sched.Base{Seed: seed}, Info: info})
 		if r.Buggy() {
 			t.Fatal(r.Failure)
 		}
@@ -352,7 +352,7 @@ func TestSURWHandoffTelescopes(t *testing.T) {
 	hits := 0
 	const n = 4000
 	for seed := int64(0); seed < n; seed++ {
-		r := sched.Run(prog, NewSURW(), sched.Options{Seed: seed, Info: info})
+		r := sched.Run(prog, NewSURW(), sched.Options{Base: sched.Base{Seed: seed}, Info: info})
 		if r.Behavior == "checker-first" {
 			hits++
 		}
@@ -367,7 +367,7 @@ func TestSURWHandoffTelescopes(t *testing.T) {
 
 func TestRAPOSRunsCleanPrograms(t *testing.T) {
 	for seed := int64(0); seed < 30; seed++ {
-		r := sched.Run(bitshift(4), NewRAPOS(), sched.Options{Seed: seed})
+		r := sched.Run(bitshift(4), NewRAPOS(), sched.Options{Base: sched.Base{Seed: seed}})
 		if r.Buggy() || r.Truncated {
 			t.Fatalf("seed %d: %v", seed, r.Failure)
 		}
@@ -383,7 +383,7 @@ func TestRAPOSFindsRacingBug(t *testing.T) {
 		th.Assert(c.Peek() == 2, "lost-update")
 	}
 	for seed := int64(0); seed < 500; seed++ {
-		r := sched.Run(lostUpdate, NewRAPOS(), sched.Options{Seed: seed})
+		r := sched.Run(lostUpdate, NewRAPOS(), sched.Options{Base: sched.Base{Seed: seed}})
 		if r.Buggy() {
 			return
 		}
@@ -399,7 +399,7 @@ func TestRAPOSFindsRacingBug(t *testing.T) {
 // after both were co-scheduled — is unreachable.
 func TestRAPOSRoundsLoseInterleavings(t *testing.T) {
 	for seed := int64(0); seed < 2000; seed++ {
-		if r := sched.Run(orderBug, NewRAPOS(), sched.Options{Seed: seed}); r.Buggy() {
+		if r := sched.Run(orderBug, NewRAPOS(), sched.Options{Base: sched.Base{Seed: seed}}); r.Buggy() {
 			t.Fatalf("seed %d: RAPOS reached an interleaving its rounds should exclude", seed)
 		}
 	}
@@ -425,7 +425,7 @@ func TestRAPOSHandlesBlocking(t *testing.T) {
 		th.JoinAll(h1, h2)
 	}
 	for seed := int64(0); seed < 30; seed++ {
-		r := sched.Run(prog, NewRAPOS(), sched.Options{Seed: seed})
+		r := sched.Run(prog, NewRAPOS(), sched.Options{Base: sched.Base{Seed: seed}})
 		if r.Buggy() || r.Truncated {
 			t.Fatalf("seed %d: %v", seed, r.Failure)
 		}
@@ -440,7 +440,7 @@ func TestDBZeroDelaysIsRoundRobin(t *testing.T) {
 	info := bitshiftInfo(3, nil)
 	seen := map[string]bool{}
 	for seed := int64(0); seed < 30; seed++ {
-		r := sched.Run(prog, NewDB(0), sched.Options{Seed: seed, Info: info})
+		r := sched.Run(prog, NewDB(0), sched.Options{Base: sched.Base{Seed: seed}, Info: info})
 		if r.Buggy() {
 			t.Fatal(r.Failure)
 		}
@@ -456,7 +456,7 @@ func TestDBDelaysCauseSwitches(t *testing.T) {
 	info := bitshiftInfo(3, nil)
 	seen := map[string]bool{}
 	for seed := int64(0); seed < 200; seed++ {
-		r := sched.Run(prog, NewDB(3), sched.Options{Seed: seed, Info: info})
+		r := sched.Run(prog, NewDB(3), sched.Options{Base: sched.Base{Seed: seed}, Info: info})
 		seen[r.Behavior] = true
 	}
 	if len(seen) < 4 {
@@ -469,7 +469,7 @@ func TestDBFindsShallowBug(t *testing.T) {
 	info.AddThread("0", "")
 	info.TotalEvents = 10
 	for seed := int64(0); seed < 2000; seed++ {
-		if r := sched.Run(orderBug, NewDB(2), sched.Options{Seed: seed, Info: info}); r.Buggy() {
+		if r := sched.Run(orderBug, NewDB(2), sched.Options{Base: sched.Base{Seed: seed}, Info: info}); r.Buggy() {
 			return
 		}
 	}
@@ -502,7 +502,7 @@ func TestDBHandlesBlocking(t *testing.T) {
 		th.JoinAll(h1, h2)
 	}
 	for seed := int64(0); seed < 30; seed++ {
-		r := sched.Run(prog, NewDB(5), sched.Options{Seed: seed})
+		r := sched.Run(prog, NewDB(5), sched.Options{Base: sched.Base{Seed: seed}})
 		if r.Buggy() || r.Truncated {
 			t.Fatalf("seed %d: %v", seed, r.Failure)
 		}

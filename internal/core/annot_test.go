@@ -40,7 +40,7 @@ func annotProg(t *sched.Thread) {
 // final decisions.
 func TestAnnotationFormats(t *testing.T) {
 	urw := &annotCapture{}
-	sched.Run(annotProg, NewURW(), sched.Options{Seed: 4, Tracer: urw})
+	sched.Run(annotProg, NewURW(), sched.Options{Base: sched.Base{Seed: 4}, Tracer: urw})
 	if len(urw.annots) == 0 {
 		t.Fatal("no decisions traced")
 	}
@@ -68,7 +68,7 @@ func TestAnnotationFormats(t *testing.T) {
 		info.TotalEvents += c
 	}
 	surw := &annotCapture{}
-	sched.Run(annotProg, NewSURW(), sched.Options{Seed: 4, Tracer: surw, Info: info})
+	sched.Run(annotProg, NewSURW(), sched.Options{Base: sched.Base{Seed: 4}, Tracer: surw, Info: info})
 	sawIntended := false
 	for i, a := range surw.annots {
 		if !strings.HasPrefix(a, "intended=") || !strings.Contains(a, " Δw=[") {

@@ -51,7 +51,7 @@ func hitRate(t *testing.T, prog func(*sched.Thread), info *sched.ProgramInfo, n 
 	hits := 0
 	alg := NewSURW()
 	for seed := 0; seed < n; seed++ {
-		r := sched.Run(prog, alg, sched.Options{Seed: int64(seed), Info: info})
+		r := sched.Run(prog, alg, sched.Options{Base: sched.Base{Seed: int64(seed)}, Info: info})
 		if r.Buggy() {
 			hits++
 		}
@@ -184,7 +184,7 @@ func TestIrrelevantThreadsPreserveUniformity(t *testing.T) {
 	counts := map[string]int{}
 	alg := NewSURW()
 	for seed := 0; seed < n; seed++ {
-		r := sched.Run(prog, alg, sched.Options{Seed: int64(seed), Info: info})
+		r := sched.Run(prog, alg, sched.Options{Base: sched.Base{Seed: int64(seed)}, Info: info})
 		counts[r.Behavior]++
 	}
 	if len(counts) != classes {

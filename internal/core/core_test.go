@@ -127,7 +127,7 @@ func binom(n, k int) int {
 func sampleBehaviors(prog func(*sched.Thread), alg sched.Algorithm, info *sched.ProgramInfo, n int) map[string]int {
 	counts := make(map[string]int)
 	for seed := 0; seed < n; seed++ {
-		res := sched.Run(prog, alg, sched.Options{Seed: int64(seed), Info: info})
+		res := sched.Run(prog, alg, sched.Options{Base: sched.Base{Seed: int64(seed)}, Info: info})
 		if res.Buggy() {
 			panic(res.Failure)
 		}
@@ -306,7 +306,7 @@ func TestSURWGammaComplete(t *testing.T) {
 	info := noisyInfo(2, 1)
 	got := make(map[uint64]bool)
 	for seed := 0; seed < 400_000 && len(got) < len(all); seed++ {
-		res := sched.Run(prog, NewSURW(), sched.Options{Seed: int64(seed), Info: info})
+		res := sched.Run(prog, NewSURW(), sched.Options{Base: sched.Base{Seed: int64(seed)}, Info: info})
 		got[res.InterleavingHash] = true
 	}
 	if len(got) != len(all) {
@@ -345,7 +345,7 @@ func orderBug(t *sched.Thread) {
 func firstBug(t *testing.T, prog func(*sched.Thread), alg sched.Algorithm, info *sched.ProgramInfo, limit int) int {
 	t.Helper()
 	for i := 0; i < limit; i++ {
-		res := sched.Run(prog, alg, sched.Options{Seed: int64(i), Info: info})
+		res := sched.Run(prog, alg, sched.Options{Base: sched.Base{Seed: int64(i)}, Info: info})
 		if res.Buggy() {
 			return i + 1
 		}
@@ -377,7 +377,7 @@ func TestAllAlgorithmsRunCleanProgram(t *testing.T) {
 			t.Fatal(err)
 		}
 		for seed := int64(0); seed < 20; seed++ {
-			res := sched.Run(bitshift(3), alg, sched.Options{Seed: seed, Info: info})
+			res := sched.Run(bitshift(3), alg, sched.Options{Base: sched.Base{Seed: seed}, Info: info})
 			if res.Buggy() || res.Truncated {
 				t.Fatalf("%s seed %d: failure=%v truncated=%v", name, seed, res.Failure, res.Truncated)
 			}
@@ -389,7 +389,7 @@ func TestAlgorithmsHandleNilInfo(t *testing.T) {
 	for _, name := range AllNames() {
 		alg, _ := New(name)
 		for seed := int64(0); seed < 10; seed++ {
-			res := sched.Run(noisy(2, 3), alg, sched.Options{Seed: seed})
+			res := sched.Run(noisy(2, 3), alg, sched.Options{Base: sched.Base{Seed: seed}})
 			if res.Buggy() {
 				t.Fatalf("%s with nil info: %v", name, res.Failure)
 			}
@@ -418,7 +418,7 @@ func TestAlgorithmsHandleBlockingSync(t *testing.T) {
 	for _, name := range AllNames() {
 		alg, _ := New(name)
 		for seed := int64(0); seed < 30; seed++ {
-			res := sched.Run(prog, alg, sched.Options{Seed: seed})
+			res := sched.Run(prog, alg, sched.Options{Base: sched.Base{Seed: seed}})
 			if res.Buggy() || res.Truncated {
 				t.Fatalf("%s seed %d: %v truncated=%v", name, seed, res.Failure, res.Truncated)
 			}
@@ -544,7 +544,7 @@ func TestPCTChangePointsLowerPriority(t *testing.T) {
 	// terminates correctly on a synchronizing program.
 	info := bitshiftInfo(3, nil)
 	for seed := int64(0); seed < 10; seed++ {
-		res := sched.Run(bitshift(3), NewPCT(10), sched.Options{Seed: seed, Info: info})
+		res := sched.Run(bitshift(3), NewPCT(10), sched.Options{Base: sched.Base{Seed: seed}, Info: info})
 		if res.Buggy() || res.Truncated {
 			t.Fatalf("seed %d: %v", seed, res.Failure)
 		}
@@ -558,7 +558,7 @@ func TestSURWWithWrongCountsStillCompletes(t *testing.T) {
 		info.InterestingEvents[i] = 1 // far below truth
 	}
 	for seed := int64(0); seed < 50; seed++ {
-		res := sched.Run(noisy(3, 5), NewSURW(), sched.Options{Seed: seed, Info: info})
+		res := sched.Run(noisy(3, 5), NewSURW(), sched.Options{Base: sched.Base{Seed: seed}, Info: info})
 		if res.Buggy() || res.Truncated {
 			t.Fatalf("seed %d: %v truncated=%v", seed, res.Failure, res.Truncated)
 		}

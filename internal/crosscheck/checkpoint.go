@@ -41,7 +41,7 @@ func checkpointIdentity(name string, prog func(*sched.Thread), info *sched.Progr
 		var cp *sched.Checkpoint
 		fastIlv, slowIlv := map[uint64]int{}, map[uint64]int{}
 		for i := 0; i < opts.Schedules; i++ {
-			so := sched.Options{Seed: opts.Seed + int64(i)*104729 + 3, Info: info, RecordTrace: true}
+			so := sched.Options{Base: sched.Base{Seed: opts.Seed + int64(i)*104729 + 3}, Info: info, RecordTrace: true}
 			var fast *sched.Result
 			if i == 0 {
 				fast, cp = fastPool.RunPrefix(prog, fastAlg, so)

@@ -57,7 +57,7 @@ type swapStats struct {
 // swap.
 func checkCommutation(t *testing.T, name string, prog func(*sched.Thread), seed int64, st *swapStats) {
 	t.Helper()
-	base := sched.Run(prog, core.NewRandomWalk(), sched.Options{Seed: seed, RecordTrace: true})
+	base := sched.Run(prog, core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: seed}, RecordTrace: true})
 	// The unswapped script must reproduce the base schedule bit-exactly —
 	// otherwise every "infeasible swap" skip below is suspect.
 	script := make([]sched.ThreadID, len(base.Trace))

@@ -128,7 +128,7 @@ func CheckProgram(name string, prog func(*sched.Thread), expectDeadlock bool, op
 
 	// A single profiling census feeds every estimate-driven algorithm;
 	// Δ = Γ keeps SURW's selection deterministic per program.
-	prof, err := profile.Collect(prog, profile.Options{Seed: opts.Seed ^ 0x5eed})
+	prof, err := profile.Collect(prog, profile.Options{Base: sched.Base{Seed: opts.Seed ^ 0x5eed}})
 	if err != nil {
 		return nil, fmt.Errorf("crosscheck: %s: profiling: %w", name, err)
 	}
@@ -141,7 +141,7 @@ func CheckProgram(name string, prog func(*sched.Thread), expectDeadlock bool, op
 			return nil, fmt.Errorf("crosscheck: %s: %w", name, err)
 		}
 		for i := 0; i < opts.Schedules; i++ {
-			so := sched.Options{Seed: opts.Seed + int64(i)*7919 + 1, Info: info}
+			so := sched.Options{Base: sched.Base{Seed: opts.Seed + int64(i)*7919 + 1}, Info: info}
 			res, rec := replay.Record(prog, alg, so)
 			if res.Truncated {
 				return nil, fmt.Errorf("crosscheck: %s: %s seed %d: schedule truncated at %d steps", name, algName, so.Seed, res.Steps)

@@ -65,7 +65,7 @@ func FuzzClassFingerprint(f *testing.F) {
 		} else {
 			prog = progfuzz.GenSync(seed, genSyncConfig).Prog()
 		}
-		base := sched.Run(prog, core.NewRandomWalk(), sched.Options{Seed: algSeed, RecordTrace: true})
+		base := sched.Run(prog, core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: algSeed}, RecordTrace: true})
 		if len(base.Trace) < 2 {
 			t.Skip("schedule too short to swap")
 		}

@@ -40,7 +40,7 @@ func Uniformity(prog func(*sched.Thread), alg sched.Algorithm, info *sched.Progr
 	counts := make(map[uint64]int, len(classes))
 	pool := sched.NewPool()
 	for i := 0; i < trials; i++ {
-		res := pool.Run(prog, alg, sched.Options{Seed: seed + int64(i), Info: info, TraceFilter: filter})
+		res := pool.Run(prog, alg, sched.Options{Base: sched.Base{Seed: seed + int64(i)}, Info: info, TraceFilter: filter})
 		if res.Buggy() || res.Truncated {
 			return g, fmt.Errorf("crosscheck: uniformity trial %d failed: buggy=%v truncated=%v", i, res.Buggy(), res.Truncated)
 		}
@@ -83,7 +83,7 @@ func EntropyOrder(prog func(*sched.Thread), surw, rw sched.Algorithm, info *sche
 		counts := make(map[uint64]int)
 		pool := sched.NewPool()
 		for i := 0; i < trials; i++ {
-			res := pool.Run(prog, alg, sched.Options{Seed: seed + int64(i), Info: info})
+			res := pool.Run(prog, alg, sched.Options{Base: sched.Base{Seed: seed + int64(i)}, Info: info})
 			if res.Buggy() || res.Truncated {
 				return 0, fmt.Errorf("crosscheck: entropy trial %d under %s failed", i, alg.Name())
 			}

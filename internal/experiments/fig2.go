@@ -52,7 +52,7 @@ func Figure2(trials int, seed int64, workers int) *Fig2Result {
 		pool := sched.NewPool()
 		hist := make(map[string]int)
 		for i := 0; i < trials; i++ {
-			r := pool.Run(prog, alg, sched.Options{Seed: seed + int64(i), Info: info})
+			r := pool.Run(prog, alg, sched.Options{Base: sched.Base{Seed: seed + int64(i)}, Info: info})
 			if r.Buggy() {
 				panic(r.Failure)
 			}

@@ -41,10 +41,12 @@ func sctGrid(sc Scale) (targets []runner.Target, algs []string) {
 	}
 	targets = sctbench.Targets()
 	if len(sc.SCTTargets) > 0 {
-		// Coverage probes (Fig1/bitshift_k) never appear in the default
-		// grid, but an explicit SCTTargets list may opt into them.
+		// Coverage probes (Fig1/bitshift_k) and the surwsync worker-pool
+		// family never appear in the default grid, but an explicit
+		// SCTTargets list may opt into them.
 		candidates := append(append([]runner.Target(nil), targets...),
 			sctbench.CoverageTargets()...)
+		candidates = append(candidates, sctbench.WorkerPoolTargets()...)
 		keep := make(map[string]bool, len(sc.SCTTargets))
 		for _, name := range sc.SCTTargets {
 			keep[name] = true

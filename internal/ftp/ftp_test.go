@@ -62,9 +62,7 @@ func TestScriptShuffleDeterministic(t *testing.T) {
 func TestWorkloadRunsClean(t *testing.T) {
 	tgt := DefaultConfig().Target(3)
 	for seed := int64(0); seed < 50; seed++ {
-		res := sched.Run(tgt.Prog, core.NewRandomWalk(), sched.Options{
-			Seed: seed, ProgSeed: tgt.ProgSeed, TraceFilter: tgt.TraceFilter,
-		})
+		res := sched.Run(tgt.Prog, core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: seed, ProgSeed: tgt.ProgSeed}, TraceFilter: tgt.TraceFilter})
 		if res.Buggy() || res.Truncated {
 			t.Fatalf("seed %d: %v truncated=%v", seed, res.Failure, res.Truncated)
 		}
@@ -81,9 +79,7 @@ func TestBehaviorsVaryAcrossSchedules(t *testing.T) {
 	tgt := DefaultConfig().Target(3)
 	seen := map[string]bool{}
 	for seed := int64(0); seed < 300; seed++ {
-		res := sched.Run(tgt.Prog, core.NewRandomWalk(), sched.Options{
-			Seed: seed, ProgSeed: tgt.ProgSeed,
-		})
+		res := sched.Run(tgt.Prog, core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: seed, ProgSeed: tgt.ProgSeed}})
 		seen[res.Behavior] = true
 	}
 	if len(seen) < 5 {
@@ -93,8 +89,8 @@ func TestBehaviorsVaryAcrossSchedules(t *testing.T) {
 
 func TestBehaviorFixedInputFixedSchedule(t *testing.T) {
 	tgt := DefaultConfig().Target(9)
-	a := sched.Run(tgt.Prog, core.NewRandomWalk(), sched.Options{Seed: 4, ProgSeed: 9})
-	b := sched.Run(tgt.Prog, core.NewRandomWalk(), sched.Options{Seed: 4, ProgSeed: 9})
+	a := sched.Run(tgt.Prog, core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: 4, ProgSeed: 9}})
+	b := sched.Run(tgt.Prog, core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: 4, ProgSeed: 9}})
 	if a.Behavior != b.Behavior || a.InterleavingHash != b.InterleavingHash {
 		t.Fatal("replay diverged")
 	}
@@ -155,7 +151,7 @@ func TestConfigNormalization(t *testing.T) {
 		t.Fatalf("normalized = %+v", c)
 	}
 	tgt := Config{Clients: 2, Util: 1, Dirs: 1}.Target(1)
-	res := sched.Run(tgt.Prog, core.NewRandomWalk(), sched.Options{Seed: 1, ProgSeed: 1})
+	res := sched.Run(tgt.Prog, core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: 1, ProgSeed: 1}})
 	if res.Buggy() {
 		t.Fatalf("small config failed: %v", res.Failure)
 	}
@@ -193,7 +189,7 @@ func TestFileCommandsWorkload(t *testing.T) {
 	tgt := cfg.Target(3)
 	behaviors := map[string]bool{}
 	for seed := int64(0); seed < 100; seed++ {
-		res := sched.Run(tgt.Prog, core.NewRandomWalk(), sched.Options{Seed: seed, ProgSeed: 3})
+		res := sched.Run(tgt.Prog, core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: seed, ProgSeed: 3}})
 		if res.Buggy() || res.Truncated {
 			t.Fatalf("seed %d: %v truncated=%v", seed, res.Failure, res.Truncated)
 		}

@@ -33,7 +33,7 @@ func pingpong(k int) func(*sched.Thread) {
 
 func TestCollectorKeepsEveryDecisionUnbounded(t *testing.T) {
 	col := obs.NewCollector(0)
-	r := sched.Run(pingpong(6), core.NewRandomWalk(), sched.Options{Seed: 5, Tracer: col})
+	r := sched.Run(pingpong(6), core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: 5}, Tracer: col})
 	if col.Len() != r.Steps {
 		t.Fatalf("collector holds %d records for %d steps", col.Len(), r.Steps)
 	}
@@ -57,7 +57,7 @@ func TestCollectorKeepsEveryDecisionUnbounded(t *testing.T) {
 func TestCollectorRingKeepsLastN(t *testing.T) {
 	const ring = 5
 	col := obs.NewCollector(ring)
-	r := sched.Run(pingpong(8), core.NewRandomWalk(), sched.Options{Seed: 5, Tracer: col})
+	r := sched.Run(pingpong(8), core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: 5}, Tracer: col})
 	if r.Steps <= ring {
 		t.Fatalf("program too short (%d steps) to wrap ring %d", r.Steps, ring)
 	}
@@ -85,15 +85,15 @@ func TestCollectorRecyclesAcrossSchedules(t *testing.T) {
 	alg := core.NewURW() // URW annotates, exercising the annot buffers too
 	// Warm everything: pool buffers, ring slots, annotation buffers.
 	for i := 0; i < 5; i++ {
-		pool.Run(prog, alg, sched.Options{Seed: int64(i), Tracer: col})
+		pool.Run(prog, alg, sched.Options{Base: sched.Base{Seed: int64(i)}, Tracer: col})
 	}
 	allocs := testing.AllocsPerRun(50, func() {
-		pool.Run(prog, alg, sched.Options{Seed: 3, Tracer: col})
+		pool.Run(prog, alg, sched.Options{Base: sched.Base{Seed: 3}, Tracer: col})
 	})
 	// The pooled scheduler itself allocates a handful per schedule; the
 	// collector must add zero on top (warm slots are reused in place).
 	base := testing.AllocsPerRun(50, func() {
-		pool.Run(prog, alg, sched.Options{Seed: 3})
+		pool.Run(prog, alg, sched.Options{Base: sched.Base{Seed: 3}})
 	})
 	if allocs > base {
 		t.Fatalf("collector adds allocations: %.1f with tracer vs %.1f without", allocs, base)
@@ -102,7 +102,7 @@ func TestCollectorRecyclesAcrossSchedules(t *testing.T) {
 
 func TestWriteJSONL(t *testing.T) {
 	col := obs.NewCollector(0)
-	sched.Run(pingpong(4), core.NewURW(), sched.Options{Seed: 2, Tracer: col})
+	sched.Run(pingpong(4), core.NewURW(), sched.Options{Base: sched.Base{Seed: 2}, Tracer: col})
 	var buf bytes.Buffer
 	if err := obs.WriteJSONL(&buf, col); err != nil {
 		t.Fatal(err)
@@ -132,7 +132,7 @@ func TestWriteJSONL(t *testing.T) {
 
 func TestChromeTraceExportAndValidate(t *testing.T) {
 	col := obs.NewCollector(0)
-	r := sched.Run(pingpong(4), core.NewSURW(), sched.Options{Seed: 2, Tracer: col})
+	r := sched.Run(pingpong(4), core.NewSURW(), sched.Options{Base: sched.Base{Seed: 2}, Tracer: col})
 	var buf bytes.Buffer
 	if err := obs.WriteChromeTrace(&buf, col); err != nil {
 		t.Fatal(err)
@@ -185,7 +185,7 @@ func TestChromeTraceExportAndValidate(t *testing.T) {
 func TestCollectorAnnotations(t *testing.T) {
 	col := obs.NewCollector(0)
 	prog := pingpong(4)
-	sched.Run(prog, core.NewSURW(), sched.Options{Seed: 2, Tracer: col})
+	sched.Run(prog, core.NewSURW(), sched.Options{Base: sched.Base{Seed: 2}, Tracer: col})
 	found := false
 	for i := 0; i < col.Len(); i++ {
 		if a := col.Record(i).Annot(); strings.Contains(a, "intended=") && strings.Contains(a, "Δw=") {
@@ -198,7 +198,7 @@ func TestCollectorAnnotations(t *testing.T) {
 	}
 
 	col.Annotate = false
-	sched.Run(prog, core.NewSURW(), sched.Options{Seed: 2, Tracer: col})
+	sched.Run(prog, core.NewSURW(), sched.Options{Base: sched.Base{Seed: 2}, Tracer: col})
 	for i := 0; i < col.Len(); i++ {
 		if a := col.Record(i).Annot(); a != "" {
 			t.Fatalf("annotation %q captured with Annotate=false", a)

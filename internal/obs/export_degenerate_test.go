@@ -85,7 +85,7 @@ func TestExportEmptyCollector(t *testing.T) {
 func TestExportOverflowedRing(t *testing.T) {
 	const ring = 4
 	col := obs.NewCollector(ring)
-	r := sched.Run(pingpong(8), core.NewRandomWalk(), sched.Options{Seed: 5, Tracer: col})
+	r := sched.Run(pingpong(8), core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: 5}, Tracer: col})
 	if r.Steps <= ring {
 		t.Fatalf("schedule too short (%d steps) to overflow the ring", r.Steps)
 	}
@@ -112,8 +112,8 @@ func TestExportOverflowedRing(t *testing.T) {
 // no stale records from the longer previous run may leak into the output.
 func TestExportRecycledCollector(t *testing.T) {
 	col := obs.NewCollector(0)
-	long := sched.Run(pingpong(10), core.NewRandomWalk(), sched.Options{Seed: 5, Tracer: col})
-	short := sched.Run(pingpong(2), core.NewRandomWalk(), sched.Options{Seed: 6, Tracer: col})
+	long := sched.Run(pingpong(10), core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: 5}, Tracer: col})
+	short := sched.Run(pingpong(2), core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: 6}, Tracer: col})
 	if short.Steps >= long.Steps {
 		t.Fatalf("want a shorter second schedule, got %d then %d steps", long.Steps, short.Steps)
 	}

@@ -48,18 +48,23 @@ type countKey struct {
 	obj  uint64
 }
 
-// Options configures Collect.
+// Options configures Collect. The embedded sched.Base carries the shared
+// Seed (census scheduler, a random walk), ProgSeed (must match the later
+// testing runs for the counts to be meaningful) and MaxSteps fields.
 type Options struct {
+	sched.Base
 	// Runs is the number of census runs to average (default 1, as in the
 	// paper's single profiling run).
 	Runs int
-	// Seed seeds the census scheduler (a random walk).
-	Seed int64
-	// ProgSeed is the program-input seed, which must match the later
-	// testing runs for the counts to be meaningful.
-	ProgSeed int64
-	// MaxSteps bounds each census run (0 = sched.DefaultMaxSteps).
-	MaxSteps int
+}
+
+// normalized applies the profiling defaults on top of the shared ones.
+func (o Options) normalized() Options {
+	o.Base = o.Base.Normalized()
+	if o.Runs <= 0 {
+		o.Runs = 1
+	}
+	return o
 }
 
 // census records events during profiling runs while delegating scheduling
@@ -130,10 +135,8 @@ func (c *census) Observe(ev sched.Event, st *sched.State) {
 // counts (the paper's RaceBench discussion notes exactly this hazard); an
 // error is returned only if every run was truncated by the step budget.
 func Collect(prog func(*sched.Thread), opts Options) (*Profile, error) {
+	opts = opts.normalized()
 	runs := opts.Runs
-	if runs <= 0 {
-		runs = 1
-	}
 	p := &Profile{
 		Info:      sched.NewProgramInfo(),
 		perThread: make(map[countKey]int),
@@ -148,11 +151,9 @@ func Collect(prog func(*sched.Thread), opts Options) (*Profile, error) {
 	allTruncated := true
 	threadTouched := make(map[countKey]bool)
 	for r := 0; r < runs; r++ {
-		res := sched.Run(prog, c, sched.Options{
-			Seed:     opts.Seed + int64(r)*7919,
-			ProgSeed: opts.ProgSeed,
-			MaxSteps: opts.MaxSteps,
-		})
+		base := opts.Base
+		base.Seed += int64(r) * 7919
+		res := sched.Run(prog, c, sched.Options{Base: base})
 		if !res.Truncated {
 			allTruncated = false
 		}

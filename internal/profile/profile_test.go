@@ -38,7 +38,7 @@ func prog(t *sched.Thread) {
 
 func collect(t *testing.T) *Profile {
 	t.Helper()
-	p, err := Collect(prog, Options{Seed: 1})
+	p, err := Collect(prog, Options{Base: sched.Base{Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestSURWWithProfiledCounts(t *testing.T) {
 	p := collect(t)
 	info := p.Instantiate(Selection{Desc: "hot", Interesting: AccessTo("hot")})
 	for seed := int64(0); seed < 30; seed++ {
-		res := sched.Run(prog, core.NewSURW(), sched.Options{Seed: seed, Info: info})
+		res := sched.Run(prog, core.NewSURW(), sched.Options{Base: sched.Base{Seed: seed}, Info: info})
 		if res.Buggy() || res.Truncated {
 			t.Fatalf("seed %d: %v truncated=%v", seed, res.Failure, res.Truncated)
 		}
@@ -191,7 +191,7 @@ func TestSURWWithProfiledCounts(t *testing.T) {
 }
 
 func TestCollectAveragesRuns(t *testing.T) {
-	p, err := Collect(prog, Options{Runs: 3, Seed: 9})
+	p, err := Collect(prog, Options{Base: sched.Base{Seed: 9}, Runs: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestCollectTruncationError(t *testing.T) {
 			t.Yield()
 		}
 	}
-	if _, err := Collect(spin, Options{MaxSteps: 50}); err == nil {
+	if _, err := Collect(spin, Options{Base: sched.Base{MaxSteps: 50}}); err == nil {
 		t.Fatal("expected truncation error")
 	}
 }
@@ -258,7 +258,7 @@ func regionProg(t *sched.Thread) {
 // toward earlier-created vars when the forward walk exhausts the list
 // before reaching minAccesses.
 func TestSelectRegionBackwardGrowth(t *testing.T) {
-	p, err := Collect(regionProg, Options{Seed: 2})
+	p, err := Collect(regionProg, Options{Base: sched.Base{Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +313,7 @@ func TestCollectAllTruncatedKeepsPartialProfile(t *testing.T) {
 			x.Add(t, 1)
 		}
 	}
-	p, err := Collect(spin, Options{Runs: 3, MaxSteps: 40, Seed: 4})
+	p, err := Collect(spin, Options{Base: sched.Base{MaxSteps: 40, Seed: 4}, Runs: 3})
 	if err == nil {
 		t.Fatal("expected every-run-truncated error")
 	}
@@ -347,7 +347,7 @@ func TestThreadsCountsSameLidOnceAcrossKinds(t *testing.T) {
 		})
 		t.Join(w)
 	}
-	p, err := Collect(readWrite, Options{Seed: 6})
+	p, err := Collect(readWrite, Options{Base: sched.Base{Seed: 6}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,8 +20,8 @@ func TestGeneratedProgramsAreDeterministic(t *testing.T) {
 		if p1.Threads() != p2.Threads() {
 			t.Fatalf("seed %d: generation nondeterministic", seed)
 		}
-		a := sched.Run(p1.Prog(), core.NewRandomWalk(), sched.Options{Seed: 7})
-		b := sched.Run(p2.Prog(), core.NewRandomWalk(), sched.Options{Seed: 7})
+		a := sched.Run(p1.Prog(), core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: 7}})
+		b := sched.Run(p2.Prog(), core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: 7}})
 		if a.InterleavingHash != b.InterleavingHash || a.Behavior != b.Behavior {
 			t.Fatalf("seed %d: runs diverged", seed)
 		}
@@ -35,7 +35,7 @@ func TestNoAlgorithmBreaksGeneratedPrograms(t *testing.T) {
 	for seed := int64(0); seed < 40; seed++ {
 		p := Gen(seed, Config{})
 		prog := p.Prog()
-		prof, err := profile.Collect(prog, profile.Options{Seed: 999})
+		prof, err := profile.Collect(prog, profile.Options{Base: sched.Base{Seed: 999}})
 		if err != nil {
 			t.Fatalf("gen %d: profiling truncated: %v", seed, err)
 		}
@@ -56,7 +56,7 @@ func TestNoAlgorithmBreaksGeneratedPrograms(t *testing.T) {
 				info = prof.Instantiate(prof.SelectAll())
 			}
 			for s := int64(0); s < 15; s++ {
-				r := sched.Run(prog, alg, sched.Options{Seed: s, Info: info, MaxSteps: 100_000})
+				r := sched.Run(prog, alg, sched.Options{Base: sched.Base{Seed: s, MaxSteps: 100_000}, Info: info})
 				if r.Buggy() {
 					t.Fatalf("gen %d, %s, seed %d: spurious failure %v", seed, name, s, r.Failure)
 				}
@@ -85,7 +85,7 @@ func TestSamplersWithinOracleSpace(t *testing.T) {
 		for _, name := range []string{"RW", "POS", "RAPOS", "SURW"} {
 			alg, _ := core.New(name)
 			for s := int64(0); s < 200; s++ {
-				r := sched.Run(prog, alg, sched.Options{Seed: s})
+				r := sched.Run(prog, alg, sched.Options{Base: sched.Base{Seed: s}})
 				if !oracle.Interleavings[r.InterleavingHash] {
 					t.Fatalf("gen %d: %s left the feasible space", seed, name)
 				}
@@ -102,7 +102,7 @@ func TestConfigNormalization(t *testing.T) {
 	if p.Threads() < 1 {
 		t.Fatal("no root thread")
 	}
-	r := sched.Run(p.Prog(), core.NewRandomWalk(), sched.Options{Seed: 1})
+	r := sched.Run(p.Prog(), core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: 1}})
 	if r.Buggy() {
 		t.Fatalf("normalized config program failed: %v", r.Failure)
 	}
@@ -189,7 +189,7 @@ func TestGenSyncRunsClean(t *testing.T) {
 		var prevHash uint64
 		var prevBeh string
 		for rep := 0; rep < 2; rep++ {
-			r := sched.Run(prog, core.NewRandomWalk(), sched.Options{Seed: seed * 3})
+			r := sched.Run(prog, core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: seed * 3}})
 			if r.Buggy() {
 				t.Fatalf("seed %d: spurious failure %v", seed, r.Failure)
 			}
@@ -262,8 +262,8 @@ func TestGenDeadlockDeterministic(t *testing.T) {
 		if e1 != e2 || p1.Threads() != p2.Threads() {
 			t.Fatalf("seed %d: nondeterministic generation", seed)
 		}
-		a := sched.Run(p1.Prog(), core.NewRandomWalk(), sched.Options{Seed: 5})
-		b := sched.Run(p2.Prog(), core.NewRandomWalk(), sched.Options{Seed: 5})
+		a := sched.Run(p1.Prog(), core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: 5}})
+		b := sched.Run(p2.Prog(), core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: 5}})
 		if a.InterleavingHash != b.InterleavingHash || a.BugID() != b.BugID() {
 			t.Fatalf("seed %d: runs diverged", seed)
 		}

@@ -235,9 +235,7 @@ func SelectRacy(p *profile.Profile, prog func(*sched.Thread), runs int, seed int
 	alg := core.NewRandomWalk()
 	racy := map[uint64]bool{}
 	for i := 0; i < runs; i++ {
-		res := sched.Run(prog, alg, sched.Options{
-			Seed: seed + int64(i), MaxSteps: maxSteps, RecordTrace: true,
-		})
+		res := sched.Run(prog, alg, sched.Options{Base: sched.Base{Seed: seed + int64(i), MaxSteps: maxSteps}, RecordTrace: true})
 		for _, r := range Detect(res.Trace, res.ThreadPaths) {
 			racy[r.ObjHash] = true
 		}

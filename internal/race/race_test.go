@@ -11,7 +11,7 @@ import (
 
 // traceOf runs prog under a random walk and returns the recorded trace.
 func traceOf(prog func(*sched.Thread), seed int64) *sched.Result {
-	return sched.Run(prog, core.NewRandomWalk(), sched.Options{Seed: seed, RecordTrace: true})
+	return sched.Run(prog, core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: seed}, RecordTrace: true})
 }
 
 func racyProg(t *sched.Thread) {
@@ -180,7 +180,7 @@ func TestSelectRacyFeedsDelta(t *testing.T) {
 		t.Join(w1)
 		t.Join(r1)
 	}
-	prof, err := profile.Collect(wronglock, profile.Options{Seed: 5})
+	prof, err := profile.Collect(wronglock, profile.Options{Base: sched.Base{Seed: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestSelectRacyFeedsDelta(t *testing.T) {
 	info := prof.Instantiate(sel)
 	found := false
 	for seed := int64(0); seed < 300 && !found; seed++ {
-		r := sched.Run(wronglock, core.NewSURW(), sched.Options{Seed: seed, Info: info})
+		r := sched.Run(wronglock, core.NewSURW(), sched.Options{Base: sched.Base{Seed: seed}, Info: info})
 		found = r.Buggy()
 	}
 	if !found {
@@ -208,7 +208,7 @@ func TestSelectRacyFeedsDelta(t *testing.T) {
 }
 
 func TestSelectRacyNoRaces(t *testing.T) {
-	prof, err := profile.Collect(lockedProg, profile.Options{Seed: 1})
+	prof, err := profile.Collect(lockedProg, profile.Options{Base: sched.Base{Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -77,7 +77,7 @@ func TestBaseRunsAndFindsBugs(t *testing.T) {
 	found := map[string]bool{}
 	truncated := 0
 	for seed := int64(0); seed < 400; seed++ {
-		res := sched.Run(b.Prog(), core.NewRandomWalk(), sched.Options{Seed: seed, MaxSteps: 500_000})
+		res := sched.Run(b.Prog(), core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: seed, MaxSteps: 500_000}})
 		if res.Truncated {
 			truncated++
 		}
@@ -103,7 +103,7 @@ func TestTaskPatternVariesEventCounts(t *testing.T) {
 	b := Generate("tasky", 4, 12, 3, 6, "task", false, 7)
 	steps := map[int]bool{}
 	for seed := int64(0); seed < 30; seed++ {
-		res := sched.Run(b.Prog(), core.NewRandomWalk(), sched.Options{Seed: seed, MaxSteps: 500_000})
+		res := sched.Run(b.Prog(), core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: seed, MaxSteps: 500_000}})
 		if !res.Buggy() {
 			steps[res.Steps] = true
 		}
@@ -117,7 +117,7 @@ func TestChainBugsRequireOrder(t *testing.T) {
 	// Chain bugs must not fire under the deterministic leftmost schedule
 	// (steps on different threads can't all line up).
 	for _, b := range Suite()[:3] {
-		res := sched.Run(b.Prog(), nil, sched.Options{MaxSteps: 500_000})
+		res := sched.Run(b.Prog(), nil, sched.Options{Base: sched.Base{MaxSteps: 500_000}})
 		if res.Buggy() && b.bugs[bugIndex(b, res.BugID())].kind == Chain {
 			t.Logf("%s: chain bug %s fired even leftmost", b.Name, res.BugID())
 		}

@@ -30,7 +30,7 @@ func torn(t *sched.Thread) {
 func findFailure(t *testing.T) (Recording, *sched.Result) {
 	t.Helper()
 	for seed := int64(0); seed < 500; seed++ {
-		res, rec := Record(torn, core.NewRandomWalk(), sched.Options{Seed: seed})
+		res, rec := Record(torn, core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: seed}})
 		if res.Buggy() {
 			return rec, res
 		}
@@ -52,7 +52,7 @@ func TestRecordReplayRoundTrip(t *testing.T) {
 
 func TestRecordingsOfCleanRunsReplayCleanly(t *testing.T) {
 	for seed := int64(0); seed < 50; seed++ {
-		res, rec := Record(torn, core.NewRandomWalk(), sched.Options{Seed: seed})
+		res, rec := Record(torn, core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: seed}})
 		if res.Buggy() {
 			continue
 		}
@@ -134,7 +134,7 @@ func TestMinimizeShrinksNoisyRecording(t *testing.T) {
 	var bugID string
 	found := false
 	for seed := int64(0); seed < 2000 && !found; seed++ {
-		res, r := Record(noisy, core.NewRandomWalk(), sched.Options{Seed: seed})
+		res, r := Record(noisy, core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: seed}})
 		if res.Buggy() {
 			rec, bugID, found = r, res.Failure.BugID, true
 		}
@@ -183,8 +183,8 @@ func TestRecorderForwardsSpawnObserver(t *testing.T) {
 		t.Join(h2)
 	}
 	for seed := int64(0); seed < 20; seed++ {
-		bare := sched.Run(prog, core.NewSURW(), sched.Options{Seed: seed, Info: info})
-		wrapped, _ := Record(prog, core.NewSURW(), sched.Options{Seed: seed, Info: info})
+		bare := sched.Run(prog, core.NewSURW(), sched.Options{Base: sched.Base{Seed: seed}, Info: info})
+		wrapped, _ := Record(prog, core.NewSURW(), sched.Options{Base: sched.Base{Seed: seed}, Info: info})
 		if bare.InterleavingHash != wrapped.InterleavingHash {
 			t.Fatalf("seed %d: recorder perturbed SURW", seed)
 		}
@@ -246,7 +246,7 @@ func TestSyncObjectRoundTrips(t *testing.T) {
 	}
 	for name, prog := range progs {
 		for seed := int64(0); seed < 30; seed++ {
-			res, rec := Record(prog, core.NewRandomWalk(), sched.Options{Seed: seed})
+			res, rec := Record(prog, core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: seed}})
 			if res.Buggy() {
 				t.Fatalf("%s seed %d: spurious failure %v", name, seed, res.Failure)
 			}
@@ -268,7 +268,7 @@ func TestSyncObjectRoundTrips(t *testing.T) {
 // TestReplayStrictTruncatedRecording: a recording cut short must be
 // diagnosed, with the decision index in the message.
 func TestReplayStrictTruncatedRecording(t *testing.T) {
-	_, rec := Record(chanProg, core.NewRandomWalk(), sched.Options{Seed: 3})
+	_, rec := Record(chanProg, core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: 3}})
 	if len(rec.Choices) < 4 {
 		t.Skip("recording too short to truncate meaningfully")
 	}
@@ -288,7 +288,7 @@ func TestReplayStrictTruncatedRecording(t *testing.T) {
 // TestReplayStrictDivergentRecording: an out-of-range recorded choice must
 // be diagnosed as a divergence (the lenient player silently picks 0).
 func TestReplayStrictDivergentRecording(t *testing.T) {
-	_, rec := Record(semProg, core.NewRandomWalk(), sched.Options{Seed: 1})
+	_, rec := Record(semProg, core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: 1}})
 	bad := Recording{Choices: append([]int(nil), rec.Choices...)}
 	bad.Choices[0] = 97 // no schedule ever has 98 enabled threads here
 	_, err := ReplayStrict(semProg, bad, sched.Options{})
@@ -305,7 +305,7 @@ func TestReplayStrictDivergentRecording(t *testing.T) {
 // program consults (e.g. recorded on a longer program) is also a
 // divergence.
 func TestReplayStrictLeftoverChoices(t *testing.T) {
-	_, rec := Record(wgProg, core.NewRandomWalk(), sched.Options{Seed: 2})
+	_, rec := Record(wgProg, core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: 2}})
 	long := Recording{Choices: append(append([]int(nil), rec.Choices...), 0, 0, 0, 0, 0, 0, 0, 0)}
 	_, err := ReplayStrict(wgProg, long, sched.Options{})
 	if err == nil {

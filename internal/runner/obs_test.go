@@ -95,11 +95,7 @@ func TestFlightRecorderEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rp, err := replay.ReplayStrict(tgt.Prog, rec, sched.Options{
-			ProgSeed:    fr.ProgSeed,
-			MaxSteps:    fr.MaxSteps,
-			TraceFilter: tgt.TraceFilter,
-		})
+		rp, err := replay.ReplayStrict(tgt.Prog, rec, sched.Options{Base: sched.Base{ProgSeed: fr.ProgSeed, MaxSteps: fr.MaxSteps}, TraceFilter: tgt.TraceFilter})
 		if err != nil {
 			t.Fatalf("session %d: replay diverged: %v", i, err)
 		}

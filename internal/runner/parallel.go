@@ -79,12 +79,7 @@ func runSession(ctx context.Context, tgt Target, algName string, cfg Config, ses
 	var prof *profile.Profile
 	if needsProfile(algName) {
 		plusOne = 1
-		prof, _ = profile.Collect(tgt.Prog, profile.Options{
-			Runs:     cfg.ProfileRuns,
-			Seed:     base + 17,
-			ProgSeed: tgt.ProgSeed,
-			MaxSteps: tgt.MaxSteps,
-		})
+		prof, _ = profile.Collect(tgt.Prog, profile.Options{Base: sched.Base{Seed: base + 17, ProgSeed: tgt.ProgSeed, MaxSteps: tgt.MaxSteps}, Runs: cfg.ProfileRuns})
 		// A crashing or truncated census still yields usable (if noisy)
 		// counts; §7 of the paper discusses exactly this degradation.
 	}
@@ -150,15 +145,7 @@ func runSession(ctx context.Context, tgt Target, algName string, cfg Config, ses
 				info = prof.Instantiate(prof.SelectAll())
 			}
 		}
-		opts := sched.Options{
-			Seed:        base + int64(i)*2_000_033 + 1,
-			ProgSeed:    tgt.ProgSeed,
-			MaxSteps:    tgt.MaxSteps,
-			Info:        info,
-			TraceFilter: tgt.TraceFilter,
-			Tracer:      tracer,
-			Atlas:       atlasCell.Accum(),
-		}
+		opts := sched.Options{Base: sched.Base{Seed: base + int64(i)*2_000_033 + 1, ProgSeed: tgt.ProgSeed, MaxSteps: tgt.MaxSteps}, Info: info, TraceFilter: tgt.TraceFilter, Tracer: tracer, Atlas: atlasCell.Accum()}
 		var r *sched.Result
 		abandon := false
 		if i == 0 && !cfg.DisableCheckpoint {

@@ -16,7 +16,7 @@ func TestAtlasNonPerturbation(t *testing.T) {
 		plainPool, atlasPool := NewPool(), NewPool()
 		for name, prog := range poolPrograms() {
 			for seed := int64(0); seed < 25; seed++ {
-				opts := Options{MaxSteps: 300, Seed: seed, RecordTrace: true, DisableBatching: !batching}
+				opts := Options{Base: Base{MaxSteps: 300, Seed: seed}, RecordTrace: true, DisableBatching: !batching}
 				plain := plainPool.Run(prog, &pickRandom{}, opts)
 				opts.Atlas = acc
 				mapped := atlasPool.Run(prog, &pickRandom{}, opts)
@@ -38,13 +38,13 @@ func TestAtlasNonPerturbationCheckpointed(t *testing.T) {
 	plainPool, atlasPool := NewPool(), NewPool()
 	acc := &atlas.Accum{}
 
-	plainFirst, plainCp := plainPool.RunPrefix(prog, &pickRandom{}, Options{Seed: 1})
-	mappedFirst, mappedCp := atlasPool.RunPrefix(prog, &pickRandom{}, Options{Seed: 1, Atlas: acc})
+	plainFirst, plainCp := plainPool.RunPrefix(prog, &pickRandom{}, Options{Base: Base{Seed: 1}})
+	mappedFirst, mappedCp := atlasPool.RunPrefix(prog, &pickRandom{}, Options{Base: Base{Seed: 1}, Atlas: acc})
 	resultsEqual(t, "prefix", 1, plainFirst, mappedFirst)
 
 	for seed := int64(2); seed < 30; seed++ {
-		plain := plainPool.RunFrom(plainCp, prog, &pickRandom{}, Options{Seed: seed})
-		mapped := atlasPool.RunFrom(mappedCp, prog, &pickRandom{}, Options{Seed: seed, Atlas: acc})
+		plain := plainPool.RunFrom(plainCp, prog, &pickRandom{}, Options{Base: Base{Seed: seed}})
+		mapped := atlasPool.RunFrom(mappedCp, prog, &pickRandom{}, Options{Base: Base{Seed: seed}, Atlas: acc})
 		resultsEqual(t, "replay", seed, plain, mapped)
 	}
 
@@ -53,9 +53,9 @@ func TestAtlasNonPerturbationCheckpointed(t *testing.T) {
 	// only, never true decision points.
 	accFull := &atlas.Accum{}
 	fullPool := NewPool()
-	fullPool.Run(prog, &pickRandom{}, Options{Seed: 1, Atlas: accFull})
+	fullPool.Run(prog, &pickRandom{}, Options{Base: Base{Seed: 1}, Atlas: accFull})
 	for seed := int64(2); seed < 30; seed++ {
-		fullPool.Run(prog, &pickRandom{}, Options{Seed: seed, Atlas: accFull})
+		fullPool.Run(prog, &pickRandom{}, Options{Base: Base{Seed: seed}, Atlas: accFull})
 	}
 	snap := acc.Snapshot()
 	snapFull := accFull.Snapshot()
@@ -83,7 +83,7 @@ func TestAtlasCountsBitshift(t *testing.T) {
 	prog := poolPrograms()["vars"]
 	const n = 64
 	for seed := int64(0); seed < n; seed++ {
-		r := pool.Run(prog, &pickRandom{}, Options{Seed: seed, Atlas: cell.Accum()})
+		r := pool.Run(prog, &pickRandom{}, Options{Base: Base{Seed: seed}, Atlas: cell.Accum()})
 		cell.ObserveSchedule(r.ClassHash)
 	}
 	snap := reg.Snapshot()
@@ -124,14 +124,14 @@ func TestAtlasAttachedNoExtraAllocs(t *testing.T) {
 	prog := poolPrograms()["vars"]
 	acc := &atlas.Accum{}
 	pool := NewPool()
-	pool.Run(prog, &pickRandom{}, Options{Seed: 0, Atlas: acc}) // warm-up
+	pool.Run(prog, &pickRandom{}, Options{Base: Base{Seed: 0}, Atlas: acc}) // warm-up
 	with := testing.AllocsPerRun(50, func() {
-		pool.Run(prog, &pickRandom{}, Options{Seed: 1, Atlas: acc})
+		pool.Run(prog, &pickRandom{}, Options{Base: Base{Seed: 1}, Atlas: acc})
 	})
 	pool2 := NewPool()
-	pool2.Run(prog, &pickRandom{}, Options{Seed: 0})
+	pool2.Run(prog, &pickRandom{}, Options{Base: Base{Seed: 0}})
 	without := testing.AllocsPerRun(50, func() {
-		pool2.Run(prog, &pickRandom{}, Options{Seed: 1})
+		pool2.Run(prog, &pickRandom{}, Options{Base: Base{Seed: 1}})
 	})
 	if with > without {
 		t.Fatalf("attached atlas allocates %.0f/schedule, nil atlas %.0f; attachment must be free", with, without)

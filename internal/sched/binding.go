@@ -1,0 +1,157 @@
+package sched
+
+// Current-thread binding: a goroutine → *Thread registry that lets a
+// zero-argument frontend (surw/surwsync) resolve "the virtual thread this
+// code is running on" without plumbing a *Thread through every call.
+//
+// Every virtual thread's body runs on a dedicated coroutine goroutine (see
+// Thread.workerSeq), so the goroutine ID is a faithful key for the duration
+// of one schedule's body. The shim binds at body start and unbinds at body
+// end (both inside the body wrapper, so kills and pool closure — which
+// unwind the body via panic — still run the deferred unbind).
+//
+// Cost discipline: nothing in the scheduling engine touches the registry.
+// Binding is opt-in per thread (only shimmed programs call BindGoroutine),
+// and CurrentThread's fast path for a process with no bindings at all — the
+// production fallback of a shimmed package — is a single atomic load.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// bindShards keeps goroutine→thread lookups uncontended when parallel
+// sessions bind concurrently. 64 shards ≫ typical worker counts.
+const bindShards = 64
+
+type bindShard struct {
+	mu sync.Mutex
+	m  map[int64]*Thread
+}
+
+var bindReg struct {
+	// active counts live bindings; zero lets CurrentThread skip the
+	// goroutine-ID parse entirely.
+	active atomic.Int64
+	shards [bindShards]bindShard
+}
+
+// goid returns the current goroutine's ID, parsed from the runtime.Stack
+// header ("goroutine N [running]: ..."). This is the only portable way to
+// name a goroutine; it works inside iter.Pull coroutine goroutines, which
+// are real goroutines with ordinary IDs. Cost is one shallow stack header
+// dump (~hundreds of ns) — paid only on binding-layer paths, never by the
+// scheduling engine.
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	// Skip "goroutine " (10 bytes) and read digits.
+	var id int64
+	for _, c := range buf[10:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
+}
+
+// BindGoroutine registers t as the virtual thread of the calling goroutine.
+// It must be called on the goroutine that runs t's body (the frontend calls
+// it first thing in the body wrapper) and paired with UnbindGoroutine when
+// the body returns or unwinds.
+func BindGoroutine(t *Thread) {
+	id := goid()
+	sh := &bindReg.shards[id&(bindShards-1)]
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[int64]*Thread, 4)
+	}
+	if _, dup := sh.m[id]; !dup {
+		bindReg.active.Add(1)
+	}
+	sh.m[id] = t
+	sh.mu.Unlock()
+}
+
+// UnbindGoroutine removes the calling goroutine's binding. Unbinding a
+// goroutine that was never bound is a no-op.
+func UnbindGoroutine() {
+	id := goid()
+	sh := &bindReg.shards[id&(bindShards-1)]
+	sh.mu.Lock()
+	if _, ok := sh.m[id]; ok {
+		delete(sh.m, id)
+		bindReg.active.Add(-1)
+	}
+	sh.mu.Unlock()
+}
+
+// CurrentThread resolves the virtual thread bound to the calling goroutine.
+// ok is false when the goroutine is not running under a controlled session,
+// which is the signal for a shim primitive to delegate to the real
+// implementation. When no binding exists anywhere in the process — shimmed
+// code running in production — the cost is one atomic load.
+func CurrentThread() (*Thread, bool) {
+	if bindReg.active.Load() == 0 {
+		return nil, false
+	}
+	id := goid()
+	sh := &bindReg.shards[id&(bindShards-1)]
+	sh.mu.Lock()
+	t := sh.m[id]
+	sh.mu.Unlock()
+	return t, t != nil
+}
+
+// Bindings returns the number of live goroutine bindings. It exists for
+// leak checks: after a session (or a closed pool) no binding may survive.
+func Bindings() int { return int(bindReg.active.Load()) }
+
+// ShimCache scopes a lazily created scheduler object to one schedule of
+// one Execution. A zero-argument frontend primitive (surwsync.Mutex and
+// friends) owns one ShimCache: the first operation of a schedule creates
+// the backing scheduler object and caches it; later operations in the same
+// schedule hit the cache; the next schedule (the Execution's reset bumps
+// its generation) misses and rebuilds.
+//
+// The map is keyed by *Execution, not by (execution, generation): each
+// execution has exactly one live generation at a time, so a stale entry is
+// overwritten in place and the cache never grows beyond the number of
+// executions that ever touched the primitive (bounded by the worker count
+// of a parallel runner). Entries are only read through the owning
+// execution's current thread, whose goroutine never runs concurrently with
+// that execution's reset — the generation read is race-free. The cache's
+// own mutex only arbitrates between threads of *different* executions
+// (parallel sessions sharing a package-level primitive).
+//
+// The zero ShimCache is ready to use.
+type ShimCache struct {
+	mu sync.Mutex
+	m  map[*Execution]shimEntry
+}
+
+type shimEntry struct {
+	gen uint64
+	obj any
+}
+
+// Resolve returns the object cached for t's current schedule, calling
+// build to create it on the first operation of the schedule. build must
+// not block or emit events (object creation is not an event, so the
+// standard constructors qualify); it runs under the cache's mutex.
+func (c *ShimCache) Resolve(t *Thread, build func(*Thread) any) any {
+	ex, gen := t.ex, t.ex.gen
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[ex]; ok && e.gen == gen {
+		return e.obj
+	}
+	if c.m == nil {
+		c.m = make(map[*Execution]shimEntry, 1)
+	}
+	obj := build(t)
+	c.m[ex] = shimEntry{gen: gen, obj: obj}
+	return obj
+}

@@ -1,0 +1,174 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+// The registry is the foundation the surwsync frontend stands on: a bound
+// goroutine resolves its virtual thread, an unbound one resolves nothing,
+// and bindings never leak past a body. Exercised here in-package so the
+// substrate's own coverage pins it, independent of surwsync's tests.
+func TestBindingRegistry(t *testing.T) {
+	if _, ok := CurrentThread(); ok {
+		t.Fatal("unbound goroutine resolved a thread")
+	}
+	if Bindings() != 0 {
+		t.Fatalf("Bindings() = %d before any bind", Bindings())
+	}
+
+	var resolved *Thread
+	var childResolved bool
+	res := Run(func(rt *Thread) {
+		BindGoroutine(rt)
+		defer UnbindGoroutine()
+		got, ok := CurrentThread()
+		if !ok || got != rt {
+			panic("root binding did not resolve")
+		}
+		resolved = got
+
+		h := rt.Go(func(w *Thread) {
+			// The child's coroutine is a different goroutine: without its
+			// own binding it must not inherit the root's.
+			if _, ok := CurrentThread(); ok {
+				panic("child inherited a binding it never made")
+			}
+			BindGoroutine(w)
+			defer UnbindGoroutine()
+			cw, ok := CurrentThread()
+			childResolved = ok && cw == w
+		})
+		rt.Join(h)
+	}, nil, Options{})
+	if res.Failure != nil {
+		t.Fatalf("unexpected failure: %+v", res.Failure)
+	}
+	if resolved == nil || !childResolved {
+		t.Fatal("binding resolution failed inside the session")
+	}
+	if Bindings() != 0 {
+		t.Fatalf("Bindings() = %d after session; bindings leaked", Bindings())
+	}
+
+	// Double-bind of the same goroutine must not inflate the counter, and a
+	// stray unbind must stay a no-op.
+	UnbindGoroutine()
+	if Bindings() != 0 {
+		t.Fatalf("Bindings() = %d after no-op unbind", Bindings())
+	}
+}
+
+// goid must agree with itself on one goroutine and differ across
+// goroutines — the two properties the shard map relies on.
+func TestGoidStableAndDistinct(t *testing.T) {
+	a, b := goid(), goid()
+	if a != b || a <= 0 {
+		t.Fatalf("goid unstable on one goroutine: %d vs %d", a, b)
+	}
+	var other int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); other = goid() }()
+	wg.Wait()
+	if other == a || other <= 0 {
+		t.Fatalf("distinct goroutines share goid %d", a)
+	}
+}
+
+// ShimCache must hand back the same object within one schedule and a fresh
+// one each schedule — the fresh-state-per-schedule contract zero-value
+// frontend primitives depend on.
+func TestShimCacheGenerationScoped(t *testing.T) {
+	var cache ShimCache
+	var perSchedule []*Mutex
+	var hitsSameObject bool
+	prog := func(rt *Thread) {
+		mk := func(w *Thread) any { return w.NewMutex("shim.mu") }
+		m := cache.Resolve(rt, mk).(*Mutex)
+		perSchedule = append(perSchedule, m)
+		hitsSameObject = cache.Resolve(rt, mk).(*Mutex) == m
+		m.Lock(rt)
+		// Left locked on purpose: the next schedule's object must be free.
+		if !hitsSameObject {
+			rt.Fail("cache missed within a schedule")
+		}
+	}
+
+	p := NewPool()
+	defer p.Close()
+	for s := int64(1); s <= 3; s++ {
+		r := p.Run(prog, nil, Options{Base: Base{Seed: s}})
+		if r.Failure != nil {
+			t.Fatalf("schedule %d failed: %+v", s, r.Failure)
+		}
+	}
+	if len(perSchedule) != 3 {
+		t.Fatalf("ran %d schedules, want 3", len(perSchedule))
+	}
+	if perSchedule[0] == perSchedule[1] || perSchedule[1] == perSchedule[2] {
+		t.Fatal("ShimCache reused an object across schedules")
+	}
+}
+
+// The non-blocking operations added for the frontend's select-with-default
+// and zero-value surfaces: TrySend on buffered/unbuffered/full channels,
+// RWMutex Try variants against holders, WaitGroup.Count.
+func TestNonBlockingShimOps(t *testing.T) {
+	res := Run(func(rt *Thread) {
+		buf := NewChan[int](rt, "buf", 1)
+		if !buf.TrySend(rt, 7) {
+			rt.Fail("TrySend on empty buffered channel refused")
+		}
+		if buf.TrySend(rt, 8) {
+			rt.Fail("TrySend on full channel accepted")
+		}
+		if v, ok := buf.TryRecv(rt); !ok || v != 7 {
+			rt.Fail("TryRecv missed the buffered value")
+		}
+		unbuf := NewChan[int](rt, "unbuf", 0)
+		if unbuf.TrySend(rt, 1) {
+			rt.Fail("unbuffered TrySend succeeded with no receiver")
+		}
+
+		rw := rt.NewRWMutex("rw")
+		if rw.ID() == 0 || rw.Name() != "rw" {
+			rt.Fail("RWMutex identity accessors broken")
+		}
+		if !rw.TryLock(rt) {
+			rt.Fail("TryLock on free lock refused")
+		}
+		h := rt.Go(func(w *Thread) {
+			if rw.TryLock(w) || rw.TryRLock(w) {
+				w.Fail("Try acquired a write-held lock")
+			}
+		})
+		rt.Join(h)
+		rw.Unlock(rt)
+		if !rw.TryRLock(rt) {
+			rt.Fail("TryRLock on free lock refused")
+		}
+		if rw.TryLock(rt) {
+			rt.Fail("TryLock succeeded under an active reader")
+		}
+		if !rw.TryRLock(rt) {
+			rt.Fail("second concurrent TryRLock refused")
+		}
+		rw.RUnlock(rt)
+		rw.RUnlock(rt)
+
+		wg := rt.NewWaitGroup("wg")
+		wg.Add(rt, 2)
+		if wg.Count(rt) != 2 {
+			rt.Fail("WaitGroup.Count wrong after Add")
+		}
+		wg.Done(rt)
+		wg.Done(rt)
+		if wg.Count(rt) != 0 {
+			rt.Fail("WaitGroup.Count wrong after Done")
+		}
+	}, nil, Options{})
+	if res.Failure != nil {
+		t.Fatalf("unexpected failure: %+v", res.Failure)
+	}
+}

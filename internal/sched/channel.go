@@ -111,6 +111,31 @@ func (c *Chan[T]) sendUnbuffered(t *Thread, v T) {
 	c.notFull.Signal(t)
 }
 
+// TrySend sends v without blocking and reports whether it was accepted: a
+// buffered channel takes it while the buffer has room, an unbuffered one
+// only when a receiver is already committed to the rendezvous (never, under
+// this fully serialized model — as in a Go select-with-default, where an
+// unbuffered TrySend succeeds only against a concurrently parked receiver,
+// which here would already have consumed the slot). Sending on a closed
+// channel is a program error, as for Send.
+func (c *Chan[T]) TrySend(t *Thread, v T) bool {
+	c.mu.Lock(t)
+	defer c.mu.Unlock(t)
+	s := c.state.Get(t)
+	if s.closed {
+		panic("send on closed channel")
+	}
+	if c.capacity == 0 || len(s.buf) >= c.capacity {
+		return false
+	}
+	c.state.Update(t, func(s chanState[T]) chanState[T] {
+		s.buf = append(s.buf, v)
+		return s
+	})
+	c.notEmpty.Signal(t)
+	return true
+}
+
 // Recv receives a value; ok is false iff the channel is closed and
 // drained, mirroring Go's `v, ok := <-ch`.
 func (c *Chan[T]) Recv(t *Thread) (v T, ok bool) {

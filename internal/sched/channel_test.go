@@ -23,7 +23,7 @@ func TestBufferedChannelFIFO(t *testing.T) {
 				}
 			})
 			th.JoinAll(prod, cons)
-		}, &pickRandom{}, Options{Seed: seed})
+		}, &pickRandom{}, Options{Base: Base{Seed: seed}})
 		if res.Buggy() || res.Truncated {
 			t.Fatalf("seed %d: %v truncated=%v", seed, res.Failure, res.Truncated)
 		}
@@ -67,7 +67,7 @@ func TestUnbufferedRendezvous(t *testing.T) {
 				order = append(order, "recv-done")
 			})
 			th.JoinAll(sender, recvr)
-		}, &pickRandom{}, Options{Seed: seed})
+		}, &pickRandom{}, Options{Base: Base{Seed: seed}})
 		if res.Buggy() || res.Truncated {
 			t.Fatalf("seed %d: %v", seed, res.Failure)
 		}
@@ -148,7 +148,7 @@ func TestCloseWakesBlockedReceivers(t *testing.T) {
 			th.Yield()
 			ch.Close(th)
 			th.JoinAll(r1, r2)
-		}, &pickRandom{}, Options{Seed: seed})
+		}, &pickRandom{}, Options{Base: Base{Seed: seed}})
 		if res.Buggy() || res.Truncated {
 			t.Fatalf("seed %d: %v", seed, res.Failure)
 		}
@@ -204,7 +204,7 @@ func TestChannelPipeline(t *testing.T) {
 				}
 			})
 			th.JoinAll(gen, sq, sink)
-		}, &pickRandom{}, Options{Seed: seed, MaxSteps: 50_000})
+		}, &pickRandom{}, Options{Base: Base{Seed: seed, MaxSteps: 50_000}})
 		if res.Buggy() || res.Truncated {
 			t.Fatalf("seed %d: %v truncated=%v", seed, res.Failure, res.Truncated)
 		}
@@ -252,7 +252,7 @@ func TestRWMutexReadersShareWritersExclude(t *testing.T) {
 			}
 			h1, h2, h3 := th.Go(read), th.Go(read), th.Go(write)
 			th.JoinAll(h1, h2, h3)
-		}, &pickRandom{}, Options{Seed: seed})
+		}, &pickRandom{}, Options{Base: Base{Seed: seed}})
 		if res.Buggy() || res.Truncated {
 			t.Fatalf("seed %d: %v", seed, res.Failure)
 		}
@@ -277,7 +277,7 @@ func TestRWMutexConcurrentReadersObservable(t *testing.T) {
 			}
 			h1, h2 := th.Go(read), th.Go(read)
 			th.JoinAll(h1, h2)
-		}, &pickRandom{}, Options{Seed: seed})
+		}, &pickRandom{}, Options{Base: Base{Seed: seed}})
 	}
 	if !saw {
 		t.Fatal("no schedule had two concurrent readers")
@@ -337,7 +337,7 @@ func TestWaitGroup(t *testing.T) {
 			}
 			wg.Wait(th)
 			th.Assert(done.Peek() == 3, "waitgroup-early-return")
-		}, &pickRandom{}, Options{Seed: seed})
+		}, &pickRandom{}, Options{Base: Base{Seed: seed}})
 		if res.Buggy() || res.Truncated {
 			t.Fatalf("seed %d: %v", seed, res.Failure)
 		}
@@ -368,7 +368,7 @@ func TestOnceRunsExactlyOnce(t *testing.T) {
 			if !once.Did() {
 				th.Fail("once-not-done")
 			}
-		}, &pickRandom{}, Options{Seed: seed})
+		}, &pickRandom{}, Options{Base: Base{Seed: seed}})
 		if res.Buggy() || res.Truncated {
 			t.Fatalf("seed %d: %v", seed, res.Failure)
 		}

@@ -147,7 +147,7 @@ func checkpointedVsPlain(t *testing.T, prog func(*Thread), seeds int) *Checkpoin
 	pool := NewPool()
 	defer pool.Close()
 	opts := func(seed int64) Options {
-		return Options{Seed: seed, RecordTrace: true}
+		return Options{Base: Base{Seed: seed}, RecordTrace: true}
 	}
 	capRes, cp := pool.RunPrefix(prog, &rrIndex{}, opts(1))
 	if cp == nil {
@@ -185,7 +185,7 @@ func TestCheckpointSleepingSenders(t *testing.T) {
 func TestCheckpointSurvivesPoolRecycling(t *testing.T) {
 	pool := NewPool()
 	defer pool.Close()
-	opts := Options{Seed: 1, RecordTrace: true}
+	opts := Options{Base: Base{Seed: 1}, RecordTrace: true}
 	_, cp := pool.RunPrefix(midCSProg, &rrIndex{}, opts)
 	if cp == nil {
 		t.Fatal("no checkpoint captured")
@@ -194,16 +194,16 @@ func TestCheckpointSurvivesPoolRecycling(t *testing.T) {
 	trace := append([]Event(nil), cp.trace...)
 	hash, steps := cp.ilvHash, cp.steps
 
-	want := pool.RunFrom(cp, midCSProg, &rrIndex{}, Options{Seed: 9, RecordTrace: true})
+	want := pool.RunFrom(cp, midCSProg, &rrIndex{}, Options{Base: Base{Seed: 9}, RecordTrace: true})
 
 	// Churn the pool: more schedules of the same program, then a different
 	// program (which repoints the pool and rebuilds its interned state).
 	for seed := int64(20); seed < 30; seed++ {
-		pool.RunFrom(cp, midCSProg, &rrIndex{}, Options{Seed: seed, RecordTrace: true})
+		pool.RunFrom(cp, midCSProg, &rrIndex{}, Options{Base: Base{Seed: seed}, RecordTrace: true})
 	}
-	pool.Run(parkedSenderProg, &rrIndex{}, Options{Seed: 3, RecordTrace: true})
+	pool.Run(parkedSenderProg, &rrIndex{}, Options{Base: Base{Seed: 3}, RecordTrace: true})
 	pool.Reset()
-	pool.Run(parkedSenderProg, &rrIndex{}, Options{Seed: 4, RecordTrace: true})
+	pool.Run(parkedSenderProg, &rrIndex{}, Options{Base: Base{Seed: 4}, RecordTrace: true})
 
 	// The checkpoint must be bitwise intact...
 	if cp.ilvHash != hash || cp.steps != steps || len(cp.forced) != len(forced) || len(cp.trace) != len(trace) {
@@ -220,9 +220,9 @@ func TestCheckpointSurvivesPoolRecycling(t *testing.T) {
 		}
 	}
 	// ...and still replay to the same result on the recycled pool.
-	got := pool.RunFrom(cp, midCSProg, &rrIndex{}, Options{Seed: 9, RecordTrace: true})
+	got := pool.RunFrom(cp, midCSProg, &rrIndex{}, Options{Base: Base{Seed: 9}, RecordTrace: true})
 	checkpointEqual(t, "replay after recycling", got, want)
-	checkpointEqual(t, "replay after recycling vs plain", got, Run(midCSProg, &rrIndex{}, Options{Seed: 9, RecordTrace: true}))
+	checkpointEqual(t, "replay after recycling vs plain", got, Run(midCSProg, &rrIndex{}, Options{Base: Base{Seed: 9}, RecordTrace: true}))
 }
 
 // TestCheckpointInvalidUses pins the misuse panics: replaying an unsealed
@@ -230,7 +230,7 @@ func TestCheckpointSurvivesPoolRecycling(t *testing.T) {
 func TestCheckpointInvalidUses(t *testing.T) {
 	pool := NewPool()
 	defer pool.Close()
-	_, cp := pool.RunPrefix(midCSProg, &rrIndex{}, Options{Seed: 1})
+	_, cp := pool.RunPrefix(midCSProg, &rrIndex{}, Options{Base: Base{Seed: 1}})
 	if cp == nil {
 		t.Fatal("no checkpoint captured")
 	}
@@ -244,10 +244,10 @@ func TestCheckpointInvalidUses(t *testing.T) {
 		f()
 	}
 	mustPanic("incompatible options", func() {
-		pool.RunFrom(cp, midCSProg, &rrIndex{}, Options{Seed: 2, RecordTrace: true})
+		pool.RunFrom(cp, midCSProg, &rrIndex{}, Options{Base: Base{Seed: 2}, RecordTrace: true})
 	})
 	mustPanic("unsealed checkpoint", func() {
-		pool.RunFrom(&Checkpoint{open: true}, midCSProg, &rrIndex{}, Options{Seed: 2})
+		pool.RunFrom(&Checkpoint{open: true}, midCSProg, &rrIndex{}, Options{Base: Base{Seed: 2}})
 	})
 }
 
@@ -257,10 +257,10 @@ func TestCheckpointInvalidUses(t *testing.T) {
 func TestCheckpointSlowPathDegrades(t *testing.T) {
 	pool := NewPool()
 	defer pool.Close()
-	_, cp := pool.RunPrefix(midCSProg, &rrIndex{}, Options{Seed: 1, DisableBatching: true})
+	_, cp := pool.RunPrefix(midCSProg, &rrIndex{}, Options{Base: Base{Seed: 1}, DisableBatching: true})
 	if cp != nil {
 		t.Fatal("slow path must not capture a checkpoint")
 	}
-	res := pool.RunFrom(nil, midCSProg, &rrIndex{}, Options{Seed: 5, RecordTrace: true})
-	checkpointEqual(t, "nil checkpoint", res, Run(midCSProg, &rrIndex{}, Options{Seed: 5, RecordTrace: true}))
+	res := pool.RunFrom(nil, midCSProg, &rrIndex{}, Options{Base: Base{Seed: 5}, RecordTrace: true})
+	checkpointEqual(t, "nil checkpoint", res, Run(midCSProg, &rrIndex{}, Options{Base: Base{Seed: 5}, RecordTrace: true}))
 }

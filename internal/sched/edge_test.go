@@ -203,7 +203,7 @@ func TestManyThreads(t *testing.T) {
 		}
 		th.JoinAll(hs...)
 		th.Assert(c.Peek() == 200, "count")
-	}, &pickRandom{}, Options{Seed: 3})
+	}, &pickRandom{}, Options{Base: Base{Seed: 3}})
 	if res.Buggy() {
 		t.Fatal(res.Failure)
 	}

@@ -46,6 +46,11 @@ type Execution struct {
 	resume  *Thread
 	pending []spawnRec // spawns awaiting priming + algorithm notification
 
+	// gen counts resets: together with the Execution's identity it forms
+	// the Epoch (binding.go) that scopes frontend-cached objects to one
+	// schedule. Monotonic per Execution, bumped before anything else runs.
+	gen uint64
+
 	steps     int
 	maxSteps  int
 	failure   *Failure
@@ -213,6 +218,7 @@ func Run(prog func(*Thread), alg Algorithm, opts Options) *Result {
 // streams yields exactly the streams a fresh rand.New(rand.NewSource(seed))
 // would produce, so pooled and one-shot executions are bit-identical.
 func (ex *Execution) reset(opts Options, alg Algorithm) {
+	ex.gen++
 	ex.opts = opts
 	ex.alg = alg
 	// progRand is seeded lazily on first ProgRand call: most programs
@@ -234,10 +240,7 @@ func (ex *Execution) reset(opts Options, alg Algorithm) {
 	}
 	ex.byPathDirty = true
 	ex.steps = 0
-	ex.maxSteps = opts.MaxSteps
-	if ex.maxSteps <= 0 {
-		ex.maxSteps = DefaultMaxSteps
-	}
+	ex.maxSteps = opts.Base.Normalized().MaxSteps
 	ex.failure = nil
 	ex.truncated = false
 	ex.aborted = false

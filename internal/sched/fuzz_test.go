@@ -62,7 +62,7 @@ func FuzzChannelOps(f *testing.F) {
 			root.SetBehavior(fmt.Sprintf("sum=%d", sum.Peek()))
 		}
 
-		opts := sched.Options{Seed: seed}
+		opts := sched.Options{Base: sched.Base{Seed: seed}}
 		res, rec := replay.Record(prog, core.NewRandomWalk(), opts)
 		if res.Buggy() {
 			t.Fatalf("cap=%d sends=%d recvs=%d seed=%d: %v", capacity, sends, recvs, seed, res.Failure)

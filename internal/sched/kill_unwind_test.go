@@ -1,0 +1,42 @@
+package sched
+
+import "testing"
+
+// A thread killed while parked inside Cond.Wait unwinds through deferred
+// cleanup that itself issues scheduling ops — Chan.Recv's deferred
+// mu.Unlock is the canonical case. Those ops must not re-enter the dead
+// scheduler: before the killing-mode re-raise in Thread.sync, the unwind
+// parked forever mid-defer, and a pooled execution would resume the stale
+// unwind inside the NEXT schedule and corrupt it.
+func TestKillUnwindsThroughDeferredOps(t *testing.T) {
+	unwound := false
+	prog := func(rt *Thread) {
+		ch := NewChan[int](rt, "ch", 0)
+		rt.Go(func(w *Thread) {
+			defer func() { unwound = true }()
+			ch.Recv(w) // parks forever: the schedule deadlocks
+		})
+	}
+
+	res := Run(prog, nil, Options{})
+	if res.Failure == nil || res.Failure.Kind != FailDeadlock {
+		t.Fatalf("expected deadlock, got %+v", res.Failure)
+	}
+	if !unwound {
+		t.Fatal("killed receiver's deferred cleanup did not run")
+	}
+
+	// Pooled: the schedule after the deadlock must be pristine.
+	p := NewPool()
+	defer p.Close()
+	for s := int64(1); s <= 3; s++ {
+		unwound = false
+		r := p.Run(prog, nil, Options{Base: Base{Seed: s}})
+		if r.Failure == nil || r.Failure.Kind != FailDeadlock {
+			t.Fatalf("pooled schedule %d: expected deadlock, got %+v", s, r.Failure)
+		}
+		if !unwound {
+			t.Fatalf("pooled schedule %d: kill unwind stalled", s)
+		}
+	}
+}

@@ -29,7 +29,7 @@ func TestNoGoroutineLeaks(t *testing.T) {
 	}
 	baseline := runtime.NumGoroutine()
 	for seed := int64(0); seed < 500; seed++ {
-		Run(prog, &pickRandom{}, Options{Seed: seed})
+		Run(prog, &pickRandom{}, Options{Base: Base{Seed: seed}})
 	}
 	runtime.GC()
 	after := runtime.NumGoroutine()

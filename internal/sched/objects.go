@@ -244,6 +244,30 @@ func (m *RWMutex) RUnlock(t *Thread) {
 	o.readers--
 }
 
+// TryLock acquires the write lock if free (an OpRMW-style event that never
+// blocks) and reports success.
+func (m *RWMutex) TryLock(t *Thread) bool {
+	t.sync(OpRMW, m.id)
+	o := m.ex.obj(m.id)
+	if o.owner != -1 || o.readers != 0 {
+		return false
+	}
+	o.owner = t.id
+	return true
+}
+
+// TryRLock acquires a read lock if no writer holds the lock (an OpRMW-style
+// event that never blocks) and reports success.
+func (m *RWMutex) TryRLock(t *Thread) bool {
+	t.sync(OpRMW, m.id)
+	o := m.ex.obj(m.id)
+	if o.owner != -1 {
+		return false
+	}
+	o.readers++
+	return true
+}
+
 // Readers returns the active reader count without an event.
 func (m *RWMutex) Readers() int { return m.ex.obj(m.id).readers }
 

@@ -130,7 +130,7 @@ func resultsEqual(t *testing.T, name string, seed int64, fresh, pooled *Result) 
 func TestPoolMatchesFreshRun(t *testing.T) {
 	pool := NewPool()
 	for name, prog := range poolPrograms() {
-		opts := Options{MaxSteps: 300}
+		opts := Options{Base: Base{MaxSteps: 300}}
 		for seed := int64(0); seed < 40; seed++ {
 			opts.Seed = seed
 			opts.ProgSeed = seed / 2
@@ -176,8 +176,8 @@ func TestPoolReusedAcrossAssertFailures(t *testing.T) {
 	pool := NewPool()
 	sawBug, sawClean := false, false
 	for seed := int64(0); seed < 60; seed++ {
-		fresh := Run(prog, &pickRandom{}, Options{Seed: seed})
-		pooled := pool.Run(prog, &pickRandom{}, Options{Seed: seed})
+		fresh := Run(prog, &pickRandom{}, Options{Base: Base{Seed: seed}})
+		pooled := pool.Run(prog, &pickRandom{}, Options{Base: Base{Seed: seed}})
 		resultsEqual(t, "assert", seed, fresh, pooled)
 		if pooled.Buggy() {
 			sawBug = true
@@ -196,12 +196,12 @@ func TestPoolReusedAcrossAssertFailures(t *testing.T) {
 func TestPoolSteadyStateAllocations(t *testing.T) {
 	prog := poolPrograms()["vars"]
 	pool := NewPool()
-	pool.Run(prog, &pickRandom{}, Options{Seed: 0}) // warm-up
+	pool.Run(prog, &pickRandom{}, Options{Base: Base{Seed: 0}}) // warm-up
 	pooled := testing.AllocsPerRun(50, func() {
-		pool.Run(prog, &pickRandom{}, Options{Seed: 1})
+		pool.Run(prog, &pickRandom{}, Options{Base: Base{Seed: 1}})
 	})
 	fresh := testing.AllocsPerRun(50, func() {
-		Run(prog, &pickRandom{}, Options{Seed: 1})
+		Run(prog, &pickRandom{}, Options{Base: Base{Seed: 1}})
 	})
 	if pooled > fresh/2 {
 		t.Fatalf("pooled schedule allocates %.0f objects, fresh %.0f; want < half", pooled, fresh)

@@ -246,8 +246,11 @@ func (r *Result) BugID() string {
 	return r.Failure.BugID
 }
 
-// Options configures one schedule.
-type Options struct {
+// Base is the option set every schedule-running entry point shares —
+// surw.Options, this package's Options, and profile.Options embed it, so
+// the seed/budget plumbing between the layers is one struct copy instead
+// of three hand-maintained field lists.
+type Base struct {
 	// Seed seeds the algorithm's random stream. Schedules with equal
 	// (program, algorithm, Seed, ProgSeed) are identical.
 	Seed int64
@@ -257,6 +260,22 @@ type Options struct {
 	ProgSeed int64
 	// MaxSteps bounds the schedule length; 0 means DefaultMaxSteps.
 	MaxSteps int
+}
+
+// Normalized applies the cross-layer defaults (MaxSteps 0 →
+// DefaultMaxSteps). Seed is deliberately left as given: at this layer 0 is
+// a valid seed; the surw layer's normalized() additionally defaults it.
+func (b Base) Normalized() Base {
+	if b.MaxSteps <= 0 {
+		b.MaxSteps = DefaultMaxSteps
+	}
+	return b
+}
+
+// Options configures one schedule.
+type Options struct {
+	// Base carries the shared Seed/ProgSeed/MaxSteps fields.
+	Base
 	// Info is the profiling information handed to the algorithm's Begin.
 	Info *ProgramInfo
 	// RecordTrace stores the full event sequence in Result.Trace.

@@ -74,7 +74,7 @@ func TestSpawnJoinAndCounter(t *testing.T) {
 			}
 			th.JoinAll(hs...)
 			final = c.Peek()
-		}, &pickRandom{}, Options{Seed: seed})
+		}, &pickRandom{}, Options{Base: Base{Seed: seed}})
 		if res.Buggy() {
 			t.Fatalf("seed %d: unexpected failure %v", seed, res.Failure)
 		}
@@ -96,7 +96,7 @@ func TestRacyReadModifyWrite(t *testing.T) {
 			th.Join(h1)
 			th.Join(h2)
 			final = c.Peek()
-		}, alg, Options{Seed: seed})
+		}, alg, Options{Base: Base{Seed: seed}})
 		return final
 	}
 	saw := map[int64]bool{}
@@ -123,7 +123,7 @@ func TestMutexMutualExclusion(t *testing.T) {
 			}
 			h1, h2, h3 := th.Go(body), th.Go(body), th.Go(body)
 			th.JoinAll(h1, h2, h3)
-		}, &pickRandom{}, Options{Seed: seed})
+		}, &pickRandom{}, Options{Base: Base{Seed: seed}})
 		if res.Buggy() {
 			t.Fatalf("seed %d: mutual exclusion violated: %v", seed, res.Failure)
 		}
@@ -164,7 +164,7 @@ func TestCondProducerConsumer(t *testing.T) {
 				}
 			})
 			th.JoinAll(prod, cons)
-		}, &pickRandom{}, Options{Seed: seed})
+		}, &pickRandom{}, Options{Base: Base{Seed: seed}})
 		if res.Buggy() {
 			t.Fatalf("seed %d: %v", seed, res.Failure)
 		}
@@ -192,7 +192,7 @@ func TestSemaphore(t *testing.T) {
 			}
 			hs := []*Handle{th.Go(body), th.Go(body), th.Go(body), th.Go(body)}
 			th.JoinAll(hs...)
-		}, &pickRandom{}, Options{Seed: seed})
+		}, &pickRandom{}, Options{Base: Base{Seed: seed}})
 		if res.Buggy() {
 			t.Fatalf("seed %d: %v", seed, res.Failure)
 		}
@@ -221,7 +221,7 @@ func TestDeadlockDetected(t *testing.T) {
 	}
 	found := false
 	for seed := int64(0); seed < 50 && !found; seed++ {
-		res := Run(prog, &pickRandom{}, Options{Seed: seed})
+		res := Run(prog, &pickRandom{}, Options{Base: Base{Seed: seed}})
 		if res.Buggy() {
 			if res.Failure.Kind != FailDeadlock {
 				t.Fatalf("wrong failure kind %v", res.Failure)
@@ -269,7 +269,7 @@ func TestStepBudgetTruncates(t *testing.T) {
 		for {
 			th.Yield()
 		}
-	}, nil, Options{MaxSteps: 100})
+	}, nil, Options{Base: Base{MaxSteps: 100}})
 	if !res.Truncated {
 		t.Fatal("expected truncation")
 	}
@@ -295,8 +295,8 @@ func TestDeterministicReplay(t *testing.T) {
 	}
 	hashes := map[uint64]bool{}
 	for seed := int64(0); seed < 20; seed++ {
-		r1 := Run(prog, &pickRandom{}, Options{Seed: seed, RecordTrace: true})
-		r2 := Run(prog, &pickRandom{}, Options{Seed: seed, RecordTrace: true})
+		r1 := Run(prog, &pickRandom{}, Options{Base: Base{Seed: seed}, RecordTrace: true})
+		r2 := Run(prog, &pickRandom{}, Options{Base: Base{Seed: seed}, RecordTrace: true})
 		if r1.InterleavingHash != r2.InterleavingHash {
 			t.Fatalf("seed %d: replay diverged", seed)
 		}
@@ -419,7 +419,7 @@ func TestProgSeedIndependentOfSchedule(t *testing.T) {
 		Run(func(th *Thread) {
 			got = th.ProgRand().Int63()
 			th.Yield()
-		}, &pickRandom{}, Options{Seed: seed, ProgSeed: 42})
+		}, &pickRandom{}, Options{Base: Base{Seed: seed, ProgSeed: 42}})
 		return got
 	}
 	if draw(1) != draw(2) {
@@ -512,7 +512,7 @@ func TestBroadcastWakesAll(t *testing.T) {
 				th.Yield()
 			}
 			th.JoinAll(h1, h2, h3)
-		}, &pickRandom{}, Options{Seed: seed, MaxSteps: 50_000})
+		}, &pickRandom{}, Options{Base: Base{Seed: seed, MaxSteps: 50_000}})
 		if res.Buggy() || res.Truncated {
 			t.Fatalf("seed %d: failure=%v truncated=%v", seed, res.Failure, res.Truncated)
 		}

@@ -189,6 +189,16 @@ func (t *Thread) park() {
 // sync publishes the next event and parks until the scheduler grants it.
 // On return the thread holds the baton and must perform exactly that event.
 func (t *Thread) sync(kind OpKind, obj ObjID) {
+	if t.ex.killing {
+		// The schedule is over and this thread is unwinding from a kill;
+		// the scheduling op comes from deferred cleanup (say a deferred
+		// Unlock below a killed Cond.Wait). There is no scheduler left to
+		// grant it: re-raise the kill so the unwind skips the operation and
+		// keeps going. Without this the thread would park forever mid-unwind
+		// — and a pooled execution would later resume that stale unwind in
+		// the middle of a fresh schedule.
+		panic(killedSignal{})
+	}
 	t.seq++
 	var objHash uint64
 	if obj != 0 {

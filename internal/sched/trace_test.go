@@ -77,7 +77,7 @@ func twoThreads(t *sched.Thread) {
 func TestTracerSeesEveryDecision(t *testing.T) {
 	tr := &countingTracer{t: t}
 	alg := core.NewRandomWalk()
-	r := sched.Run(twoThreads, alg, sched.Options{Seed: 7, Tracer: tr})
+	r := sched.Run(twoThreads, alg, sched.Options{Base: sched.Base{Seed: 7}, Tracer: tr})
 	if tr.begins != 1 || tr.ends != 1 {
 		t.Fatalf("begins=%d ends=%d, want 1/1", tr.begins, tr.ends)
 	}
@@ -101,11 +101,9 @@ func TestTracerDoesNotPerturbSchedule(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			plain := sched.Run(twoThreads, algA, sched.Options{Seed: seed})
+			plain := sched.Run(twoThreads, algA, sched.Options{Base: sched.Base{Seed: seed}})
 			algB, _ := core.New(name)
-			traced := sched.Run(twoThreads, algB, sched.Options{
-				Seed: seed, Tracer: &countingTracer{t: t},
-			})
+			traced := sched.Run(twoThreads, algB, sched.Options{Base: sched.Base{Seed: seed}, Tracer: &countingTracer{t: t}})
 			if plain.InterleavingHash != traced.InterleavingHash {
 				t.Fatalf("%s seed %d: tracer changed the interleaving (%x vs %x)",
 					name, seed, plain.InterleavingHash, traced.InterleavingHash)
@@ -134,7 +132,7 @@ func TestAlgorithmAnnotations(t *testing.T) {
 			t.Fatal(err)
 		}
 		tr := &annotTracer{}
-		sched.Run(twoThreads, alg, sched.Options{Seed: 3, Tracer: tr})
+		sched.Run(twoThreads, alg, sched.Options{Base: sched.Base{Seed: 3}, Tracer: tr})
 		if len(tr.annots) == 0 {
 			t.Fatalf("%s: no decisions traced", name)
 		}
@@ -150,7 +148,7 @@ func TestAlgorithmAnnotations(t *testing.T) {
 	}
 	// RW is deliberately annotation-free.
 	tr := &annotTracer{}
-	sched.Run(twoThreads, core.NewRandomWalk(), sched.Options{Seed: 3, Tracer: tr})
+	sched.Run(twoThreads, core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: 3}, Tracer: tr})
 	for _, a := range tr.annots {
 		if a != "" {
 			t.Fatalf("RW produced annotation %q; want none", a)
@@ -166,12 +164,12 @@ func TestTracerAcrossPooledRuns(t *testing.T) {
 	tr := &countingTracer{t: t}
 	alg := core.NewRandomWalk()
 	for i := 0; i < 3; i++ {
-		pool.Run(twoThreads, alg, sched.Options{Seed: int64(i), Tracer: tr})
+		pool.Run(twoThreads, alg, sched.Options{Base: sched.Base{Seed: int64(i)}, Tracer: tr})
 	}
 	if tr.begins != 3 || tr.ends != 3 {
 		t.Fatalf("begins=%d ends=%d after 3 pooled runs", tr.begins, tr.ends)
 	}
-	pool.Run(twoThreads, alg, sched.Options{Seed: 99})
+	pool.Run(twoThreads, alg, sched.Options{Base: sched.Base{Seed: 99}})
 	if tr.begins != 3 {
 		t.Fatalf("tracer fired on a run without Options.Tracer")
 	}

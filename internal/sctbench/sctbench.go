@@ -32,7 +32,8 @@ func Targets() []runner.Target {
 }
 
 // ByName returns the target with the given name — from the Table 4 rows,
-// the trivial set, or the coverage probes — or ok=false.
+// the trivial set, the coverage probes, or the surwsync worker-pool
+// family — or ok=false.
 func ByName(name string) (runner.Target, bool) {
 	for _, t := range Targets() {
 		if t.Name == name {
@@ -49,14 +50,20 @@ func ByName(name string) (runner.Target, bool) {
 			return t, true
 		}
 	}
+	for _, t := range WorkerPoolTargets() {
+		if t.Name == name {
+			return t, true
+		}
+	}
 	return runner.Target{}, false
 }
 
 // Names lists all target names: the Table 4 rows in order, then the
-// trivial set, then the coverage probes.
+// trivial set, then the coverage probes, then the surwsync worker-pool
+// family.
 func Names() []string {
 	ts := Targets()
-	out := make([]string, 0, len(ts)+13)
+	out := make([]string, 0, len(ts)+15)
 	for _, t := range ts {
 		out = append(out, t.Name)
 	}
@@ -64,6 +71,9 @@ func Names() []string {
 		out = append(out, t.Name)
 	}
 	for _, t := range CoverageTargets() {
+		out = append(out, t.Name)
+	}
+	for _, t := range WorkerPoolTargets() {
 		out = append(out, t.Name)
 	}
 	return out

@@ -39,9 +39,10 @@ func TestTargetsWellFormed(t *testing.T) {
 	if _, ok := ByName("nope"); ok {
 		t.Fatal("ByName found a ghost")
 	}
-	if got := len(Names()); got != 38+11+len(CoverageTargets()) {
-		t.Fatalf("Names() = %d entries, want 38 table rows + 11 trivial + %d coverage probes",
-			got, len(CoverageTargets()))
+	want := 38 + 11 + len(CoverageTargets()) + len(WorkerPoolTargets())
+	if got := len(Names()); got != want {
+		t.Fatalf("Names() = %d entries, want %d (38 table rows + 11 trivial + coverage probes + worker-pool family)",
+			got, want)
 	}
 }
 
@@ -177,7 +178,7 @@ func TestDeadlock01IsDeadlock(t *testing.T) {
 }
 
 func runSchedule(tgt runner.Target, seed int64) *sched.Result {
-	return sched.Run(tgt.Prog, core.NewRandomWalk(), sched.Options{Seed: seed, MaxSteps: tgt.MaxSteps})
+	return sched.Run(tgt.Prog, core.NewRandomWalk(), sched.Options{Base: sched.Base{Seed: seed, MaxSteps: tgt.MaxSteps}})
 }
 
 // TestReorderShape checks §4.2's structural claim: the reorder bug needs a
@@ -231,7 +232,7 @@ func TestTrivialTargetsAreTrivial(t *testing.T) {
 
 // TestNamesIncludeTrivials checks the lookup surface covers every set.
 func TestNamesIncludeTrivials(t *testing.T) {
-	if len(Names()) != 38+11+len(CoverageTargets()) {
+	if len(Names()) != 38+11+len(CoverageTargets())+len(WorkerPoolTargets()) {
 		t.Fatalf("Names() = %d entries", len(Names()))
 	}
 	if _, ok := ByName("CS/sigma"); !ok {

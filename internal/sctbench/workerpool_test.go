@@ -1,0 +1,36 @@
+package sctbench
+
+import (
+	"testing"
+
+	"surw/internal/runner"
+)
+
+// The worker-pool family runs real ported Go code through the surwsync
+// binding frontend; a modest SURW session must find the seeded lost-wakeup
+// deadlock in pool.Close, and the campaign aggregates must be
+// deterministic in the usual way (same config, same result).
+func TestWorkerPoolTargetFindsSeededDeadlock(t *testing.T) {
+	tgt, ok := ByName("WP/pool_2w2j")
+	if !ok {
+		t.Fatal("WP/pool_2w2j not registered in ByName")
+	}
+	cfg := runner.Config{Sessions: 2, Limit: 300, Seed: 1, Workers: 1}
+	res, err := runner.RunTarget(tgt, "surw", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DistinctBugs()["deadlock"] {
+		t.Fatalf("SURW did not find the seeded lost-wakeup deadlock: bugs=%v", res.DistinctBugs())
+	}
+
+	// Worker-count confinement: fanning the same batch over more workers
+	// must not change any session.
+	res4, err := runner.RunTarget(tgt, "surw", runner.Config{Sessions: 2, Limit: 300, Seed: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equal(res4) {
+		t.Fatalf("aggregates differ across worker counts:\n  1w: %+v\n  4w: %+v", res.Sessions, res4.Sessions)
+	}
+}

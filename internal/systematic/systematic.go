@@ -140,12 +140,7 @@ func Explore(prog func(*sched.Thread), opts Options) *Result {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		alg.prefix = f.prefix
-		r := sched.Run(prog, alg, sched.Options{
-			MaxSteps:    opts.MaxSteps,
-			ProgSeed:    opts.ProgSeed,
-			TraceFilter: opts.TraceFilter,
-			RecordTrace: opts.RecordTrace,
-		})
+		r := sched.Run(prog, alg, sched.Options{Base: sched.Base{MaxSteps: opts.MaxSteps, ProgSeed: opts.ProgSeed}, TraceFilter: opts.TraceFilter, RecordTrace: opts.RecordTrace})
 		res.Schedules++
 		if opts.Observe != nil {
 			opts.Observe(r)
@@ -229,11 +224,7 @@ func EstimateSchedules(prog func(*sched.Thread), samples int, seed int64, opts O
 	alg := &knuthAlg{}
 	total := 0.0
 	for i := 0; i < samples; i++ {
-		sched.Run(prog, alg, sched.Options{
-			Seed:     seed + int64(i),
-			ProgSeed: opts.ProgSeed,
-			MaxSteps: opts.MaxSteps,
-		})
+		sched.Run(prog, alg, sched.Options{Base: sched.Base{Seed: seed + int64(i), ProgSeed: opts.ProgSeed, MaxSteps: opts.MaxSteps}})
 		total += alg.product
 	}
 	return total / float64(samples)

@@ -134,7 +134,7 @@ func TestRandomizedSamplersStayInsideFeasibleSpace(t *testing.T) {
 			t.Fatal(err)
 		}
 		for seed := int64(0); seed < 300; seed++ {
-			r := sched.Run(prog, alg, sched.Options{Seed: seed})
+			r := sched.Run(prog, alg, sched.Options{Base: sched.Base{Seed: seed}})
 			if !oracle.Interleavings[r.InterleavingHash] {
 				t.Fatalf("%s produced an infeasible interleaving (seed %d)", name, seed)
 			}
@@ -158,7 +158,7 @@ func TestURWReachesWholeSpace(t *testing.T) {
 	alg := core.NewURW()
 	seen := map[uint64]bool{}
 	for seed := int64(0); seed < 5000 && len(seen) < len(oracle.Interleavings); seed++ {
-		r := sched.Run(prog, alg, sched.Options{Seed: seed, Info: info})
+		r := sched.Run(prog, alg, sched.Options{Base: sched.Base{Seed: seed}, Info: info})
 		seen[r.InterleavingHash] = true
 	}
 	if len(seen) != len(oracle.Interleavings) {

@@ -60,9 +60,11 @@ func NewSession(prog func(*Thread), opts Options) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	prof, _ := profile.Collect(prog, profile.Options{
-		Seed: o.Seed + 17, ProgSeed: o.ProgSeed, MaxSteps: o.MaxSteps,
-	})
+	// The census shares the session's Base verbatim except for its own
+	// seed offset — one struct copy, not a field-by-field replumb.
+	pbase := o.Base
+	pbase.Seed += 17
+	prof, _ := profile.Collect(prog, profile.Options{Base: pbase})
 	ctx := o.Context
 	if ctx == nil {
 		ctx = context.Background()
@@ -126,10 +128,10 @@ func (s *Session) drawDelta() *ProgramInfo {
 // run executes one schedule with the given seed and Δ.
 func (s *Session) run(seed int64, info *ProgramInfo, recordTrace bool) *Result {
 	s.lastSeed = seed
+	base := s.opts.Base
+	base.Seed = seed
 	return sched.Run(s.prog, s.alg, sched.Options{
-		Seed:        seed,
-		ProgSeed:    s.opts.ProgSeed,
-		MaxSteps:    s.opts.MaxSteps,
+		Base:        base,
 		Info:        info,
 		TraceFilter: s.opts.TraceFilter,
 		RecordTrace: recordTrace,

@@ -13,7 +13,7 @@ import (
 )
 
 func TestSessionStepwiseMatchesTest(t *testing.T) {
-	opts := Options{Schedules: 500, Seed: 3}
+	opts := Options{Base: Base{Seed: 3}, Schedules: 500}
 	rep, err := Test(racyProg, opts)
 	if err != nil || !rep.Found() {
 		t.Fatalf("setup failed: %v %+v", err, rep)
@@ -48,7 +48,7 @@ func TestSessionStepwiseMatchesTest(t *testing.T) {
 }
 
 func TestSessionScheduleSeedDerivation(t *testing.T) {
-	s, err := NewSession(cleanProg, Options{Seed: 7})
+	s, err := NewSession(cleanProg, Options{Base: Base{Seed: 7}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestSessionScheduleSeedDerivation(t *testing.T) {
 }
 
 func TestSessionReplayMatchesReplay(t *testing.T) {
-	opts := Options{Schedules: 500, Seed: 3}
+	opts := Options{Base: Base{Seed: 3}, Schedules: 500}
 	rep, err := Test(racyProg, opts)
 	if err != nil || !rep.Found() {
 		t.Fatalf("setup failed: %v %+v", err, rep)

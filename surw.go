@@ -1,12 +1,18 @@
 // Package surw is a controlled concurrency testing library for Go,
 // reproducing "Selectively Uniform Concurrency Testing" (ASPLOS 2025).
 //
-// Programs under test are written against the virtual-thread API (Thread,
-// Var, Mutex, Cond, Semaphore): every shared-memory or synchronization
-// operation is an atomic event, execution is fully serialized, and a
-// pluggable scheduling algorithm decides which thread runs each event.
-// Schedules are deterministic given their seed, so any bug found is
-// replayable.
+// Programs under test are written against the virtual-thread API — Thread,
+// Var and the generic Ref[E] for shared state, Chan[E] for Go-style
+// channels, and Mutex, RWMutex, Cond, Semaphore, WaitGroup, Once for
+// synchronization: every shared-memory or synchronization operation is an
+// atomic event, execution is fully serialized, and a pluggable scheduling
+// algorithm decides which thread runs each event. Schedules are
+// deterministic given their seed, so any bug found is replayable.
+//
+// Existing code written against the standard library need not be rewritten
+// by hand: the surw/surwsync subpackage is a drop-in sync/channel frontend
+// (surwsync.Mutex, surwsync.Chan[T], surwsync.Go, ...) and cmd/surwport
+// rewrites stdlib concurrency onto it mechanically.
 //
 // The flagship algorithm is SURW (Selectively Uniform Random Walk): given a
 // subset Δ of interesting events with per-thread count estimates, it
@@ -18,12 +24,16 @@
 //
 //	report, err := surw.Test(func(t *surw.Thread) {
 //	    c := t.NewVar("c", 0)
-//	    h1 := t.Go(func(w *surw.Thread) { c.Store(w, c.Load(w)+1) })
-//	    h2 := t.Go(func(w *surw.Thread) { c.Store(w, c.Load(w)+1) })
-//	    t.Join(h1)
-//	    t.Join(h2)
+//	    done := surw.NewChan[int](t, "done", 2)
+//	    t.Go(func(w *surw.Thread) { c.Store(w, c.Load(w)+1); done.Send(w, 1) })
+//	    t.Go(func(w *surw.Thread) { c.Store(w, c.Load(w)+1); done.Send(w, 1) })
+//	    done.Recv(t)
+//	    done.Recv(t)
 //	    t.Assert(c.Peek() == 2, "lost-update")
 //	}, surw.Options{Schedules: 1000})
+//
+// Structured values travel through surw.NewRef[E] cells and surw.NewChan[E]
+// channels the same way: every access decomposes into scheduled events.
 //
 // Test profiles the program once, picks an interesting-event subset with
 // the paper's single-shared-variable heuristic (re-drawn each schedule),
@@ -54,6 +64,12 @@ type (
 	Var = sched.Var
 	// Mutex is a non-reentrant lock.
 	Mutex = sched.Mutex
+	// RWMutex is a readers-writer lock.
+	RWMutex = sched.RWMutex
+	// WaitGroup mirrors sync.WaitGroup: Wait blocks until the counter is zero.
+	WaitGroup = sched.WaitGroup
+	// Once mirrors sync.Once: Do runs its function exactly once.
+	Once = sched.Once
 	// Cond is a condition variable without spurious wakeups.
 	Cond = sched.Cond
 	// Semaphore is a counting semaphore.
@@ -123,18 +139,20 @@ func Collect(prog func(*Thread), opts ProfileOptions) (*Profile, error) {
 	return profile.Collect(prog, opts)
 }
 
+// Base is the option set shared by every schedule-running entry point:
+// Options, RunOptions, and ProfileOptions all embed it, so Seed (default 1
+// at this layer), ProgSeed, and MaxSteps plumb through the layers as one
+// struct copy.
+type Base = sched.Base
+
 // Options configures Test and Explore.
 type Options struct {
+	// Base carries the shared Seed/ProgSeed/MaxSteps fields (see Base).
+	Base
 	// Schedules is the testing budget (default 1000).
 	Schedules int
 	// Algorithm names the scheduler (default "SURW").
 	Algorithm string
-	// Seed derives every schedule's randomness (default 1).
-	Seed int64
-	// ProgSeed fixes the program-input randomness.
-	ProgSeed int64
-	// MaxSteps bounds each schedule (default sched.DefaultMaxSteps).
-	MaxSteps int
 	// Select overrides the per-schedule Δ choice; nil uses the paper's
 	// single-shared-variable heuristic.
 	Select func(p *Profile, rng *rand.Rand) (Selection, bool)
@@ -147,7 +165,11 @@ type Options struct {
 	Context context.Context
 }
 
+// normalized is the one place the driver defaults are applied: the shared
+// Base defaults plus this layer's Schedules/Algorithm/Seed fallbacks.
+// Every entry point (Test, Explore, Replay, NewSession) flows through it.
 func (o Options) normalized() Options {
+	o.Base = o.Base.Normalized()
 	if o.Schedules <= 0 {
 		o.Schedules = 1000
 	}

@@ -55,7 +55,7 @@ func TestTestCleanProgram(t *testing.T) {
 }
 
 func TestReplayReproduces(t *testing.T) {
-	opts := Options{Schedules: 500, Seed: 3}
+	opts := Options{Base: Base{Seed: 3}, Schedules: 500}
 	rep, err := Test(racyProg, opts)
 	if err != nil || !rep.Found() {
 		t.Fatalf("setup failed: %v %+v", err, rep)
@@ -142,7 +142,7 @@ func TestExploreCoverageAndEntropy(t *testing.T) {
 		th.Join(h2)
 		th.SetBehavior(string(rune('A' + x.Peek()%26)))
 	}
-	ex, err := Explore(prog, Options{Schedules: 600, Algorithm: "URW", Seed: 2})
+	ex, err := Explore(prog, Options{Base: Base{Seed: 2}, Schedules: 600, Algorithm: "URW"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,11 +170,11 @@ func TestExploreWithTraceFilter(t *testing.T) {
 		th.Join(h)
 	}
 	onlyX := func(ev Event) bool { return ev.ObjHash == HashName("x") }
-	filtered, err := Explore(prog, Options{Schedules: 300, Algorithm: "RW", Seed: 2, TraceFilter: onlyX})
+	filtered, err := Explore(prog, Options{Base: Base{Seed: 2}, Schedules: 300, Algorithm: "RW", TraceFilter: onlyX})
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := Explore(prog, Options{Schedules: 300, Algorithm: "RW", Seed: 2})
+	full, err := Explore(prog, Options{Base: Base{Seed: 2}, Schedules: 300, Algorithm: "RW"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestExploreWithTraceFilter(t *testing.T) {
 }
 
 func TestCollectFacade(t *testing.T) {
-	prof, err := Collect(racyProg, ProfileOptions{Seed: 1})
+	prof, err := Collect(racyProg, ProfileOptions{Base: Base{Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestCollectFacade(t *testing.T) {
 }
 
 func TestExploreCountsFailures(t *testing.T) {
-	ex, err := Explore(racyProg, Options{Schedules: 300, Algorithm: "RW", Seed: 1})
+	ex, err := Explore(racyProg, Options{Base: Base{Seed: 1}, Schedules: 300, Algorithm: "RW"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestRecordMinimizeReplayFacade(t *testing.T) {
 	var bugID string
 	found := false
 	for seed := int64(0); seed < 500 && !found; seed++ {
-		res, r := RecordRun(racyProg, NewRandomWalk(), RunOptions{Seed: seed})
+		res, r := RecordRun(racyProg, NewRandomWalk(), RunOptions{Base: Base{Seed: seed}})
 		if res.Buggy() {
 			rec, bugID, found = r, res.BugID(), true
 		}
@@ -261,7 +261,7 @@ func TestChannelsThroughFacade(t *testing.T) {
 			sum += v
 		}
 		th.Join(prod)
-	}, NewRandomWalk(), RunOptions{Seed: 4})
+	}, NewRandomWalk(), RunOptions{Base: Base{Seed: 4}})
 	if res.Buggy() || sum != 3 {
 		t.Fatalf("failure=%v sum=%d", res.Failure, sum)
 	}
@@ -286,11 +286,11 @@ func TestNewRefThroughFacade(t *testing.T) {
 }
 
 func TestDetectRacesFacade(t *testing.T) {
-	res := Run(racyProg, NewRandomWalk(), RunOptions{Seed: 3, RecordTrace: true})
+	res := Run(racyProg, NewRandomWalk(), RunOptions{Base: Base{Seed: 3}, RecordTrace: true})
 	// Some seeds order the accesses; scan a few for a race report.
 	found := false
 	for seed := int64(0); seed < 20 && !found; seed++ {
-		r := Run(racyProg, NewRandomWalk(), RunOptions{Seed: seed, RecordTrace: true})
+		r := Run(racyProg, NewRandomWalk(), RunOptions{Base: Base{Seed: seed}, RecordTrace: true})
 		found = len(DetectRaces(r)) > 0
 	}
 	if !found {
@@ -300,11 +300,7 @@ func TestDetectRacesFacade(t *testing.T) {
 }
 
 func TestSelectRacyVarsDrivesTest(t *testing.T) {
-	rep, err := Test(racyProg, Options{
-		Schedules: 500,
-		Seed:      9,
-		Select:    SelectRacyVars(racyProg, 8, 9),
-	})
+	rep, err := Test(racyProg, Options{Base: Base{Seed: 9}, Schedules: 500, Select: SelectRacyVars(racyProg, 8, 9)})
 	if err != nil {
 		t.Fatal(err)
 	}
